@@ -1,0 +1,214 @@
+(* Bechamel benchmark harness: one group per experiment family (DESIGN.md §3).
+
+   Measures the runtime of every pipeline stage the experiments use: LP
+   construction + solve (explicit and demand-oracle), the three rounding
+   algorithms, baselines, exact search, rho computation, SINR graph
+   construction, power control, and the Lavi-Swamy decomposition.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+
+
+module Prng = Sa_util.Prng
+module Workloads = Sa_exp.Workloads
+module Instance = Sa_core.Instance
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+module Greedy = Sa_core.Greedy
+module Exact = Sa_core.Exact
+module Edge_lp = Sa_core.Edge_lp
+module Oracle = Sa_core.Oracle_solver
+module Decomposition = Sa_mech.Decomposition
+module Inductive = Sa_graph.Inductive
+module Graph = Sa_graph.Graph
+module Weighted = Sa_graph.Weighted
+module Link = Sa_wireless.Link
+module Sinr = Sa_wireless.Sinr
+module Sinr_graph = Sa_wireless.Sinr_graph
+module Power_control = Sa_wireless.Power_control
+module Placement = Sa_geom.Placement
+
+(* ---- fixtures (built once, outside the staged closures) ----------------- *)
+
+let protocol_inst = Workloads.protocol_instance ~seed:1 ~n:25 ~k:4 ()
+let protocol_frac = Lp.solve_explicit protocol_inst
+
+let sinr_inst, _sinr_sys =
+  Workloads.sinr_fixed_instance ~seed:2 ~n:20 ~k:3 ~scheme:Sinr.Uniform ()
+
+let sinr_frac = Lp.solve_explicit sinr_inst
+
+let small_inst = Workloads.protocol_instance ~seed:3 ~n:12 ~k:2 ()
+let small_frac = Lp.solve_explicit small_inst
+
+let asym_inst = Workloads.asymmetric_instance ~seed:4 ~n:16 ~k:3 ~d:4
+let asym_frac = Lp.solve_explicit asym_inst
+
+let mixed_inst =
+  Workloads.protocol_instance ~seed:5 ~n:15 ~k:6 ~profile:Workloads.Mixed ()
+
+let clique32 = Graph.clique 32
+let clique_weights = Array.make 32 1.0
+
+let pc_links =
+  let g = Prng.create ~seed:6 in
+  Link.of_point_pairs (Placement.random_links g ~n:30 ~side:40.0 ~min_len:0.5 ~max_len:2.0)
+
+let pc_params = Workloads.sinr_default_params
+
+let pc_set =
+  (* a thm13-independent set found greedily *)
+  let wg = Sinr_graph.thm13_graph pc_links pc_params in
+  let chosen = ref [] in
+  for i = 0 to Link.n pc_links - 1 do
+    if Weighted.is_independent wg (i :: !chosen) then chosen := i :: !chosen
+  done;
+  !chosen
+
+let protocol_graph =
+  match protocol_inst.Instance.conflict with
+  | Instance.Unweighted g -> g
+  | Instance.Edge_weighted _ | Instance.Per_channel _ | Instance.Per_channel_weighted _ -> assert false
+
+let sinr_wg =
+  match sinr_inst.Instance.conflict with
+  | Instance.Edge_weighted wg -> wg
+  | Instance.Unweighted _ | Instance.Per_channel _ | Instance.Per_channel_weighted _ -> assert false
+
+(* ---- tests --------------------------------------------------------------- *)
+
+let stage_with_rng f =
+  let counter = ref 0 in
+  Staged.stage (fun () ->
+      incr counter;
+      let g = Prng.create ~seed:!counter in
+      f g)
+
+let tests =
+  Test.make_grouped ~name:"specauction"
+    [
+      (* E1: unweighted pipeline *)
+      Test.make ~name:"e1/lp-explicit-n25-k4"
+        (Staged.stage (fun () -> ignore (Lp.solve_explicit protocol_inst)));
+      Test.make ~name:"e1/alg1-n25-k4"
+        (stage_with_rng (fun g ->
+             ignore (Rounding.algorithm1 g protocol_inst protocol_frac)));
+      Test.make ~name:"e1/alg1-adaptive-n25-k4"
+        (stage_with_rng (fun g ->
+             ignore (Rounding.solve_adaptive ~trials:2 g protocol_inst protocol_frac)));
+      (* E2: weighted pipeline *)
+      Test.make ~name:"e2/lp-weighted-n20-k3"
+        (Staged.stage (fun () -> ignore (Lp.solve_explicit sinr_inst)));
+      Test.make ~name:"e2/alg2+3-n20-k3"
+        (stage_with_rng (fun g ->
+             let p = Rounding.algorithm2 g sinr_inst sinr_frac in
+             ignore (Rounding.algorithm3 sinr_inst p)));
+      (* E3/E4: rho computation *)
+      Test.make ~name:"e3/rho-unweighted-n25"
+        (Staged.stage (fun () ->
+             ignore
+               (Inductive.rho_unweighted protocol_graph
+                  protocol_inst.Instance.ordering)));
+      Test.make ~name:"e4/rho-weighted-n20"
+        (Staged.stage (fun () ->
+             ignore
+               (Inductive.rho_weighted ~node_limit:100_000 sinr_wg
+                  sinr_inst.Instance.ordering)));
+      (* E5: SINR graph construction + power control *)
+      Test.make ~name:"e5/thm13-graph-n30"
+        (Staged.stage (fun () ->
+             ignore (Sinr_graph.thm13_graph pc_links pc_params)));
+      Test.make ~name:"e5/power-control"
+        (Staged.stage (fun () ->
+             ignore (Power_control.assign pc_links pc_params pc_set)));
+      (* E6: mechanism *)
+      Test.make ~name:"e6/decomposition-n12"
+        (stage_with_rng (fun g ->
+             ignore
+               (Decomposition.decompose ~max_rounds:20 ~pricing_trials:4 g
+                  small_inst small_frac
+                  ~alpha:(Rounding.guarantee small_inst))));
+      (* E7: asymmetric *)
+      Test.make ~name:"e7/asym-round-n16-k3"
+        (stage_with_rng (fun g ->
+             ignore (Rounding.algorithm_asymmetric g asym_inst asym_frac)));
+      (* E8: baselines *)
+      Test.make ~name:"e8/greedy-by-value-n25"
+        (Staged.stage (fun () -> ignore (Greedy.by_value protocol_inst)));
+      Test.make ~name:"e8/exact-n12-k2"
+        (Staged.stage (fun () -> ignore (Exact.solve small_inst)));
+      Test.make ~name:"e8/edge-lp-clique32"
+        (Staged.stage (fun () ->
+             ignore (Edge_lp.solve clique32 ~weights:clique_weights)));
+      (* E9: column generation *)
+      Test.make ~name:"e9/oracle-colgen-n15-k6"
+        (Staged.stage (fun () -> ignore (Oracle.solve mixed_inst)));
+      (* E10: derandomized rounding *)
+      Test.make ~name:"e10/derand-n12-k2"
+        (Staged.stage (fun () ->
+             ignore (Sa_core.Derand.algorithm1_derand small_inst small_frac)));
+      (* E11: one market epoch (build + LP + round) at ~10 active bidders *)
+      Test.make ~name:"e11/market-10-epochs"
+        (stage_with_rng (fun g ->
+             ignore g;
+             let cfg =
+               {
+                 Sa_sim.Market.default_config with
+                 Sa_sim.Market.epochs = 10;
+                 arrivals_per_epoch = 3.0;
+                 k = 2;
+               }
+             in
+             ignore (Sa_sim.Market.run ~seed:1 cfg)));
+      (* LP engine comparison on the same auction LP *)
+      Test.make ~name:"lp-engine/dense-n25-k4"
+        (Staged.stage (fun () ->
+             ignore (Lp.solve_explicit ~engine:Sa_lp.Model.Dense_tableau protocol_inst)));
+      Test.make ~name:"lp-engine/revised-n25-k4"
+        (Staged.stage (fun () ->
+             ignore (Lp.solve_explicit ~engine:Sa_lp.Model.Revised_sparse protocol_inst)));
+      (* serialization roundtrip *)
+      Test.make ~name:"io/serialize-roundtrip-n25"
+        (Staged.stage (fun () ->
+             ignore
+               (Sa_core.Serialize.instance_of_string
+                  (Sa_core.Serialize.instance_to_string protocol_inst))));
+    ]
+
+(* ---- runner + textual report --------------------------------------------- *)
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  Analyze.all ols Toolkit.Instance.monotonic_clock raw
+
+let () =
+  Printf.printf "Benchmarks: one group per experiment family (see DESIGN.md)\n";
+  Printf.printf "%-36s %14s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 52 '-');
+  let results = benchmark () in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> t
+        | Some [] | None -> Float.nan
+      in
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%8.2f  s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "%-36s %14s\n" name pretty)
+    rows

@@ -1,0 +1,1 @@
+bin/auction.ml: Arg Array Cmd Cmdliner Format List Printf Sa_core Sa_exp Sa_mech Sa_util Sa_val Sa_wireless Term

@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner List Printf Sa_exp Term

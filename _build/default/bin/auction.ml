@@ -1,0 +1,144 @@
+(* Command-line spectrum-auction runner.
+
+   Builds a synthetic instance for a chosen interference model, solves it
+   with a chosen algorithm, and prints the allocation — the "product"
+   front-end over the library.
+
+   Examples:
+     dune exec bin/auction.exe -- --model protocol -n 30 -k 4
+     dune exec bin/auction.exe -- --model sinr -n 20 -k 3 --algorithm adaptive
+     dune exec bin/auction.exe -- --model clique -n 8 -k 2 --algorithm exact
+     dune exec bin/auction.exe -- --model protocol -n 10 -k 2 --mechanism *)
+
+open Cmdliner
+module Prng = Sa_util.Prng
+module Workloads = Sa_exp.Workloads
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+module Greedy = Sa_core.Greedy
+module Exact = Sa_core.Exact
+module Derand = Sa_core.Derand
+module Lavi_swamy = Sa_mech.Lavi_swamy
+module Decomposition = Sa_mech.Decomposition
+
+type model = Protocol | Disk | Sinr | Clique | Asymmetric
+type algorithm = Lp_round | Adaptive | Greedy_alg | Exact_alg | Derand_alg
+
+let build_instance model ~seed ~n ~k =
+  match model with
+  | Protocol -> Workloads.protocol_instance ~seed ~n ~k ()
+  | Disk -> Workloads.disk_instance ~seed ~n ~k ()
+  | Sinr ->
+      fst (Workloads.sinr_fixed_instance ~seed ~n ~k ~scheme:Sa_wireless.Sinr.Uniform ())
+  | Clique -> Workloads.clique_instance ~seed ~n ~k ()
+  | Asymmetric -> Workloads.asymmetric_instance ~seed ~n ~k ~d:4
+
+let model_name = function
+  | Protocol -> "protocol"
+  | Disk -> "disk"
+  | Sinr -> "sinr (fixed uniform powers)"
+  | Clique -> "clique (plain combinatorial auction)"
+  | Asymmetric -> "asymmetric channels (Thm 14 gadget)"
+
+let run_auction model algorithm n k seed trials mechanism save load =
+  let inst =
+    match load with
+    | Some path -> Sa_core.Serialize.load_instance path
+    | None -> build_instance model ~seed ~n ~k
+  in
+  (match save with
+  | Some path ->
+      Sa_core.Serialize.save_instance path inst;
+      Printf.printf "instance saved to %s\n" path
+  | None -> ());
+  let k = inst.Instance.k in
+  Printf.printf "model: %s   n=%d  k=%d  rho=%.1f  seed=%d\n"
+    (match load with Some path -> "loaded from " ^ path | None -> model_name model)
+    (Instance.n inst) k inst.Instance.rho seed;
+  let frac = Lp.solve_explicit inst in
+  Printf.printf "LP optimum (welfare upper bound): %.3f\n" frac.Lp.objective;
+  let g = Prng.create ~seed:(seed + 1) in
+  let alloc =
+    match algorithm with
+    | Lp_round -> Rounding.solve ~trials g inst frac
+    | Adaptive -> Rounding.solve_adaptive ~trials:(max 1 (trials / 2)) g inst frac
+    | Greedy_alg -> Greedy.by_value inst
+    | Exact_alg ->
+        let r = Exact.solve inst in
+        if not r.Exact.exact then
+          prerr_endline "warning: exact search hit its node budget; best found returned";
+        r.Exact.allocation
+    | Derand_alg -> (
+        match inst.Instance.conflict with
+        | Instance.Unweighted _ -> Derand.algorithm1_derand inst frac
+        | Instance.Edge_weighted _ -> Derand.algorithm23_derand inst frac
+        | Instance.Per_channel _ | Instance.Per_channel_weighted _ ->
+            failwith "derand supports unweighted/edge-weighted instances only")
+  in
+  Printf.printf "welfare: %.3f   (feasible: %b, guarantee factor: %.1f)\n"
+    (Allocation.value inst alloc)
+    (Allocation.is_feasible inst alloc)
+    (Rounding.guarantee inst);
+  Printf.printf "winners (%d):\n" (List.length (Allocation.allocated_bidders alloc));
+  Format.printf "%a%!" (Allocation.pp inst) alloc;
+  if mechanism then begin
+    Printf.printf "\n-- Lavi-Swamy truthful mechanism --\n";
+    let o = Lavi_swamy.run ~alpha:(2.0 *. Rounding.guarantee inst) g inst in
+    Printf.printf "lottery size: %d   effective alpha: %.1f\n"
+      (Array.length o.Lavi_swamy.lottery.Decomposition.allocations)
+      o.Lavi_swamy.alpha;
+    let sampled, payments = Lavi_swamy.sample g inst o in
+    Printf.printf "sampled outcome (feasible: %b):\n"
+      (Allocation.is_feasible inst sampled);
+    Array.iteri
+      (fun v b ->
+        if not (Sa_val.Bundle.is_empty b) then
+          Printf.printf "  bidder %d: %s  pays %.3f\n" v
+            (Format.asprintf "%a" Sa_val.Bundle.pp b)
+            payments.(v))
+      sampled
+  end
+
+let model_arg =
+  let c = Arg.enum
+      [ ("protocol", Protocol); ("disk", Disk); ("sinr", Sinr); ("clique", Clique);
+        ("asymmetric", Asymmetric) ]
+  in
+  Arg.(value & opt c Protocol & info [ "model" ] ~docv:"MODEL"
+         ~doc:"Interference model: protocol|disk|sinr|clique|asymmetric.")
+
+let algorithm_arg =
+  let c = Arg.enum
+      [ ("lp-round", Lp_round); ("adaptive", Adaptive); ("greedy", Greedy_alg);
+        ("exact", Exact_alg); ("derand", Derand_alg) ]
+  in
+  Arg.(value & opt c Adaptive & info [ "algorithm" ] ~docv:"ALG"
+         ~doc:"Allocation algorithm: lp-round|adaptive|greedy|exact|derand.")
+
+let n_arg = Arg.(value & opt int 25 & info [ "n"; "bidders" ] ~doc:"Number of bidders.")
+let k_arg = Arg.(value & opt int 4 & info [ "k"; "channels" ] ~doc:"Number of channels.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+let trials_arg = Arg.(value & opt int 16 & info [ "trials" ] ~doc:"Rounding trials.")
+
+let mechanism_arg =
+  Arg.(value & flag & info [ "mechanism" ]
+         ~doc:"Also run the Lavi-Swamy truthful mechanism and sample an outcome.")
+
+let save_arg =
+  Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
+         ~doc:"Save the generated instance to $(docv) before solving.")
+
+let load_arg =
+  Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE"
+         ~doc:"Load the instance from $(docv) instead of generating one \
+               (--model/-n/-k/--seed are then ignored).")
+
+let cmd =
+  let doc = "Run one synthetic secondary spectrum auction" in
+  Cmd.v (Cmd.info "auction" ~doc)
+    Term.(const run_auction $ model_arg $ algorithm_arg $ n_arg $ k_arg $ seed_arg
+          $ trials_arg $ mechanism_arg $ save_arg $ load_arg)
+
+let () = exit (Cmd.eval cmd)

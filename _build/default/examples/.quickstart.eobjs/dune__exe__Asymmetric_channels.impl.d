@@ -1,0 +1,1 @@
+examples/asymmetric_channels.ml: Array Float Fun List Printf Sa_core Sa_geom Sa_graph Sa_util Sa_val Sa_wireless

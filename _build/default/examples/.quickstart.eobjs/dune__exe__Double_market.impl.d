@@ -1,0 +1,1 @@
+examples/double_market.ml: Array List Printf Sa_geom Sa_graph Sa_mech Sa_util Sa_wireless String

@@ -1,0 +1,1 @@
+examples/double_market.mli:

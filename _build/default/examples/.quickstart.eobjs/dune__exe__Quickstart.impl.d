@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Float Format Printf Sa_core Sa_geom Sa_graph Sa_util Sa_val Sa_viz Sa_wireless

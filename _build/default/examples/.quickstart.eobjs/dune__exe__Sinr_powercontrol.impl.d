@@ -1,0 +1,1 @@
+examples/sinr_powercontrol.ml: Array Float List Printf Sa_core Sa_geom Sa_graph Sa_util Sa_val Sa_wireless

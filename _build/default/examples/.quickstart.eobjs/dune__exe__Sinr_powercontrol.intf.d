@@ -1,0 +1,1 @@
+examples/sinr_powercontrol.mli:

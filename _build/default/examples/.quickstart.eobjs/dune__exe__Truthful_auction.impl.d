@@ -1,0 +1,1 @@
+examples/truthful_auction.ml: Array Format List Printf Sa_core Sa_graph Sa_mech Sa_util Sa_val

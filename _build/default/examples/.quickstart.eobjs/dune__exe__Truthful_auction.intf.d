@@ -1,0 +1,1 @@
+examples/truthful_auction.mli:

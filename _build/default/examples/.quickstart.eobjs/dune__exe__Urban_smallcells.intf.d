@@ -1,0 +1,1 @@
+examples/urban_smallcells.mli:

@@ -1,0 +1,89 @@
+(* Asymmetric channels (Section 6): a different conflict graph per channel.
+
+   Realistic cause: a TV-band channel is blocked by a primary transmitter in
+   one district, a radar band has a wider guard zone, etc.  We model 3
+   channels over the same 30 links, each with its own protocol-model
+   conflict graph (different guard parameters Delta and per-channel primary
+   exclusion zones), and run the Section-6 variant of the rounding
+   (scaling 1/2k*rho).
+
+   Run with: dune exec examples/asymmetric_channels.exe *)
+
+module Prng = Sa_util.Prng
+module Point = Sa_geom.Point
+module Placement = Sa_geom.Placement
+module Graph = Sa_graph.Graph
+module Link = Sa_wireless.Link
+module Protocol = Sa_wireless.Protocol
+module Inductive = Sa_graph.Inductive
+module Vgen = Sa_val.Gen
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+
+let () =
+  let g = Prng.create ~seed:314 in
+  let n = 30 and k = 3 in
+  let side = 10.0 in
+  let pairs = Placement.random_links g ~n ~side ~min_len:0.5 ~max_len:1.5 in
+  let sys = Link.of_point_pairs pairs in
+  let pi = Protocol.ordering sys in
+
+  (* Channel 0: standard guard zone.  Channel 1: wide guard zone (radar
+     band).  Channel 2: standard guard zone + a primary user at the centre
+     blocking all links within radius 3 (clique among them). *)
+  let deltas = [| 0.5; 2.0; 0.5 |] in
+  let graphs = Array.map (fun d -> Protocol.conflict_graph sys ~delta:d) deltas in
+  let centre = Point.make (side /. 2.0) (side /. 2.0) in
+  let blocked =
+    List.filter
+      (fun i ->
+        let l = Link.link sys i in
+        match Sa_geom.Metric.points (Link.metric sys) with
+        | Some pts -> Point.dist pts.(l.Link.sender) centre < 3.0
+        | None -> false)
+      (List.init n Fun.id)
+  in
+  List.iter
+    (fun i ->
+      List.iter (fun j -> if i < j then Graph.add_edge graphs.(2) i j) blocked)
+    blocked;
+
+  (* rho for the LP: the worst measured rho(pi) across channels. *)
+  let rho =
+    Array.fold_left
+      (fun acc gr -> Float.max acc (Inductive.rho_unweighted gr pi).Inductive.rho)
+      1.0 graphs
+  in
+  let bidders =
+    Array.init n (fun _ ->
+        Vgen.random_xor g ~k ~bids:3 ~max_bundle:2 ~dist:(Vgen.Uniform (1.0, 8.0)))
+  in
+  let inst =
+    Instance.make ~conflict:(Instance.Per_channel graphs) ~k ~bidders ~ordering:pi ~rho
+  in
+
+  let frac = Lp.solve_explicit inst in
+  let alloc = Rounding.solve_adaptive ~trials:8 g inst frac in
+
+  Printf.printf "Asymmetric-channel auction (Section 6)\n";
+  Printf.printf "  links: %d, channels: %d, worst rho(pi): %.0f\n" n k rho;
+  Array.iteri
+    (fun j gr ->
+      Printf.printf "  channel %d: delta=%.1f, %d conflict edges%s\n" j deltas.(j)
+        (Graph.num_edges gr)
+        (if j = 2 then Printf.sprintf " (primary blocks %d links)" (List.length blocked)
+         else ""))
+    graphs;
+  Printf.printf "  LP optimum: %.3f\n" frac.Lp.objective;
+  Printf.printf "  Section-6 rounding welfare: %.3f (feasible: %b)\n"
+    (Allocation.value inst alloc)
+    (Allocation.is_feasible inst alloc);
+  Printf.printf "  guarantee: within factor %.0f of the LP (4k*rho)\n"
+    (Rounding.guarantee inst);
+  Printf.printf "\nChannel usage:\n";
+  for j = 0 to k - 1 do
+    Printf.printf "  channel %d: %d links\n" j
+      (List.length (Allocation.holders alloc ~k ~channel:j))
+  done

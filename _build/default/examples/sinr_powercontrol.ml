@@ -1,0 +1,79 @@
+(* Physical (SINR) model with power control — the Theorem 13 pipeline.
+
+   30 device-to-device links bid for 3 channels.  Interference follows the
+   physical model; transmission powers are NOT fixed in advance: the auction
+   first allocates channels by rounding the LP over the Theorem-13
+   tau-weighted conflict graph, then runs the Kesselheim power-control
+   procedure per channel to find powers making every channel's winner set
+   SINR-feasible.
+
+   Run with: dune exec examples/sinr_powercontrol.exe *)
+
+module Prng = Sa_util.Prng
+module Placement = Sa_geom.Placement
+module Link = Sa_wireless.Link
+module Sinr = Sa_wireless.Sinr
+module Sinr_graph = Sa_wireless.Sinr_graph
+module Power_control = Sa_wireless.Power_control
+module Inductive = Sa_graph.Inductive
+module Vgen = Sa_val.Gen
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+module Bundle = Sa_val.Bundle
+
+let () =
+  let g = Prng.create ~seed:4242 in
+  let n = 30 and k = 3 in
+  let prm = { Sinr.alpha = 3.0; beta = 1.5; noise = 0.0 } in
+
+  let pairs = Placement.random_links g ~n ~side:30.0 ~min_len:0.5 ~max_len:2.0 in
+  let sys = Link.of_point_pairs pairs in
+
+  (* Theorem 13 weights.  The paper's 1/tau scale is a worst-case constant
+     (here 432) that makes independent sets tiny; the experiments (E5) show
+     the power-control procedure succeeds empirically at far milder scales,
+     so this example uses the ablation knob [weight_scale].  Per-channel
+     SINR feasibility is verified explicitly below either way. *)
+  let wg = Sinr_graph.thm13_graph ~weight_scale:3.0 sys prm in
+  let pi = Sinr_graph.ordering sys in
+  let rho_est = (Inductive.rho_weighted ~node_limit:200_000 wg pi).Inductive.rho in
+
+  let bidders =
+    Array.init n (fun _ ->
+        Vgen.random_xor g ~k ~bids:2 ~max_bundle:1 ~dist:(Vgen.Uniform (1.0, 10.0)))
+  in
+  let inst =
+    Instance.make ~conflict:(Instance.Edge_weighted wg) ~k ~bidders ~ordering:pi
+      ~rho:(Float.max 1.0 rho_est)
+  in
+
+  let frac = Lp.solve_explicit inst in
+  let alloc = Rounding.solve_adaptive ~trials:8 g inst frac in
+
+  Printf.printf "SINR auction with power control (Theorem 13)\n";
+  Printf.printf "  links: %d  channels: %d  alpha=%.1f beta=%.1f\n" n k prm.Sinr.alpha
+    prm.Sinr.beta;
+  Printf.printf "  tau = %.5f (weights scaled by 1/tau = %.0f)\n" (Sinr_graph.tau prm)
+    (1.0 /. Sinr_graph.tau prm);
+  Printf.printf "  estimated rho(pi) of the weighted graph: %.2f\n" rho_est;
+  Printf.printf "  LP optimum: %.2f   rounded welfare: %.2f (feasible: %b)\n"
+    frac.Lp.objective
+    (Allocation.value inst alloc)
+    (Allocation.is_feasible inst alloc);
+
+  (* Stage 2: per-channel power control. *)
+  Printf.printf "\nPer-channel power control:\n";
+  for j = 0 to k - 1 do
+    let winners = Allocation.holders alloc ~k ~channel:j in
+    let r = Power_control.assign sys prm winners in
+    Printf.printf "  channel %d: %d links, SINR-feasible powers: %b\n" j
+      (List.length winners) r.Power_control.feasible;
+    List.iter
+      (fun i ->
+        Printf.printf "    link %2d  length %.2f  power %.4g  SINR %.2f\n" i
+          (Link.length sys i) r.Power_control.powers.(i)
+          (Sinr.sinr sys prm ~powers:r.Power_control.powers ~active:winners i))
+      winners
+  done

@@ -1,0 +1,98 @@
+(* Truthful-in-expectation auction (Section 5: Lavi-Swamy).
+
+   A regulator wants strategy-proofness, not just welfare: bidders should
+   have no incentive to misreport.  This example runs the full Lavi-Swamy
+   pipeline — LP optimum, decomposition of x*/alpha into a lottery over
+   feasible allocations, scaled VCG payments — and then audits truthfulness
+   empirically by letting one bidder try misreports.
+
+   Run with: dune exec examples/truthful_auction.exe *)
+
+module Prng = Sa_util.Prng
+module Generators = Sa_graph.Generators
+module Inductive = Sa_graph.Inductive
+module Valuation = Sa_val.Valuation
+module Vgen = Sa_val.Gen
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+module Decomposition = Sa_mech.Decomposition
+module Lavi_swamy = Sa_mech.Lavi_swamy
+
+let () =
+  let g = Prng.create ~seed:99 in
+  let n = 10 and k = 2 in
+  (* A clique conflict graph = a regular combinatorial auction: every pair
+     of bidders conflicts, so winners displace losers and the scaled VCG
+     payments are visibly non-zero.  On a clique any ordering has rho = 1
+     and the LP's interference constraints bind. *)
+  let graph = Sa_graph.Graph.clique n in
+  let pi, _ = Inductive.degeneracy_ordering graph in
+  let bidders =
+    Array.init n (fun _ ->
+        Vgen.random_xor g ~k ~bids:2 ~max_bundle:2 ~dist:(Vgen.Uniform (1.0, 10.0)))
+  in
+  let inst =
+    Instance.make ~conflict:(Instance.Unweighted graph) ~k ~bidders ~ordering:pi
+      ~rho:1.0
+  in
+
+  let alpha = 2.0 *. Rounding.guarantee inst in
+  let o = Lavi_swamy.run ~alpha g inst in
+  let lot = o.Lavi_swamy.lottery in
+
+  Printf.printf "Truthful spectrum auction (Lavi-Swamy, Section 5)\n";
+  Printf.printf "  bidders: %d  channels: %d  alpha: %.1f\n" n k o.Lavi_swamy.alpha;
+  Printf.printf "  LP optimum b* = %.3f\n" o.Lavi_swamy.fractional.Lp.objective;
+  Printf.printf "  lottery over %d feasible allocations (decomposition verified: %b)\n"
+    (Array.length lot.Decomposition.allocations)
+    (Decomposition.verify inst o.Lavi_swamy.fractional lot);
+  Printf.printf "  E[welfare] = b*/alpha = %.3f\n"
+    (o.Lavi_swamy.fractional.Lp.objective /. o.Lavi_swamy.alpha);
+
+  Printf.printf "\nPer-bidder expectations:\n";
+  Printf.printf "  %-6s %-12s %-12s %-12s\n" "bidder" "E[value]" "E[payment]" "E[utility]";
+  for v = 0 to n - 1 do
+    let ev = Decomposition.expected_value_of_bidder inst lot v in
+    let ep = Lavi_swamy.expected_payment o v in
+    if ev > 1e-9 then
+      Printf.printf "  %-6d %-12.4f %-12.4f %-12.4f\n" v ev ep (ev -. ep)
+  done;
+
+  (* One realised outcome. *)
+  let alloc, pay = Lavi_swamy.sample g inst o in
+  Printf.printf "\nOne realised outcome (feasible: %b):\n"
+    (Allocation.is_feasible inst alloc);
+  Array.iteri
+    (fun v b ->
+      if not (Sa_val.Bundle.is_empty b) then
+        Printf.printf "  bidder %d gets %s, pays %.3f\n" v
+          (Format.asprintf "%a" Sa_val.Bundle.pp b)
+          pay.(v))
+    alloc;
+
+  (* Truthfulness audit for bidder 0. *)
+  Printf.printf "\nTruthfulness audit (bidder 0, expected utility vs misreports):\n";
+  let u_truth =
+    Lavi_swamy.expected_utility inst o ~bidder:0
+      ~true_valuation:inst.Instance.bidders.(0)
+  in
+  Printf.printf "  truthful report: %.5f\n" u_truth;
+  List.iter
+    (fun factor ->
+      let misreported = Array.copy inst.Instance.bidders in
+      misreported.(0) <- Valuation.scale misreported.(0) factor;
+      let mis_inst =
+        Instance.make ~conflict:inst.Instance.conflict ~k ~bidders:misreported
+          ~ordering:pi ~rho:inst.Instance.rho
+      in
+      let g' = Prng.create ~seed:99 in
+      let o' = Lavi_swamy.run ~alpha g' mis_inst in
+      let u =
+        Lavi_swamy.expected_utility mis_inst o' ~bidder:0
+          ~true_valuation:inst.Instance.bidders.(0)
+      in
+      Printf.printf "  report scaled x%-4.1f: %.5f%s\n" factor u
+        (if u <= u_truth +. 1e-6 then "  (no gain)" else "  (GAIN!)"))
+    [ 0.0; 0.3; 0.7; 1.5; 3.0 ]

@@ -1,0 +1,1 @@
+lib/core/allocation.ml: Array Format Instance List Sa_val

@@ -1,0 +1,1 @@
+lib/core/derand.ml: Allocation Array Instance Rounding

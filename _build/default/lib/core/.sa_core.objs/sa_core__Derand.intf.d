@@ -1,0 +1,1 @@
+lib/core/derand.mli: Allocation Instance Lp_relaxation

@@ -1,0 +1,1 @@
+lib/core/edge_lp.ml: Array List Sa_graph Sa_lp

@@ -1,0 +1,1 @@
+lib/core/edge_lp.mli: Sa_graph

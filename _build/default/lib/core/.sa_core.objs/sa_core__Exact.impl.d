@@ -1,0 +1,1 @@
+lib/core/exact.ml: Allocation Array Greedy Instance List Sa_val

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Allocation Array Fun Instance List Lp_relaxation Sa_val

@@ -1,0 +1,1 @@
+lib/core/hardness.ml: Array Instance List Sa_graph Sa_val

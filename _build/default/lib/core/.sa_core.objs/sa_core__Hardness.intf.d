@@ -1,0 +1,1 @@
+lib/core/hardness.mli: Instance Sa_graph Sa_util

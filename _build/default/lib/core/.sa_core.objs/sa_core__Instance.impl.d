@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Sa_graph Sa_val

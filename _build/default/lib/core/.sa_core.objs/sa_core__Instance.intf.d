@@ -1,0 +1,1 @@
+lib/core/instance.mli: Sa_graph Sa_val

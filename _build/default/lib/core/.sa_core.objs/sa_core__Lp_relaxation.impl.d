@@ -1,0 +1,1 @@
+lib/core/lp_relaxation.ml: Array Instance List Sa_graph Sa_lp Sa_util Sa_val

@@ -1,0 +1,1 @@
+lib/core/lp_relaxation.mli: Allocation Instance Sa_lp Sa_val

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Allocation Array Format Instance List Sa_util Sa_val

@@ -1,0 +1,1 @@
+lib/core/online.ml: Allocation Array Instance List Sa_val

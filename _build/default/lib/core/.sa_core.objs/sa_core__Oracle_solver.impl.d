@@ -1,0 +1,1 @@
+lib/core/oracle_solver.ml: Array Float Hashtbl Instance List Lp_relaxation Sa_graph Sa_lp Sa_util Sa_val

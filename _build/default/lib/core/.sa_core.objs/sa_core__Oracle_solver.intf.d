@@ -1,0 +1,1 @@
+lib/core/oracle_solver.mli: Instance Lp_relaxation

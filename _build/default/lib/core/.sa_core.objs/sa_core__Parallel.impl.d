@@ -1,0 +1,1 @@
+lib/core/parallel.ml: Allocation Array Derand Domain Instance List Rounding Sa_util

@@ -1,0 +1,1 @@
+lib/core/rounding.ml: Allocation Array Instance List Lp_relaxation Sa_graph Sa_util Sa_val

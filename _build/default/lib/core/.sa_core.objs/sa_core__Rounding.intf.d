@@ -1,0 +1,1 @@
+lib/core/rounding.mli: Allocation Instance Lp_relaxation Sa_util

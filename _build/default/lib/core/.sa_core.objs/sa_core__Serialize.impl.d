@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Allocation Array Buffer Fun Instance List Printf Sa_graph Sa_val String

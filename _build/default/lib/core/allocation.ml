@@ -1,0 +1,55 @@
+module Bundle = Sa_val.Bundle
+module Valuation = Sa_val.Valuation
+
+type t = Bundle.t array
+
+let empty n = Array.make n Bundle.empty
+
+let bidder_value inst alloc v = Valuation.value inst.Instance.bidders.(v) alloc.(v)
+
+let value inst alloc =
+  if Array.length alloc <> Instance.n inst then
+    invalid_arg "Allocation.value: size mismatch";
+  let total = ref 0.0 in
+  Array.iteri (fun v _ -> total := !total +. bidder_value inst alloc v) alloc;
+  !total
+
+let holders alloc ~k ~channel =
+  if channel < 0 || channel >= k then invalid_arg "Allocation.holders: channel out of range";
+  let acc = ref [] in
+  Array.iteri (fun v bundle -> if Bundle.mem channel bundle then acc := v :: !acc) alloc;
+  List.rev !acc
+
+let violations inst alloc =
+  if Array.length alloc <> Instance.n inst then
+    invalid_arg "Allocation.violations: size mismatch";
+  let k = inst.Instance.k in
+  let bad = ref [] in
+  for channel = k - 1 downto 0 do
+    let hs = holders alloc ~k ~channel in
+    let unavailable =
+      List.filter
+        (fun v -> not (Instance.channel_available inst ~bidder:v ~channel))
+        hs
+    in
+    if
+      unavailable <> []
+      || not (Instance.independent_on_channel inst ~channel hs)
+    then bad := (channel, hs) :: !bad
+  done;
+  !bad
+
+let is_feasible inst alloc = violations inst alloc = []
+
+let allocated_bidders alloc =
+  let acc = ref [] in
+  Array.iteri (fun v bundle -> if not (Bundle.is_empty bundle) then acc := v :: !acc) alloc;
+  List.rev !acc
+
+let pp inst fmt alloc =
+  Array.iteri
+    (fun v bundle ->
+      if not (Bundle.is_empty bundle) then
+        Format.fprintf fmt "bidder %d: %a (value %.3f)@." v Bundle.pp bundle
+          (bidder_value inst alloc v))
+    alloc

@@ -1,0 +1,31 @@
+(** Channel allocations [S : V → 2^{[k]}] and their verification.
+
+    The social welfare of an allocation is [Σ_v b_{v,S(v)}]; it is feasible
+    when every channel's holder set may share that channel (Problem 1). *)
+
+type t = Sa_val.Bundle.t array
+(** [alloc.(v)] is the bundle of bidder [v]. *)
+
+val empty : int -> t
+
+val value : Instance.t -> t -> float
+(** Social welfare. *)
+
+val bidder_value : Instance.t -> t -> int -> float
+
+val holders : t -> k:int -> channel:int -> int list
+(** Bidders holding [channel]. *)
+
+val is_feasible : Instance.t -> t -> bool
+(** Every channel's holders are independent under the instance's conflict
+    structure. *)
+
+val violations : Instance.t -> t -> (int * int list) list
+(** Per-channel offending holder sets (channel, holders) — empty iff
+    feasible; for error reporting in tests. *)
+
+val allocated_bidders : t -> int list
+(** Bidders with a non-empty bundle. *)
+
+val pp : Instance.t -> Format.formatter -> t -> unit
+(** One line per allocated bidder: index, bundle, value. *)

@@ -1,0 +1,39 @@
+let prime = 101
+
+(* h_{a,b}(v) = ((a*v + b) mod p) / p — a pairwise-independent [0,1) family. *)
+let uniforms_of_seed ~n a b =
+  Array.init n (fun v -> float_of_int (((a * v) + b) mod prime) /. float_of_int prime)
+
+let better inst x y = if Allocation.value inst x >= Allocation.value inst y then x else y
+
+let enumerate inst round_pass =
+  let n = Instance.n inst in
+  let best = ref (Allocation.empty n) in
+  for a = 0 to prime - 1 do
+    for b = 0 to prime - 1 do
+      let alloc = round_pass (uniforms_of_seed ~n a b) in
+      best := better inst !best alloc
+    done
+  done;
+  !best
+
+let algorithm1_derand inst frac =
+  (match inst.Instance.conflict with
+  | Instance.Unweighted _ -> ()
+  | Instance.Edge_weighted _ | Instance.Per_channel _ | Instance.Per_channel_weighted _ ->
+      invalid_arg "Derand.algorithm1_derand: unweighted instances only");
+  let k = float_of_int inst.Instance.k in
+  let scale_down = 2.0 *. sqrt k *. inst.Instance.rho in
+  enumerate inst (fun uniforms ->
+      Rounding.round_with_uniforms inst frac ~scale_down ~uniforms)
+
+let algorithm23_derand inst frac =
+  (match inst.Instance.conflict with
+  | Instance.Edge_weighted _ -> ()
+  | Instance.Unweighted _ | Instance.Per_channel _ | Instance.Per_channel_weighted _ ->
+      invalid_arg "Derand.algorithm23_derand: edge-weighted instances only");
+  let k = float_of_int inst.Instance.k in
+  let scale_down = 4.0 *. sqrt k *. inst.Instance.rho in
+  enumerate inst (fun uniforms ->
+      let partly = Rounding.round_with_uniforms inst frac ~scale_down ~uniforms in
+      Rounding.algorithm3 inst partly)

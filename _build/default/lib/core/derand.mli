@@ -1,0 +1,30 @@
+(** Derandomization by pairwise independence (Section 5 remark).
+
+    The Theorem-3 analysis uses randomness only through (a) the marginal law
+    of each bidder's rounded bundle and (b) a first-moment (Markov) bound on
+    a sum over *pairs* of bidders — so pairwise-independent choices preserve
+    the expectation bound.  This module replaces the independent draws with
+    the classic affine family over a prime field:
+
+    [h_{a,b}(v) = ((a·v + b) mod p) / p ∈ \[0,1)],  [(a,b) ∈ Z_p × Z_p],
+
+    which is pairwise independent across bidders, and *enumerates the whole
+    seed family*, keeping the best feasible allocation.  Since the family
+    realises the expectation bound on average, its best member is
+    deterministic and at least as good — up to the [1/p] quantisation of the
+    rounding probabilities, which the enumeration makes explicit rather than
+    hidden in an ε.
+
+    Cost: [p²] rounding passes; use on small-to-moderate instances (the
+    Lavi–Swamy decomposition, experiment E6, is the intended consumer). *)
+
+val prime : int
+(** 101 — the field size; probabilities are quantised to multiples of 1/101. *)
+
+val algorithm1_derand : Instance.t -> Lp_relaxation.fractional -> Allocation.t
+(** Deterministic counterpart of {!Rounding.algorithm1} (unweighted
+    instances): enumerates the seed family and returns the best feasible
+    allocation found.  Always feasible. *)
+
+val algorithm23_derand : Instance.t -> Lp_relaxation.fractional -> Allocation.t
+(** Deterministic counterpart of Algorithms 2+3 (edge-weighted instances). *)

@@ -1,0 +1,40 @@
+module Graph = Sa_graph.Graph
+module Model = Sa_lp.Model
+module Simplex = Sa_lp.Simplex
+
+type result = {
+  lp_value : float;
+  fractional : float array;
+  rounded : int list;
+  rounded_value : float;
+}
+
+let solve g ~weights =
+  let n = Graph.n g in
+  if Array.length weights <> n then invalid_arg "Edge_lp.solve: weights size mismatch";
+  Array.iter (fun w -> if w < 0.0 then invalid_arg "Edge_lp.solve: negative weight") weights;
+  let m = Model.create Simplex.Maximize in
+  let vars = Array.init n (fun v -> Model.add_var m ~obj:weights.(v)) in
+  Array.iter (fun var -> ignore (Model.add_row m [ (var, 1.0) ] Simplex.Le 1.0)) vars;
+  Graph.iter_edges g (fun u v ->
+      ignore (Model.add_row m [ (vars.(u), 1.0); (vars.(v), 1.0) ] Simplex.Le 1.0));
+  let sol = Model.solve m in
+  (match sol.Model.status with
+  | Simplex.Optimal -> ()
+  | _ -> failwith "Edge_lp.solve: LP failed");
+  let fractional = Array.init n (fun v -> sol.Model.value vars.(v)) in
+  (* LP-guided greedy: consider vertices by decreasing x_v * b_v. *)
+  let order = Array.init n (fun v -> v) in
+  Array.sort
+    (fun a b -> compare (fractional.(b) *. weights.(b)) (fractional.(a) *. weights.(a)))
+    order;
+  let chosen = ref [] in
+  Array.iter
+    (fun v ->
+      if
+        weights.(v) *. fractional.(v) > 0.0
+        && List.for_all (fun u -> not (Graph.mem_edge g u v)) !chosen
+      then chosen := v :: !chosen)
+    order;
+  let rounded_value = List.fold_left (fun acc v -> acc +. weights.(v)) 0.0 !chosen in
+  { lp_value = sol.Model.objective; fractional; rounded = !chosen; rounded_value }

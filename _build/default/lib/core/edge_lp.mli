@@ -1,0 +1,17 @@
+(** The classical edge-based independent-set LP (§2.1) as a baseline.
+
+    [max Σ b_v x_v  s.t.  x_u + x_v ≤ 1 on edges, 0 ≤ x ≤ 1].
+
+    Approximates weighted independent set within [(d̄+1)/2] but has
+    integrality gap [n/2] on cliques — the motivating contrast for the
+    paper's ρ-based LP (experiment E8). *)
+
+type result = {
+  lp_value : float;
+  fractional : float array;
+  rounded : int list;  (** an independent set obtained by LP-guided greedy *)
+  rounded_value : float;
+}
+
+val solve : Sa_graph.Graph.t -> weights:float array -> result
+(** Weights must be non-negative. *)

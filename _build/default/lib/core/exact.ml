@@ -1,0 +1,83 @@
+module Bundle = Sa_val.Bundle
+module Valuation = Sa_val.Valuation
+
+type result = { allocation : Allocation.t; value : float; exact : bool }
+
+exception Budget_exhausted
+
+let solve ?(node_limit = 5_000_000) inst =
+  let n = Instance.n inst in
+  let k = inst.Instance.k in
+  let supports =
+    Array.init n (fun v ->
+        Valuation.support inst.Instance.bidders.(v) ~k
+        |> List.filter (fun (bundle, _) ->
+               Bundle.equal bundle (Instance.restrict_bundle inst ~bidder:v bundle))
+        |> List.sort (fun (_, a) (_, b) -> compare b a))
+  in
+  (* Remaining-value suffix bounds for pruning. *)
+  let best_val =
+    Array.map (function [] -> 0.0 | (_, v) :: _ -> v) supports
+  in
+  let suffix = Array.make (n + 1) 0.0 in
+  for v = n - 1 downto 0 do
+    suffix.(v) <- suffix.(v + 1) +. best_val.(v)
+  done;
+  let alloc = Allocation.empty n in
+  let best_alloc = ref (Allocation.empty n) and best = ref 0.0 in
+  let nodes = ref 0 in
+  (* Assigning bundles never relaxes constraints, so a partial assignment
+     that breaks some channel can be pruned permanently. *)
+  let feasible_so_far v bundle =
+    alloc.(v) <- bundle;
+    let ok =
+      Bundle.fold
+        (fun j acc ->
+          acc
+          && Instance.independent_on_channel inst ~channel:j
+               (Allocation.holders alloc ~k ~channel:j))
+        bundle true
+    in
+    alloc.(v) <- Bundle.empty;
+    ok
+  in
+  let rec go v acc_value =
+    incr nodes;
+    if !nodes > node_limit then raise Budget_exhausted;
+    if v = n then begin
+      if acc_value > !best then begin
+        best := acc_value;
+        best_alloc := Array.copy alloc
+      end
+    end
+    else if acc_value +. suffix.(v) > !best then begin
+      List.iter
+        (fun (bundle, _listed_value) ->
+          if feasible_so_far v bundle then begin
+            alloc.(v) <- bundle;
+            (* Use the true valuation (free-disposal closure for XOR bids),
+               which can exceed the listed value of the bundle. *)
+            let true_value = Valuation.value inst.Instance.bidders.(v) bundle in
+            go (v + 1) (acc_value +. true_value);
+            alloc.(v) <- Bundle.empty
+          end)
+        supports.(v);
+      (* the empty bundle *)
+      go (v + 1) acc_value
+    end
+  in
+  let exact =
+    try
+      go 0 0.0;
+      true
+    with Budget_exhausted -> false
+  in
+  if not exact then begin
+    let g = Greedy.by_value inst in
+    let gv = Allocation.value inst g in
+    if gv > !best then begin
+      best := gv;
+      best_alloc := g
+    end
+  end;
+  { allocation = !best_alloc; value = !best; exact }

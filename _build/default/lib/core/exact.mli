@@ -1,0 +1,13 @@
+(** Exact optimum by branch and bound (small instances only).
+
+    Enumerates, bidder by bidder, each support bundle plus the empty bundle,
+    pruning with the remaining bidders' maximum values.  Used to measure the
+    true approximation ratio of the rounding algorithms (experiments E1/E8)
+    and to compute exact VCG outcomes.  Complexity is exponential; callers
+    should keep [n·|support|] small (≈ 20 bidders with a handful of bids). *)
+
+type result = { allocation : Allocation.t; value : float; exact : bool }
+
+val solve : ?node_limit:int -> Instance.t -> result
+(** [exact = false] when the node budget (default 5_000_000) ran out; the
+    returned allocation is still feasible and at least as good as greedy. *)

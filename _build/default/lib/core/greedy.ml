@@ -1,0 +1,73 @@
+module Bundle = Sa_val.Bundle
+module Valuation = Sa_val.Valuation
+
+(* Can bidder [v] take [bundle] on top of [alloc] without breaking any
+   channel?  Checks only channels in [bundle]; future assignments are the
+   caller's concern (assignments only ever add interference, so checking the
+   affected channels is exact for incremental construction). *)
+let fits inst alloc v bundle =
+  alloc.(v) <- bundle;
+  let ok =
+    Bundle.fold
+      (fun j acc ->
+        acc
+        && Instance.independent_on_channel inst ~channel:j
+             (Allocation.holders alloc ~k:inst.Instance.k ~channel:j))
+      bundle true
+  in
+  alloc.(v) <- Bundle.empty;
+  ok
+
+let allocate_first_fit inst order bids_of =
+  let alloc = Allocation.empty (Instance.n inst) in
+  List.iter
+    (fun v ->
+      let rec try_bids = function
+        | [] -> ()
+        | (bundle, _) :: rest ->
+            if fits inst alloc v bundle then alloc.(v) <- bundle else try_bids rest
+      in
+      try_bids (bids_of v))
+    order;
+  alloc
+
+let sorted_support inst v ~key =
+  Valuation.support inst.Instance.bidders.(v) ~k:inst.Instance.k
+  |> List.filter (fun (bundle, _) ->
+         Bundle.equal bundle (Instance.restrict_bundle inst ~bidder:v bundle))
+  |> List.sort (fun (b1, v1) (b2, v2) -> compare (key b2 v2) (key b1 v1))
+
+let by_value inst =
+  let n = Instance.n inst in
+  let best v = Valuation.max_value inst.Instance.bidders.(v) ~k:inst.Instance.k in
+  let order =
+    List.sort (fun a b -> compare (best b) (best a)) (List.init n Fun.id)
+  in
+  allocate_first_fit inst order (fun v -> sorted_support inst v ~key:(fun _ value -> value))
+
+let by_density inst =
+  let n = Instance.n inst in
+  let density b value = value /. float_of_int (max 1 (Bundle.card b)) in
+  let best v =
+    sorted_support inst v ~key:density
+    |> function [] -> 0.0 | (b, value) :: _ -> density b value
+  in
+  let order =
+    List.sort (fun a b -> compare (best b) (best a)) (List.init n Fun.id)
+  in
+  allocate_first_fit inst order (fun v -> sorted_support inst v ~key:density)
+
+let from_lp inst frac =
+  let alloc = Allocation.empty (Instance.n inst) in
+  let scored =
+    Array.to_list frac.Lp_relaxation.columns
+    |> List.map (fun c -> (Lp_relaxation.column_value inst c, c))
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+  in
+  List.iter
+    (fun (_, c) ->
+      let v = c.Lp_relaxation.bidder in
+      if Bundle.is_empty alloc.(v) && fits inst alloc v c.Lp_relaxation.bundle then
+        alloc.(v) <- c.Lp_relaxation.bundle)
+    scored;
+  alloc

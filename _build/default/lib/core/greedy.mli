@@ -1,0 +1,19 @@
+(** Greedy baselines.
+
+    The paper has no greedy competitor, but any credible evaluation needs
+    one (experiment E8): these are the natural first-fit heuristics a
+    practitioner would try before an LP-based method. *)
+
+val by_value : Instance.t -> Allocation.t
+(** Process bidders by decreasing best-bundle value; give each bidder the
+    most valuable of its support bundles that keeps the allocation feasible
+    (first-fit over its bids, best first). *)
+
+val by_density : Instance.t -> Allocation.t
+(** Same, ordering bids by value per channel ([b/|T|]) — tends to leave
+    room for more winners. *)
+
+val from_lp : Instance.t -> Lp_relaxation.fractional -> Allocation.t
+(** Deterministic LP-guided greedy: process columns by decreasing
+    [b_{v,T}·x_{v,T}], allocate when feasible.  Used as the derandomised
+    companion of the randomized rounding. *)

@@ -1,0 +1,47 @@
+module Graph = Sa_graph.Graph
+module Ordering = Sa_graph.Ordering
+module Generators = Sa_graph.Generators
+module Inductive = Sa_graph.Inductive
+module Bundle = Sa_val.Bundle
+module Valuation = Sa_val.Valuation
+
+let unit_bid_on bundle = Valuation.Xor [ (bundle, 1.0) ]
+
+let clique_auction ~n =
+  let g = Graph.clique n in
+  let bidders = Array.make n (unit_bid_on (Bundle.full 1)) in
+  (* In a clique every vertex's backward neighbourhood is a clique, so any
+     ordering witnesses ρ(π) = 1. *)
+  Instance.make ~conflict:(Instance.Unweighted g) ~k:1 ~bidders
+    ~ordering:(Ordering.identity n) ~rho:1.0
+
+let theorem14_instance g ~k =
+  let n = Graph.n g in
+  let pi, _degeneracy = Inductive.degeneracy_ordering g in
+  let parts = Generators.split_for_asymmetric_channels g pi ~k in
+  (* Each channel graph's inductive independence w.r.t. pi is bounded by its
+     maximum backward degree. *)
+  let backward_degree gj v = List.length (Ordering.backward_neighbors pi gj v) in
+  let rho =
+    Array.fold_left
+      (fun acc gj ->
+        let worst = ref 0 in
+        for v = 0 to n - 1 do
+          worst := max !worst (backward_degree gj v)
+        done;
+        max acc !worst)
+      1 parts
+  in
+  let bidders = Array.make n (unit_bid_on (Bundle.full k)) in
+  let inst =
+    Instance.make ~conflict:(Instance.Per_channel parts) ~k ~bidders ~ordering:pi
+      ~rho:(float_of_int (max 1 rho))
+  in
+  (inst, pi)
+
+let theorem5_instance g_rng ~n ~d =
+  let g = Generators.random_bounded_degree g_rng ~n ~d in
+  let pi, degeneracy = Inductive.degeneracy_ordering g in
+  let bidders = Array.make n (unit_bid_on (Bundle.full 1)) in
+  Instance.make ~conflict:(Instance.Unweighted g) ~k:1 ~bidders ~ordering:pi
+    ~rho:(float_of_int (max 1 degeneracy))

@@ -1,0 +1,26 @@
+(** Workload generators from the paper's hardness constructions.
+
+    The lower bounds (Theorems 5, 6, 14) are reductions from independent
+    set; their gadgets double as stress workloads on which the algorithms'
+    guarantees are tight-ish, which the experiments probe empirically. *)
+
+val clique_auction : n:int -> Instance.t
+(** k = 1, unit valuations on the clique — the edge-LP integrality-gap
+    witness (§2.1): edge-LP value n/2, true optimum 1, our LP optimum ≤ ρ+1
+    with the trivial ordering. *)
+
+val theorem14_instance :
+  Sa_graph.Graph.t -> k:int -> Instance.t * Sa_graph.Ordering.t
+(** The Theorem-14 construction over a (bounded-degree) graph [G]: its
+    edges are split into [k] per-channel graphs along a degeneracy ordering
+    so that each has backward degree ≤ ⌈d_back/k⌉; every bidder places a
+    single XOR bid of value 1 on the *full* channel bundle, so welfare [b]
+    exactly equals the size of an independent set of [G] allocated all
+    channels.  Returns the instance (with ρ set to the per-channel backward
+    degree bound) and the ordering used. *)
+
+val theorem5_instance :
+  Sa_util.Prng.t -> n:int -> d:int -> Instance.t
+(** Bounded-degree independent set as a k = 1 auction (Theorem 5's source
+    problem): random degree-≤d graph, unit single-channel bids, degeneracy
+    ordering, ρ = degeneracy. *)

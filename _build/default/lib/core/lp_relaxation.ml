@@ -1,0 +1,131 @@
+module Bundle = Sa_val.Bundle
+module Valuation = Sa_val.Valuation
+module Ordering = Sa_graph.Ordering
+module Model = Sa_lp.Model
+module Simplex = Sa_lp.Simplex
+module Floats = Sa_util.Floats
+
+type column = { bidder : int; bundle : Bundle.t; x : float }
+
+type fractional = { columns : column array; objective : float }
+
+let by_bidder frac ~n =
+  let per = Array.make n [] in
+  Array.iter
+    (fun { bidder; bundle; x } -> per.(bidder) <- (bundle, x) :: per.(bidder))
+    frac.columns;
+  per
+
+let column_value inst { bidder; bundle; x } =
+  Valuation.value inst.Instance.bidders.(bidder) bundle *. x
+
+let of_allocation inst alloc =
+  let columns =
+    Array.to_list alloc
+    |> List.mapi (fun v bundle -> { bidder = v; bundle; x = 1.0 })
+    |> List.filter (fun c -> not (Bundle.is_empty c.bundle))
+    |> Array.of_list
+  in
+  let objective =
+    Array.fold_left (fun acc c -> acc +. column_value inst c) 0.0 columns
+  in
+  { columns; objective }
+
+(* Channel-j interference mass of [columns] into vertex [v]:
+   Σ_{u: π(u)<π(v)} Σ_{T∋j} w̄_j(u,v)·x_{u,T}. *)
+let interference_mass inst columns ~v ~channel =
+  let pi = inst.Instance.ordering in
+  Array.fold_left
+    (fun acc { bidder = u; bundle; x } ->
+      if u <> v && Ordering.precedes pi u v && Bundle.mem channel bundle then
+        acc +. (Instance.wbar inst ~channel u v *. x)
+      else acc)
+    0.0 columns
+
+let is_lp_feasible ?(eps = Floats.default_eps) inst frac =
+  let n = Instance.n inst and k = inst.Instance.k in
+  let nonneg = Array.for_all (fun c -> c.x >= -.eps) frac.columns in
+  let mass = Array.make n 0.0 in
+  Array.iter (fun c -> mass.(c.bidder) <- mass.(c.bidder) +. c.x) frac.columns;
+  let unit_ok = Array.for_all (fun m -> Floats.leq ~eps m 1.0) mass in
+  let interference_ok = ref true in
+  for v = 0 to n - 1 do
+    for channel = 0 to k - 1 do
+      let m = interference_mass inst frac.columns ~v ~channel in
+      if not (Floats.leq ~eps m inst.Instance.rho) then interference_ok := false
+    done
+  done;
+  nonneg && unit_ok && !interference_ok
+
+let fractional_value_of_bidder inst frac v =
+  Array.fold_left
+    (fun acc c -> if c.bidder = v then acc +. column_value inst c else acc)
+    0.0 frac.columns
+
+let solve_explicit ?engine ?(zeroed = []) inst =
+  let n = Instance.n inst and k = inst.Instance.k in
+  let pi = inst.Instance.ordering in
+  let m = Model.create Simplex.Maximize in
+  (* Materialise columns. *)
+  let cols = ref [] in
+  for v = 0 to n - 1 do
+    let support =
+      Valuation.support inst.Instance.bidders.(v) ~k
+      (* availability masks: a bidder may only receive channels open to it *)
+      |> List.filter (fun (bundle, _) ->
+             Bundle.equal bundle (Instance.restrict_bundle inst ~bidder:v bundle))
+    in
+    let zero = List.mem v zeroed in
+    List.iter
+      (fun (bundle, value) ->
+        let obj = if zero then 0.0 else value in
+        let var = Model.add_var m ~obj in
+        cols := (v, bundle, var) :: !cols)
+      support
+  done;
+  let cols = Array.of_list (List.rev !cols) in
+  (* Unit-mass rows. *)
+  let per_bidder_vars = Array.make n [] in
+  Array.iter
+    (fun (v, _, var) -> per_bidder_vars.(v) <- (var, 1.0) :: per_bidder_vars.(v))
+    cols;
+  for v = 0 to n - 1 do
+    if per_bidder_vars.(v) <> [] then
+      ignore (Model.add_row m per_bidder_vars.(v) Simplex.Le 1.0)
+  done;
+  (* Interference rows, skipping empty ones. *)
+  for v = 0 to n - 1 do
+    for channel = 0 to k - 1 do
+      let coeffs = ref [] in
+      Array.iter
+        (fun (u, bundle, var) ->
+          if u <> v && Ordering.precedes pi u v && Bundle.mem channel bundle then begin
+            let w = Instance.wbar inst ~channel u v in
+            if w > 0.0 then coeffs := (var, w) :: !coeffs
+          end)
+        cols;
+      if !coeffs <> [] then
+        ignore (Model.add_row m !coeffs Simplex.Le inst.Instance.rho)
+    done
+  done;
+  let sol = Model.solve ?engine m in
+  (match sol.Model.status with
+  | Simplex.Optimal -> ()
+  | Simplex.Infeasible -> failwith "Lp_relaxation.solve_explicit: LP infeasible (bug)"
+  | Simplex.Unbounded -> failwith "Lp_relaxation.solve_explicit: LP unbounded (bug)"
+  | Simplex.Iteration_limit -> failwith "Lp_relaxation.solve_explicit: iteration limit");
+  let columns =
+    Array.to_list cols
+    |> List.filter_map (fun (v, bundle, var) ->
+           let x = sol.Model.value var in
+           if x > 1e-10 then Some { bidder = v; bundle; x } else None)
+    |> Array.of_list
+  in
+  { columns; objective = sol.Model.objective }
+
+let scale frac factor =
+  if factor < 0.0 || factor > 1.0 then invalid_arg "Lp_relaxation.scale: factor in [0,1]";
+  {
+    columns = Array.map (fun c -> { c with x = c.x *. factor }) frac.columns;
+    objective = frac.objective *. factor;
+  }

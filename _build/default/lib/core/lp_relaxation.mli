@@ -1,0 +1,45 @@
+(** The paper's LP relaxations — LP (1), LP (3) and the asymmetric variant.
+
+    One variable [x_{v,T}] per (bidder, bundle) column; constraints:
+
+    - interference, one per (vertex, channel):
+      [Σ_{u: π(u)<π(v)} Σ_{T∋j} w̄_j(u,v)·x_{u,T} ≤ ρ]   (1b)/(3b)
+    - unit mass per bidder: [Σ_T x_{v,T} ≤ 1]              (1c)/(3c)
+    - [x ≥ 0].
+
+    [solve_explicit] materialises columns from {!Sa_val.Valuation.support}
+    (polynomial for XOR bids, exponential enumeration capped at small [k] for
+    the other languages); the demand-oracle path lives in {!Oracle_solver}. *)
+
+type column = { bidder : int; bundle : Sa_val.Bundle.t; x : float }
+
+type fractional = {
+  columns : column array;  (** only strictly positive entries *)
+  objective : float;  (** LP optimum [b^*] *)
+}
+
+val by_bidder : fractional -> n:int -> (Sa_val.Bundle.t * float) list array
+(** Per-bidder view of the solution. *)
+
+val column_value : Instance.t -> column -> float
+(** [b_{v,T} · x_{v,T}]. *)
+
+val of_allocation : Instance.t -> Allocation.t -> fractional
+(** The integral LP point of Lemma 1 (x_{v,S(v)} = 1). *)
+
+val is_lp_feasible : ?eps:float -> Instance.t -> fractional -> bool
+(** Checks (1b)/(3b), (1c) and non-negativity against the instance's ρ. *)
+
+val fractional_value_of_bidder : Instance.t -> fractional -> int -> float
+(** [Σ_T b_{v,T}·x_{v,T}]. *)
+
+val solve_explicit :
+  ?engine:Sa_lp.Model.engine -> ?zeroed:int list -> Instance.t -> fractional
+(** Solve the LP with explicit columns.  [zeroed] lists bidders whose
+    valuations are treated as identically zero (used for VCG-style payment
+    computations: "the LP without bidder v").  [engine] picks the simplex
+    implementation (default dense tableau).  Raises on simplex failure. *)
+
+val scale : fractional -> float -> fractional
+(** Scale every [x] (and the objective) by a factor in [\[0,1\]] — LP
+    feasibility is preserved by the packing structure (Observation 2). *)

@@ -1,0 +1,57 @@
+module Bundle = Sa_val.Bundle
+
+type t = {
+  welfare : float;
+  winners : int;
+  channels_used : int;
+  mean_holders_per_channel : float;
+  max_holders_per_channel : int;
+  channel_welfare : float array;
+  winner_value_fairness : float;
+  bundle_size_mean : float;
+}
+
+let compute inst alloc =
+  let k = inst.Instance.k in
+  let holders = Array.make k 0 in
+  let channel_welfare = Array.make k 0.0 in
+  let winner_values = ref [] in
+  let bundle_sizes = ref [] in
+  Array.iteri
+    (fun v bundle ->
+      if not (Bundle.is_empty bundle) then begin
+        let value = Allocation.bidder_value inst alloc v in
+        let size = Bundle.card bundle in
+        winner_values := value :: !winner_values;
+        bundle_sizes := float_of_int size :: !bundle_sizes;
+        Bundle.iter
+          (fun j ->
+            holders.(j) <- holders.(j) + 1;
+            channel_welfare.(j) <- channel_welfare.(j) +. (value /. float_of_int size))
+          bundle
+      end)
+    alloc;
+  let winners = List.length !winner_values in
+  let channels_used = Array.fold_left (fun acc h -> if h > 0 then acc + 1 else acc) 0 holders in
+  let total_holders = Array.fold_left ( + ) 0 holders in
+  {
+    welfare = Allocation.value inst alloc;
+    winners;
+    channels_used;
+    mean_holders_per_channel = float_of_int total_holders /. float_of_int k;
+    max_holders_per_channel = Array.fold_left max 0 holders;
+    channel_welfare;
+    winner_value_fairness = Sa_util.Stats.jain_index (Array.of_list !winner_values);
+    bundle_size_mean =
+      (if winners = 0 then 0.0 else Sa_util.Stats.mean (Array.of_list !bundle_sizes));
+  }
+
+let pp fmt m =
+  Format.fprintf fmt
+    "welfare %.2f | winners %d | channels used %d | reuse %.2f holders/channel \
+     (max %d) | winner fairness %.3f | mean bundle %.2f@."
+    m.welfare m.winners m.channels_used m.mean_holders_per_channel
+    m.max_holders_per_channel m.winner_value_fairness m.bundle_size_mean;
+  Array.iteri
+    (fun j w -> if w > 0.0 then Format.fprintf fmt "  channel %d: welfare %.2f@." j w)
+    m.channel_welfare

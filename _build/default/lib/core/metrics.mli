@@ -1,0 +1,24 @@
+(** Allocation quality metrics beyond raw welfare.
+
+    Regulators care about more than the objective: how intensively is the
+    spectrum reused, how evenly are winners treated, which channels carry
+    the value.  Used by the examples, the market simulation and E-series
+    reporting. *)
+
+type t = {
+  welfare : float;
+  winners : int;
+  channels_used : int;  (** channels with ≥ 1 holder *)
+  mean_holders_per_channel : float;  (** spatial-reuse factor *)
+  max_holders_per_channel : int;
+  channel_welfare : float array;
+      (** per-channel welfare attribution: a winner's value split equally
+          over its channels *)
+  winner_value_fairness : float;  (** Jain's index over winners' values *)
+  bundle_size_mean : float;  (** mean |S(v)| over winners *)
+}
+
+val compute : Instance.t -> Allocation.t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Compact multi-line report. *)

@@ -1,0 +1,84 @@
+module Bundle = Sa_val.Bundle
+module Valuation = Sa_val.Valuation
+
+type result = {
+  allocation : Allocation.t;
+  value : float;
+  admitted : int;
+  rejected_by_threshold : int;
+}
+
+let check_order inst order =
+  let n = Instance.n inst in
+  if Array.length order <> n then invalid_arg "Online: order size mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then invalid_arg "Online: order not a permutation";
+      seen.(v) <- true)
+    order
+
+(* Best feasible support bundle for [v] against the current allocation,
+   by decreasing listed value; respects availability masks. *)
+let best_feasible inst alloc v =
+  let supports =
+    Valuation.support inst.Instance.bidders.(v) ~k:inst.Instance.k
+    |> List.filter (fun (bundle, _) ->
+           Bundle.equal bundle (Instance.restrict_bundle inst ~bidder:v bundle))
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let fits bundle =
+    alloc.(v) <- bundle;
+    let ok =
+      Bundle.fold
+        (fun j acc ->
+          acc
+          && Instance.independent_on_channel inst ~channel:j
+               (Allocation.holders alloc ~k:inst.Instance.k ~channel:j))
+        bundle true
+    in
+    alloc.(v) <- Bundle.empty;
+    ok
+  in
+  List.find_opt (fun (bundle, _) -> fits bundle) supports
+
+let run_with inst ~order ~admit =
+  check_order inst order;
+  let alloc = Allocation.empty (Instance.n inst) in
+  let admitted = ref 0 and rejected = ref 0 in
+  Array.iter
+    (fun v ->
+      match best_feasible inst alloc v with
+      | None -> ()
+      | Some (bundle, value) ->
+          if admit v value then begin
+            alloc.(v) <- bundle;
+            incr admitted
+          end
+          else incr rejected)
+    order;
+  {
+    allocation = alloc;
+    value = Allocation.value inst alloc;
+    admitted = !admitted;
+    rejected_by_threshold = !rejected;
+  }
+
+let first_fit inst ~order = run_with inst ~order ~admit:(fun _ _ -> true)
+
+let threshold inst ~order ~theta =
+  if theta < 0.0 then invalid_arg "Online.threshold: theta must be non-negative";
+  run_with inst ~order ~admit:(fun _ value -> value >= theta)
+
+let adaptive_threshold inst ~order =
+  check_order inst order;
+  (* Track the running mean of every arriving bidder's best *standalone*
+     value (its maximum over the support), which is observable on arrival
+     regardless of feasibility. *)
+  let seen_total = ref 0.0 and seen_count = ref 0 in
+  run_with inst ~order ~admit:(fun v value ->
+      let standalone = Valuation.max_value inst.Instance.bidders.(v) ~k:inst.Instance.k in
+      seen_total := !seen_total +. standalone;
+      incr seen_count;
+      let mean = !seen_total /. float_of_int !seen_count in
+      value >= mean)

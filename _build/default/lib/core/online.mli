@@ -1,0 +1,37 @@
+(** Online allocation: bidders arrive one at a time, decisions are
+    irrevocable (cf. the paper's related work [8], online capacity
+    maximization).
+
+    The offline algorithms see all bids before allocating; an operator
+    running a continuous admission process cannot.  This module provides
+    two online rules over a *known* conflict structure (the instance fixes
+    geometry/interference; only the bid sequence is revealed online):
+
+    - {!first_fit}: allocate each arriving bidder its most valuable
+      feasible support bundle, if any.
+    - {!threshold}: like first-fit, but only admit a bidder whose best
+      feasible bundle is worth at least [theta] — the classic device for
+      hedging against a valuable bidder arriving late.  [theta = 0]
+      degenerates to first-fit.
+
+    Both produce feasible allocations for any arrival order; experiment
+    E12 measures their competitive ratio against the offline optimum. *)
+
+type result = {
+  allocation : Allocation.t;
+  value : float;
+  admitted : int;  (** bidders given a non-empty bundle *)
+  rejected_by_threshold : int;
+      (** bidders whose best feasible bundle existed but fell below θ *)
+}
+
+val first_fit : Instance.t -> order:int array -> result
+(** [order] is the arrival permutation of the bidders. *)
+
+val threshold : Instance.t -> order:int array -> theta:float -> result
+
+val adaptive_threshold : Instance.t -> order:int array -> result
+(** A single-pass rule that needs no tuned θ: admits bidder [v] iff its
+    best feasible bundle is worth at least the running mean of the values
+    seen so far (admitted or not).  A pragmatic middle ground exercised by
+    E12. *)

@@ -1,0 +1,130 @@
+module Bundle = Sa_val.Bundle
+module Valuation = Sa_val.Valuation
+module Ordering = Sa_graph.Ordering
+module Model = Sa_lp.Model
+module Simplex = Sa_lp.Simplex
+
+type stats = {
+  iterations : int;
+  columns_generated : int;
+  lp_solves_time : float;
+}
+
+let prices_for inst ~y ~bidder =
+  let k = inst.Instance.k in
+  let pi = inst.Instance.ordering in
+  let prices = Array.make k 0.0 in
+  for u = 0 to Instance.n inst - 1 do
+    if u <> bidder && Ordering.precedes pi bidder u then
+      for j = 0 to k - 1 do
+        let w = Instance.wbar inst ~channel:j u bidder in
+        if w > 0.0 then prices.(j) <- prices.(j) +. (w *. y u j)
+      done
+  done;
+  (* Numerical noise in duals can leave tiny negatives; demand oracles
+     require non-negative prices. *)
+  let prices = Array.map (fun p -> Float.max 0.0 p) prices in
+  (* Channels unavailable to this bidder are priced prohibitively, so an
+     exact demand oracle never proposes them. *)
+  let deterrent =
+    (2.0 *. Valuation.max_value inst.Instance.bidders.(bidder) ~k) +. 1.0
+  in
+  Array.mapi
+    (fun j p ->
+      if Instance.channel_available inst ~bidder ~channel:j then p else deterrent)
+    prices
+
+let solve ?(max_rounds = 200) ?(eps = 1e-7) inst =
+  let n = Instance.n inst in
+  let k = inst.Instance.k in
+  let pi = inst.Instance.ordering in
+  let m = Model.create Simplex.Maximize in
+  (* Fixed row structure. *)
+  let unit_row = Array.init n (fun _ -> Model.add_row m [] Simplex.Le 1.0) in
+  let intf_row = Array.make_matrix n k (-1) in
+  for v = 0 to n - 1 do
+    for j = 0 to k - 1 do
+      intf_row.(v).(j) <- Model.add_row m [] Simplex.Le inst.Instance.rho
+    done
+  done;
+  let present = Hashtbl.create 256 in
+  let columns = ref [] in
+  let add_column v bundle =
+    let key = (v, Bundle.to_int bundle) in
+    if not (Bundle.equal bundle (Instance.restrict_bundle inst ~bidder:v bundle)) then
+      false
+    else if Hashtbl.mem present key then false
+    else begin
+      Hashtbl.add present key ();
+      let value = Valuation.value inst.Instance.bidders.(v) bundle in
+      let var = Model.add_var m ~obj:value in
+      Model.add_to_row m unit_row.(v) var 1.0;
+      (* The column appears in the interference row of every later vertex
+         for every channel it contains. *)
+      for v' = 0 to n - 1 do
+        if v' <> v && Ordering.precedes pi v v' then
+          Bundle.iter
+            (fun j ->
+              let w = Instance.wbar inst ~channel:j v v' in
+              if w > 0.0 then Model.add_to_row m intf_row.(v').(j) var w)
+            bundle
+      done;
+      columns := (v, bundle, var) :: !columns;
+      true
+    end
+  in
+  (* Seed: every bidder's favourite bundle at zero prices (blocked channels
+     still carry their deterrent price). *)
+  for v = 0 to n - 1 do
+    let prices = prices_for inst ~y:(fun _ _ -> 0.0) ~bidder:v in
+    let bundle, util = Valuation.demand inst.Instance.bidders.(v) ~prices in
+    if util > 0.0 && not (Bundle.is_empty bundle) then ignore (add_column v bundle)
+  done;
+  let lp_time = ref 0.0 in
+  let solve_master () =
+    let sol, dt = Sa_util.Timing.time (fun () -> Model.solve m) in
+    lp_time := !lp_time +. dt;
+    (match sol.Model.status with
+    | Simplex.Optimal -> ()
+    | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit ->
+        failwith "Oracle_solver: master LP failed");
+    sol
+  in
+  let rounds = ref 0 in
+  let finished = ref false in
+  let last_sol = ref (solve_master ()) in
+  incr rounds;
+  while (not !finished) && !rounds < max_rounds do
+    let sol = !last_sol in
+    let y u j = sol.Model.dual intf_row.(u).(j) in
+    let added = ref false in
+    for v = 0 to n - 1 do
+      let prices = prices_for inst ~y ~bidder:v in
+      let bundle, util = Valuation.demand inst.Instance.bidders.(v) ~prices in
+      if not (Bundle.is_empty bundle) then begin
+        let z_v = sol.Model.dual unit_row.(v) in
+        if util -. z_v > eps then if add_column v bundle then added := true
+      end
+    done;
+    if !added then begin
+      last_sol := solve_master ();
+      incr rounds
+    end
+    else finished := true
+  done;
+  let sol = !last_sol in
+  let cols =
+    List.rev !columns
+    |> List.filter_map (fun (v, bundle, var) ->
+           let x = sol.Model.value var in
+           if x > 1e-10 then
+             Some { Lp_relaxation.bidder = v; bundle; x }
+           else None)
+    |> Array.of_list
+  in
+  ( { Lp_relaxation.columns = cols; objective = sol.Model.objective },
+    {
+      iterations = !rounds;
+      columns_generated = Hashtbl.length present;
+      lp_solves_time = !lp_time;
+    } )

@@ -1,0 +1,34 @@
+(** Demand-oracle LP solving (Section 3.1).
+
+    The explicit LP needs one column per (bidder, bundle) — exponential in
+    [k] for general valuations.  The paper separates the dual with demand
+    oracles under bidder-specific channel prices
+
+    [p_{v,j} = Σ_{u: π(u) > π(v)} w̄_j(u,v) · y_{u,j}]
+
+    and invokes the ellipsoid method.  This module implements the practical
+    equivalent: column generation on the primal.  A restricted master LP is
+    solved; its duals [y] (interference rows) and [z] (unit-mass rows) price
+    the channels; every bidder's demand oracle proposes its utility-
+    maximising bundle; columns with positive reduced cost
+    [b_{v,T} − Σ_{j∈T} p_{v,j} − z_v > ε] enter the master.  With exact
+    oracles the procedure terminates at the true LP optimum. *)
+
+type stats = {
+  iterations : int;  (** master re-solves *)
+  columns_generated : int;  (** columns in the final master *)
+  lp_solves_time : float;  (** seconds in the simplex *)
+}
+
+val solve :
+  ?max_rounds:int ->
+  ?eps:float ->
+  Instance.t ->
+  Lp_relaxation.fractional * stats
+(** [max_rounds] caps master iterations (default 200).  Raises [Failure] on
+    simplex breakdown. *)
+
+val prices_for :
+  Instance.t -> y:(int -> int -> float) -> bidder:int -> float array
+(** The Section-3.1 bidder-specific prices from interference duals
+    [y u j] — exposed for tests. *)

@@ -1,0 +1,59 @@
+module Prng = Sa_util.Prng
+
+let default_domains = max 1 (Domain.recommended_domain_count () - 1)
+
+let better inst a b = if Allocation.value inst a >= Allocation.value inst b then a else b
+
+let reduce_best inst results =
+  List.fold_left (better inst) (Allocation.empty (Instance.n inst)) results
+
+let solve_rounding ?(domains = default_domains) ?(trials_per_domain = 4) ~seed inst
+    frac =
+  if domains < 1 then invalid_arg "Parallel.solve_rounding: domains must be >= 1";
+  if trials_per_domain < 1 then
+    invalid_arg "Parallel.solve_rounding: trials_per_domain must be >= 1";
+  let worker d () =
+    (* each domain gets an independent deterministic stream *)
+    let g = Prng.create ~seed:(seed + (1_000_003 * (d + 1))) in
+    Rounding.solve_adaptive ~trials:trials_per_domain g inst frac
+  in
+  if domains = 1 then worker 0 ()
+  else begin
+    let handles = List.init domains (fun d -> Domain.spawn (worker d)) in
+    reduce_best inst (List.map Domain.join handles)
+  end
+
+let derand1 ?(domains = default_domains) inst frac =
+  (match inst.Instance.conflict with
+  | Instance.Unweighted _ -> ()
+  | Instance.Edge_weighted _ | Instance.Per_channel _ | Instance.Per_channel_weighted _
+    ->
+      invalid_arg "Parallel.derand1: unweighted instances only");
+  if domains < 1 then invalid_arg "Parallel.derand1: domains must be >= 1";
+  let p = Derand.prime in
+  let n = Instance.n inst in
+  let k = float_of_int inst.Instance.k in
+  let scale_down = 2.0 *. sqrt k *. inst.Instance.rho in
+  let scan_range a_lo a_hi () =
+    let best = ref (Allocation.empty n) in
+    for a = a_lo to a_hi - 1 do
+      for b = 0 to p - 1 do
+        let uniforms =
+          Array.init n (fun v -> float_of_int (((a * v) + b) mod p) /. float_of_int p)
+        in
+        let alloc = Rounding.round_with_uniforms inst frac ~scale_down ~uniforms in
+        best := better inst !best alloc
+      done
+    done;
+    !best
+  in
+  if domains = 1 then scan_range 0 p ()
+  else begin
+    let chunk = (p + domains - 1) / domains in
+    let handles =
+      List.init domains (fun d ->
+          let lo = d * chunk and hi = min p ((d + 1) * chunk) in
+          Domain.spawn (scan_range lo hi))
+    in
+    reduce_best inst (List.map Domain.join handles)
+  end

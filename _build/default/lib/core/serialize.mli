@@ -1,0 +1,39 @@
+(** Plain-text (de)serialization of instances and allocations.
+
+    A small line-oriented format (no external dependencies) so auctions can
+    be saved, shared, and re-run: the CLI's [--save]/[--load].  The format
+    is versioned; [of_string] validates everything through
+    {!Instance.make}, so a loaded instance satisfies the same invariants as
+    a constructed one.
+
+    Format sketch (see [instance_to_string] output):
+    {v
+    specauction-instance 1
+    n 4 k 2 rho 2.0
+    ordering 0 1 2 3
+    conflict unweighted
+    edge 0 1
+    end
+    bidder 0 xor 2
+    bid 1 5.0
+    bid 3 7.5
+    bidder 1 additive 1.0 2.0
+    ...
+    end
+    v}
+    Bundles are serialised as their bitmask integers. *)
+
+val instance_to_string : Instance.t -> string
+
+val instance_of_string : string -> Instance.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val allocation_to_string : Allocation.t -> string
+
+val allocation_of_string : string -> Allocation.t
+(** Raises [Failure] on malformed input. *)
+
+val save_instance : string -> Instance.t -> unit
+(** [save_instance path inst] writes the file. *)
+
+val load_instance : string -> Instance.t

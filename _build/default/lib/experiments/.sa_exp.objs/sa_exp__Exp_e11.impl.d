@@ -1,0 +1,1 @@
+lib/experiments/exp_e11.ml: Array Float List Sa_sim Sa_util

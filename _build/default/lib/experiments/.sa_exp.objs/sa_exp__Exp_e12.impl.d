@@ -1,0 +1,1 @@
+lib/experiments/exp_e12.ml: Array Float List Sa_core Sa_util Sa_val Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_e13.ml: Array Float List Sa_core Sa_geom Sa_graph Sa_util Sa_val Sa_wireless

@@ -1,0 +1,1 @@
+lib/experiments/exp_e4.ml: Array Float List Sa_geom Sa_graph Sa_util Sa_wireless Workloads

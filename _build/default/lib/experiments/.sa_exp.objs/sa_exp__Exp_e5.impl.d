@@ -1,0 +1,1 @@
+lib/experiments/exp_e5.ml: Array Float List Printf Sa_core Sa_util Sa_wireless Workloads

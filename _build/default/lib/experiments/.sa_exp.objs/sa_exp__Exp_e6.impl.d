@@ -1,0 +1,1 @@
+lib/experiments/exp_e6.ml: Array Float List Sa_core Sa_mech Sa_util Sa_val Workloads

@@ -1,0 +1,1 @@
+lib/experiments/workloads.ml: Array Float Sa_core Sa_geom Sa_graph Sa_util Sa_val Sa_wireless

@@ -1,0 +1,1 @@
+lib/experiments/workloads.mli: Sa_core Sa_util Sa_val Sa_wireless

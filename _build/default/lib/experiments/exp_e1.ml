@@ -1,0 +1,61 @@
+module Prng = Sa_util.Prng
+module Stats = Sa_util.Stats
+module Table = Sa_util.Table
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+module Greedy = Sa_core.Greedy
+
+let run ?(seeds = 5) ?(quick = false) () =
+  print_endline "== E1: Algorithm 1 on the protocol model (Theorem 3) ==";
+  print_endline "   ratio = LP / welfare; bound = 8 sqrt(k) rho\n";
+  let ns = if quick then [ 20; 40 ] else [ 20; 40; 80 ] in
+  let ks = if quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let t =
+    Table.create
+      [ "n"; "k"; "rho"; "LP"; "alg1"; "alg1-adapt"; "greedy"; "ratio"; "ratio-ad"; "bound" ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun k ->
+          let rhos = ref [] and lps = ref [] in
+          let alg = ref [] and adapt = ref [] and greedy = ref [] in
+          let bound = ref 0.0 in
+          for s = 1 to seeds do
+            let inst =
+              Workloads.protocol_instance ~seed:((1000 * n) + (10 * k) + s) ~n ~k ()
+            in
+            let frac = Lp.solve_explicit inst in
+            let g = Prng.create ~seed:(s * 7919) in
+            let a1 = Rounding.solve ~trials:8 g inst frac in
+            let a2 = Rounding.solve_adaptive ~trials:4 g inst frac in
+            let gr = Greedy.by_value inst in
+            rhos := inst.Instance.rho :: !rhos;
+            lps := frac.Lp.objective :: !lps;
+            alg := Allocation.value inst a1 :: !alg;
+            adapt := Allocation.value inst a2 :: !adapt;
+            greedy := Allocation.value inst gr :: !greedy;
+            bound := Float.max !bound (Rounding.guarantee inst)
+          done;
+          let mean l = Stats.mean (Array.of_list l) in
+          let lp = mean !lps in
+          let ratio v = if v > 0.0 then lp /. v else Float.infinity in
+          Table.add_row t
+            [
+              Table.cell_i n;
+              Table.cell_i k;
+              Table.cell_f ~prec:1 (mean !rhos);
+              Table.cell_f ~prec:1 lp;
+              Table.cell_f ~prec:1 (mean !alg);
+              Table.cell_f ~prec:1 (mean !adapt);
+              Table.cell_f ~prec:1 (mean !greedy);
+              Table.cell_f ~prec:2 (ratio (mean !alg));
+              Table.cell_f ~prec:2 (ratio (mean !adapt));
+              Table.cell_f ~prec:1 !bound;
+            ])
+        ks;
+      Table.add_sep t)
+    ns;
+  Table.print t

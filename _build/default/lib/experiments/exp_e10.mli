@@ -1,0 +1,11 @@
+(** E10 — the Section-5 derandomization remark, quantified.
+
+    Compares, on small unweighted and edge-weighted instances: the mean and
+    best-of-R of the randomized rounding against the deterministic
+    pairwise-independence enumeration ({!Sa_core.Derand}), plus wall-clock
+    cost.  The claims under test: the deterministic value always clears the
+    Theorem-3 / Lemma-7+8 bound, and sits at or above the randomized mean —
+    the property the Lavi–Swamy decomposition needs from a deterministic
+    witness. *)
+
+val run : ?seeds:int -> ?quick:bool -> unit -> unit

@@ -1,0 +1,10 @@
+(** E11 — the operational market loop ("eBay in the Sky", §1).
+
+    Repeated short-term auctions with arrivals, waiting (urgency growth),
+    and abandonment.  Compares the LP-rounding allocator against greedy on
+    identical arrival processes across load levels, and reports the
+    truthful mechanism's revenue.  Claims probed: the LP allocator's
+    worst-case safety costs little (or wins) over the long run, and the
+    whole stack sustains a continuously running market. *)
+
+val run : ?seeds:int -> ?quick:bool -> unit -> unit

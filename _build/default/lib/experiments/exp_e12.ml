@@ -1,0 +1,81 @@
+module Prng = Sa_util.Prng
+module Stats = Sa_util.Stats
+module Table = Sa_util.Table
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+module Exact = Sa_core.Exact
+module Online = Sa_core.Online
+
+let run ?(seeds = 5) ?(quick = false) () =
+  print_endline "== E12: online arrival — irrevocable admission (rel. work [8]) ==";
+  print_endline "   fractions of the offline exact optimum, random arrival order\n";
+  let t =
+    Table.create
+      [
+        "family"; "opt"; "offline-lp-round"; "first-fit"; "threshold"; "adaptive";
+        "ff admitted";
+      ]
+  in
+  let families =
+    [
+      ( "protocol n=16 k=2 uniform",
+        fun s ->
+          Workloads.protocol_instance ~seed:(1200 + s) ~n:16 ~k:2
+            ~profile:Workloads.Xor_small () );
+      ( "protocol n=16 k=2 heavy-tail",
+        fun s ->
+          Workloads.protocol_instance ~seed:(1230 + s) ~n:16 ~k:2
+            ~profile:Workloads.Xor_heavy () );
+      ( "clique n=12 k=2 heavy-tail",
+        fun s ->
+          Workloads.clique_instance ~seed:(1260 + s) ~n:12 ~k:2
+            ~profile:Workloads.Xor_heavy () );
+    ]
+  in
+  let families = if quick then [ List.hd families ] else families in
+  List.iter
+    (fun (name, build) ->
+      let fracs = Array.make 4 [] in
+      let opts = ref [] and admitted = ref [] in
+      for s = 1 to seeds do
+        let inst = build s in
+        let n = Instance.n inst in
+        let g = Prng.create ~seed:(3000 + s) in
+        let order = Prng.permutation g n in
+        let e = Exact.solve ~node_limit:3_000_000 inst in
+        let opt = Float.max 1e-9 e.Exact.value in
+        opts := e.Exact.value :: !opts;
+        let frac = Lp.solve_explicit inst in
+        let offline = Rounding.solve_adaptive ~trials:4 g inst frac in
+        let ff = Online.first_fit inst ~order in
+        (* fixed threshold: half the mean standalone value *)
+        let theta =
+          0.5
+          *. Stats.mean
+               (Array.init n (fun v ->
+                    Sa_val.Valuation.max_value inst.Instance.bidders.(v)
+                      ~k:inst.Instance.k))
+        in
+        let th = Online.threshold inst ~order ~theta in
+        let ad = Online.adaptive_threshold inst ~order in
+        fracs.(0) <- (Allocation.value inst offline /. opt) :: fracs.(0);
+        fracs.(1) <- (ff.Online.value /. opt) :: fracs.(1);
+        fracs.(2) <- (th.Online.value /. opt) :: fracs.(2);
+        fracs.(3) <- (ad.Online.value /. opt) :: fracs.(3);
+        admitted := float_of_int ff.Online.admitted :: !admitted
+      done;
+      let mean l = Stats.mean (Array.of_list l) in
+      Table.add_row t
+        [
+          name;
+          Table.cell_f ~prec:1 (mean !opts);
+          Table.cell_f ~prec:3 (mean fracs.(0));
+          Table.cell_f ~prec:3 (mean fracs.(1));
+          Table.cell_f ~prec:3 (mean fracs.(2));
+          Table.cell_f ~prec:3 (mean fracs.(3));
+          Table.cell_f ~prec:1 (mean !admitted);
+        ])
+    families;
+  Table.print t

@@ -1,0 +1,11 @@
+(** E12 — online arrival (related work [8]): competitive ratio of
+    irrevocable admission rules.
+
+    Bidders arrive in random order; first-fit, fixed-threshold and
+    adaptive-threshold online rules are compared against the offline exact
+    optimum and the offline LP-rounding pipeline.  Claim probed: online
+    first-fit loses a modest constant factor on benign geometric instances
+    but can be badly fooled by value heterogeneity, which thresholds
+    mitigate. *)
+
+val run : ?seeds:int -> ?quick:bool -> unit -> unit

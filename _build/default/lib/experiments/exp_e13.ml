@@ -1,0 +1,93 @@
+module Prng = Sa_util.Prng
+module Stats = Sa_util.Stats
+module Table = Sa_util.Table
+module Placement = Sa_geom.Placement
+module Inductive = Sa_graph.Inductive
+module Link = Sa_wireless.Link
+module Sinr = Sa_wireless.Sinr
+module Sinr_graph = Sa_wireless.Sinr_graph
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+
+let base_params = { Sinr.alpha = 3.0; beta = 1.5; noise = 0.01 }
+
+(* Allocate under a margin-inflated deterministic model, evaluate under the
+   true beta with Rayleigh fading. *)
+let run_one ~seed ~n ~k ~margin ~trials =
+  let g = Prng.create ~seed in
+  let side = 8.0 *. sqrt (float_of_int n) in
+  let sys =
+    Link.of_point_pairs (Placement.random_links g ~n ~side ~min_len:0.5 ~max_len:2.0)
+  in
+  let design = { base_params with Sinr.beta = base_params.Sinr.beta *. margin } in
+  let powers = Sinr.powers sys design Sinr.Uniform in
+  let wg = Sinr_graph.prop11_graph sys design ~powers in
+  let pi = Sinr_graph.ordering sys in
+  let rho =
+    Float.max 1.0 (Inductive.rho_weighted ~node_limit:100_000 wg pi).Inductive.rho
+  in
+  let bidders =
+    Array.init n (fun _ ->
+        Sa_val.Gen.random_xor g ~k ~bids:2 ~max_bundle:1
+          ~dist:(Sa_val.Gen.Uniform (1.0, 10.0)))
+  in
+  let inst =
+    Instance.make ~conflict:(Instance.Edge_weighted wg) ~k ~bidders ~ordering:pi ~rho
+  in
+  let frac = Lp.solve_explicit inst in
+  let alloc = Rounding.solve_adaptive ~trials:4 g inst frac in
+  let welfare = Allocation.value inst alloc in
+  (* fading evaluation at the TRUE beta *)
+  let fade = ref [] in
+  for j = 0 to k - 1 do
+    let winners = Allocation.holders alloc ~k ~channel:j in
+    if winners <> [] then
+      List.iter
+        (fun i ->
+          fade :=
+            Sinr.rayleigh_success_probability g sys base_params ~powers ~active:winners
+              ~trials i
+            :: !fade)
+        winners
+  done;
+  let mean_success = if !fade = [] then 1.0 else Stats.mean (Array.of_list !fade) in
+  (welfare, mean_success)
+
+let run ?(seeds = 3) ?(quick = false) () =
+  print_endline "== E13: Rayleigh-fading robustness of deterministic allocations ==";
+  print_endline
+    "   allocate with SINR threshold margin*beta, evaluate fading at true beta\n";
+  let n = if quick then 16 else 24 in
+  let k = 2 in
+  let trials = if quick then 300 else 1000 in
+  let t =
+    Table.create [ "margin"; "welfare"; "mean link success %"; "welfare vs margin 1" ]
+  in
+  let margins = [ 1.0; 1.5; 2.0; 3.0; 5.0 ] in
+  let base_welfare = ref 0.0 in
+  List.iter
+    (fun margin ->
+      let welfares = ref [] and succs = ref [] in
+      for s = 1 to seeds do
+        let w, p = run_one ~seed:(5000 + s) ~n ~k ~margin ~trials in
+        welfares := w :: !welfares;
+        succs := p :: !succs
+      done;
+      let mean l = Stats.mean (Array.of_list l) in
+      let w = mean !welfares in
+      if margin = 1.0 then base_welfare := w;
+      Table.add_row t
+        [
+          Table.cell_f ~prec:1 margin;
+          Table.cell_f ~prec:1 w;
+          Table.cell_f ~prec:1 (100.0 *. mean !succs);
+          Table.cell_f ~prec:2 (w /. Float.max 1e-9 !base_welfare);
+        ])
+    margins;
+  Table.print t;
+  print_endline
+    "\n   Reading: at margin 1 the deterministic model's allocations lose a\n\
+    \   visible fraction of links to fading; inflating the design threshold\n\
+    \   buys reliability at a welfare cost — the knob an operator would tune."

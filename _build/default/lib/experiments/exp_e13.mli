@@ -1,0 +1,12 @@
+(** E13 — fading robustness: what the deterministic SINR abstraction costs.
+
+    The physical model of §4.2 treats channel gains as deterministic; real
+    channels fade.  This experiment takes allocations computed under the
+    deterministic model (Prop-11 conflict graph, fixed powers), then
+    evaluates each channel's winner set under Rayleigh fading by Monte
+    Carlo.  It sweeps an SINR margin: requiring the *deterministic* model
+    to clear [margin × β] before admitting a set buys fading robustness at
+    a welfare cost — the engineering trade-off the conflict-graph
+    abstraction hides. *)
+
+val run : ?seeds:int -> ?quick:bool -> unit -> unit

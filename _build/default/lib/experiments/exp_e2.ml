@@ -1,0 +1,75 @@
+module Prng = Sa_util.Prng
+module Stats = Sa_util.Stats
+module Table = Sa_util.Table
+module Sinr = Sa_wireless.Sinr
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+
+let scheme_name = function
+  | Sinr.Uniform -> "uniform"
+  | Sinr.Linear -> "linear"
+  | Sinr.Square_root -> "sqrt"
+  | Sinr.Given _ -> "given"
+
+let run ?(seeds = 5) ?(quick = false) () =
+  print_endline "== E2: Algorithms 2+3 on the physical model, fixed powers ==";
+  print_endline "   (Prop 11 weighted graphs; bound = 16 sqrt(k) rho log2 n)\n";
+  let ns = if quick then [ 16; 32 ] else [ 16; 32; 64 ] in
+  let k = 3 in
+  let t =
+    Table.create
+      [ "scheme"; "n"; "rho"; "LP"; "alg2 (partly)"; "alg3 (final)"; "adaptive"; "ratio"; "bound" ]
+  in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun n ->
+          let rhos = ref [] and lps = ref [] in
+          let partly = ref [] and final = ref [] and adapt = ref [] in
+          let bound = ref 0.0 in
+          for s = 1 to seeds do
+            let inst, _sys =
+              Workloads.sinr_fixed_instance ~seed:((100 * n) + s) ~n ~k ~scheme ()
+            in
+            let frac = Lp.solve_explicit inst in
+            let g = Prng.create ~seed:(s * 104729) in
+            (* best of 8 runs of Algorithm 2 -> 3, tracking both stages *)
+            let best_p = ref 0.0 and best_f = ref 0.0 in
+            for _ = 1 to 8 do
+              let p = Rounding.algorithm2 g inst frac in
+              let f = Rounding.algorithm3 inst p in
+              let pv = Allocation.value inst p and fv = Allocation.value inst f in
+              if fv > !best_f then begin
+                best_f := fv;
+                best_p := pv
+              end
+            done;
+            let a = Rounding.solve_adaptive ~trials:4 g inst frac in
+            rhos := inst.Instance.rho :: !rhos;
+            lps := frac.Lp.objective :: !lps;
+            partly := !best_p :: !partly;
+            final := !best_f :: !final;
+            adapt := Allocation.value inst a :: !adapt;
+            bound := Float.max !bound (Rounding.guarantee inst)
+          done;
+          let mean l = Stats.mean (Array.of_list l) in
+          let lp = mean !lps in
+          let fv = mean !adapt in
+          Table.add_row t
+            [
+              scheme_name scheme;
+              Table.cell_i n;
+              Table.cell_f ~prec:2 (mean !rhos);
+              Table.cell_f ~prec:1 lp;
+              Table.cell_f ~prec:1 (mean !partly);
+              Table.cell_f ~prec:1 (mean !final);
+              Table.cell_f ~prec:1 fv;
+              Table.cell_f ~prec:2 (if fv > 0.0 then lp /. fv else Float.infinity);
+              Table.cell_f ~prec:1 !bound;
+            ])
+        ns;
+      Table.add_sep t)
+    [ Sinr.Uniform; Sinr.Linear ];
+  Table.print t

@@ -1,0 +1,10 @@
+(** E2 — Lemmas 7+8: Algorithms 2+3 on edge-weighted conflict graphs
+    (physical model with fixed powers, Proposition 11 weights).
+
+    Sweeps n for uniform and linear power schemes; reports ρ(π) of the
+    weighted graph, LP optimum, the partly feasible value after Algorithm 2,
+    the final value after Algorithm 3, the number of log-n candidates the
+    decomposition actually needed, and the theoretical factor
+    16√k·ρ·log₂ n. *)
+
+val run : ?seeds:int -> ?quick:bool -> unit -> unit

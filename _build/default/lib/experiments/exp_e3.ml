@@ -1,0 +1,106 @@
+module Prng = Sa_util.Prng
+module Stats = Sa_util.Stats
+module Table = Sa_util.Table
+module Placement = Sa_geom.Placement
+module Graph = Sa_graph.Graph
+module Ordering = Sa_graph.Ordering
+module Inductive = Sa_graph.Inductive
+module Link = Sa_wireless.Link
+module Protocol = Sa_wireless.Protocol
+module Disk = Sa_wireless.Disk
+module Civilized = Sa_wireless.Civilized
+
+let side_for n = 4.0 *. sqrt (float_of_int n)
+
+let links ~seed ~n =
+  let g = Prng.create ~seed in
+  Link.of_point_pairs
+    (Placement.random_links g ~n ~side:(side_for n) ~min_len:0.5 ~max_len:1.5)
+
+(* Each row: model name, theoretical bound, and a builder producing
+   (conflict graph, ordering) from a seed and n. *)
+let models ~n =
+  [
+    ( "protocol d=0.5",
+      float_of_int (Protocol.rho_bound ~delta:0.5),
+      fun seed ->
+        let sys = links ~seed ~n in
+        (Protocol.conflict_graph sys ~delta:0.5, Protocol.ordering sys) );
+    ( "protocol d=1",
+      float_of_int (Protocol.rho_bound ~delta:1.0),
+      fun seed ->
+        let sys = links ~seed ~n in
+        (Protocol.conflict_graph sys ~delta:1.0, Protocol.ordering sys) );
+    ( "protocol d=2",
+      float_of_int (Protocol.rho_bound ~delta:2.0),
+      fun seed ->
+        let sys = links ~seed ~n in
+        (Protocol.conflict_graph sys ~delta:2.0, Protocol.ordering sys) );
+    ( "802.11 d=1",
+      float_of_int Protocol.rho_bound_80211,
+      fun seed ->
+        let sys = links ~seed ~n in
+        (Protocol.conflict_graph_80211 sys ~delta:1.0, Protocol.ordering sys) );
+    ( "disk graph",
+      float_of_int Disk.rho_bound,
+      fun seed ->
+        let g = Prng.create ~seed in
+        let d = Disk.random g ~n ~side:(side_for n) ~rmin:0.5 ~rmax:1.5 in
+        (Disk.conflict_graph d, Disk.ordering d) );
+    ( "dist-2 coloring",
+      Float.nan (* O(1); no explicit constant in the paper *),
+      fun seed ->
+        let g = Prng.create ~seed in
+        let d = Disk.random g ~n ~side:(side_for n) ~rmin:0.5 ~rmax:1.5 in
+        (Disk.distance2_coloring_graph d, Disk.ordering d) );
+    ( "dist-2 matching",
+      Float.nan (* O(1), Cor 10 *),
+      fun seed ->
+        let g = Prng.create ~seed in
+        let d = Disk.random g ~n:(max 8 (n / 2)) ~side:(side_for (max 8 (n / 2)))
+            ~rmin:0.8 ~rmax:1.5 in
+        let mg, pi, _ = Disk.distance2_matching d in
+        (mg, pi) );
+    ( "civilized r/s=2",
+      Civilized.rho_bound ~r:2.0 ~s:1.0,
+      fun seed ->
+        let g = Prng.create ~seed in
+        let c = Civilized.random g ~n ~side:(side_for n) ~r:2.0 ~s:1.0 ~edge_prob:0.9 in
+        let g2 = Civilized.distance2_coloring_graph c in
+        (* Prop 18 holds for any ordering; use a random one. *)
+        let rng = Prng.create ~seed:(seed + 1) in
+        (g2, Ordering.of_order (Prng.permutation rng (Graph.n g2))) );
+  ]
+
+let run ?(seeds = 5) ?(quick = false) () =
+  print_endline "== E3: inductive independence per interference model ==";
+  print_endline "   (measured rho(pi) vs the paper's bound; '-' = O(1), no constant given)\n";
+  let ns = if quick then [ 30 ] else [ 30; 60 ] in
+  let t = Table.create [ "model"; "n"; "rho mean"; "rho max"; "bound"; "within" ] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (name, bound, build) ->
+          let measured = ref [] in
+          for s = 1 to seeds do
+            let graph, pi = build ((31 * n) + s) in
+            let e = Inductive.rho_unweighted ~node_limit:500_000 graph pi in
+            measured := e.Inductive.rho :: !measured
+          done;
+          let arr = Array.of_list !measured in
+          let worst = Array.fold_left Float.max 0.0 arr in
+          Table.add_row t
+            [
+              name;
+              Table.cell_i n;
+              Table.cell_f ~prec:1 (Stats.mean arr);
+              Table.cell_f ~prec:0 worst;
+              (if Float.is_nan bound then "-" else Table.cell_f ~prec:0 bound);
+              (if Float.is_nan bound then "O(1)"
+               else if worst <= bound +. 1e-9 then "yes"
+               else "NO");
+            ])
+        (models ~n);
+      Table.add_sep t)
+    ns;
+  Table.print t

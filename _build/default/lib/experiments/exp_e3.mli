@@ -1,0 +1,9 @@
+(** E3 — ρ bounds per graph class (Prop 9, 15, 17, 18; Cor 10; §4.1).
+
+    For each binary interference model, measures ρ(π) under the model's
+    prescribed ordering across random instances and compares with the
+    theoretical bound.  The claim under test: measured ρ(π) never exceeds
+    the bound and is typically much smaller — the structural fact the whole
+    LP approach rests on. *)
+
+val run : ?seeds:int -> ?quick:bool -> unit -> unit

@@ -1,0 +1,9 @@
+(** E4 — Proposition 11: ρ(π) of the SINR weighted conflict graph grows like
+    O(log n) for monotone power schemes under the decreasing-length ordering.
+
+    Sweeps n geometrically and reports measured ρ(π) per scheme, plus the
+    ratio ρ / log₂ n — the shape claim is that this ratio stays bounded as
+    n grows.  (Estimates are exact B&B where the budget allows; otherwise
+    greedy lower bounds, flagged in the output.) *)
+
+val run : ?seeds:int -> ?quick:bool -> unit -> unit

@@ -1,0 +1,66 @@
+module Prng = Sa_util.Prng
+module Stats = Sa_util.Stats
+module Table = Sa_util.Table
+module Sinr_graph = Sa_wireless.Sinr_graph
+module Power_control = Sa_wireless.Power_control
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+
+let run ?(seeds = 4) ?(quick = false) () =
+  print_endline "== E5: Theorem 13 pipeline — rounding + power control ==";
+  print_endline "   (weight-scale ablation; 1/tau is the paper's worst-case scale)\n";
+  let n = if quick then 20 else 30 in
+  let k = 3 in
+  let inv_tau = 1.0 /. Sinr_graph.tau Workloads.sinr_default_params in
+  let scales = [ 1.0; 2.0; 4.0; 8.0; 32.0; inv_tau ] in
+  let t =
+    Table.create
+      [ "scale"; "rho"; "LP"; "welfare"; "winners"; "pc success"; "channels tested" ]
+  in
+  List.iter
+    (fun weight_scale ->
+      let rhos = ref [] and lps = ref [] and welfare = ref [] in
+      let winners = ref [] in
+      let pc_ok = ref 0 and pc_total = ref 0 in
+      for s = 1 to seeds do
+        let inst, sys, prm =
+          Workloads.sinr_powercontrol_instance ~seed:(4000 + s) ~n ~k ~weight_scale ()
+        in
+        let frac = Lp.solve_explicit inst in
+        let g = Prng.create ~seed:(s * 31) in
+        let alloc = Rounding.solve_adaptive ~trials:6 g inst frac in
+        rhos := inst.Instance.rho :: !rhos;
+        lps := frac.Lp.objective :: !lps;
+        welfare := Allocation.value inst alloc :: !welfare;
+        winners := float_of_int (List.length (Allocation.allocated_bidders alloc)) :: !winners;
+        for j = 0 to k - 1 do
+          let holders = Allocation.holders alloc ~k ~channel:j in
+          if holders <> [] then begin
+            incr pc_total;
+            let r = Power_control.assign sys prm holders in
+            if r.Power_control.feasible then incr pc_ok
+          end
+        done
+      done;
+      let mean l = Stats.mean (Array.of_list l) in
+      Table.add_row t
+        [
+          (if Float.abs (weight_scale -. inv_tau) < 1e-9 then
+             Printf.sprintf "%.0f (=1/tau)" weight_scale
+           else Table.cell_f ~prec:0 weight_scale);
+          Table.cell_f ~prec:2 (mean !rhos);
+          Table.cell_f ~prec:1 (mean !lps);
+          Table.cell_f ~prec:1 (mean !welfare);
+          Table.cell_f ~prec:1 (mean !winners);
+          (if !pc_total = 0 then "n/a"
+           else Printf.sprintf "%d/%d" !pc_ok !pc_total);
+          Table.cell_i !pc_total;
+        ])
+    scales;
+  Table.print t;
+  print_endline
+    "\n   Reading: at the paper's 1/tau scale the winner sets are small but\n\
+    \   power control always succeeds; milder scales allocate far more while\n\
+    \   the success rate shows when the guarantee starts to erode."

@@ -1,0 +1,12 @@
+(** E5 — Theorem 13: the full power-control pipeline, and the τ ablation.
+
+    Stage 1 allocates channels by rounding the LP over the τ-weighted
+    conflict graph; stage 2 runs the Kesselheim power-control procedure per
+    channel.  The paper's τ is a worst-case constant (1/τ ≈ hundreds); this
+    experiment sweeps the weight scale from 1 up to the paper's 1/τ and
+    reports, per scale: welfare, the per-channel SINR success rate of power
+    control, and ρ(π).  The claims under test: at the paper's scale power
+    control NEVER fails; milder scales trade a small failure risk for much
+    higher welfare. *)
+
+val run : ?seeds:int -> ?quick:bool -> unit -> unit

@@ -1,0 +1,9 @@
+(** E6 — Section 5: the Lavi–Swamy mechanism.
+
+    On small competitive instances (clique and sparse conflicts): runs the
+    full mechanism, verifies the decomposition identity Σλ·χ = x*/α exactly,
+    audits truthfulness (max expected-utility gain over a grid of scaling
+    misreports per bidder), checks individual rationality, and compares
+    expected welfare and revenue against exact VCG. *)
+
+val run : ?seeds:int -> ?quick:bool -> unit -> unit

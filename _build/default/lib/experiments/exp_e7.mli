@@ -1,0 +1,10 @@
+(** E7/E10 — Section 6 + Theorem 14: asymmetric channels.
+
+    Runs the Section-6 rounding (scaling 1/2kρ) on the Theorem-14
+    edge-splitting construction, where welfare exactly counts bidders who
+    win the full channel bundle, i.e. independent-set size in the base
+    graph.  Reports LP, rounded welfare, exact optimum (small n), the
+    empirical ratio, and the theoretical factor 4kρ — probing how the
+    k-dependence degrades from √k (symmetric) to k (asymmetric). *)
+
+val run : ?seeds:int -> ?quick:bool -> unit -> unit

@@ -1,0 +1,15 @@
+(** E8 — §2.1: the edge-based LP versus the ρ-based LP, and algorithm
+    comparison.
+
+    Part 1 (integrality gap): on cliques, the edge LP's value is n/2 while
+    the true optimum is 1; the ρ-LP stays ≤ 2.  Sweeps n.
+
+    Part 2 (who wins where): across instance families, compares greedy
+    (value & density), LP-guided greedy, Algorithm 1 (canonical and
+    adaptive) and the exact optimum — reporting each method's welfare as a
+    fraction of optimum.  Expected shape: greedy is strong on benign
+    geometric instances but has no guarantee; the LP-based methods track
+    the optimum more uniformly and dominate on adversarial (clique-with-
+    outliers, Theorem-14) instances. *)
+
+val run : ?seeds:int -> ?quick:bool -> unit -> unit

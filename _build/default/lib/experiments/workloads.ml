@@ -1,0 +1,149 @@
+module Prng = Sa_util.Prng
+module Placement = Sa_geom.Placement
+module Inductive = Sa_graph.Inductive
+module Vgen = Sa_val.Gen
+module Link = Sa_wireless.Link
+module Protocol = Sa_wireless.Protocol
+module Disk = Sa_wireless.Disk
+module Sinr = Sa_wireless.Sinr
+module Sinr_graph = Sa_wireless.Sinr_graph
+module Instance = Sa_core.Instance
+
+type bid_profile = Xor_small | Xor_heavy | Mixed
+
+let bidders g ~n ~k ~profile =
+  match profile with
+  | Xor_small ->
+      Array.init n (fun _ ->
+          Vgen.random_xor g ~k ~bids:3 ~max_bundle:(min 2 k)
+            ~dist:(Vgen.Uniform (1.0, 10.0)))
+  | Xor_heavy ->
+      Array.init n (fun _ ->
+          Vgen.random_xor g ~k ~bids:4 ~max_bundle:(min 4 k)
+            ~dist:(Vgen.Pareto { alpha = 1.8; xmin = 1.0 }))
+  | Mixed ->
+      Array.init n (fun _ -> Vgen.random_mixed g ~k ~dist:(Vgen.Uniform (1.0, 10.0)))
+
+let rate_based_bidders g ~sys ~k ~prm =
+  Sinr.validate_params prm;
+  Array.init (Link.n sys) (fun i ->
+      let d = Link.length sys i in
+      let snr =
+        let noise = Float.max prm.Sinr.noise 1e-6 in
+        1.0 /. (d ** prm.Sinr.alpha) /. noise
+      in
+      let rate = Sa_util.Floats.log2 (1.0 +. snr) in
+      let demand = Prng.uniform_in g 0.5 2.0 in
+      (* concave aggregation: m channels give rate * (1 + 1/2 + ... + 1/m) *)
+      let f = Array.make (k + 1) 0.0 in
+      for m = 1 to k do
+        f.(m) <- f.(m - 1) +. (demand *. rate /. float_of_int m)
+      done;
+      Sa_val.Valuation.Symmetric f)
+
+(* Side length grows with sqrt n so spatial density (and hence conflict
+   degree) stays roughly constant across the n sweep. *)
+let side_for n = 4.0 *. sqrt (float_of_int n)
+
+let sinr_default_params = { Sinr.alpha = 3.0; beta = 1.5; noise = 0.0 }
+
+let measured_rho_unweighted graph pi =
+  Float.max 1.0 (Inductive.rho_unweighted ~node_limit:500_000 graph pi).Inductive.rho
+
+let protocol_instance ~seed ~n ~k ?(delta = 1.0) ?(profile = Xor_small) () =
+  let g = Prng.create ~seed in
+  let pairs = Placement.random_links g ~n ~side:(side_for n) ~min_len:0.5 ~max_len:1.5 in
+  let sys = Link.of_point_pairs pairs in
+  let graph = Protocol.conflict_graph sys ~delta in
+  let pi = Protocol.ordering sys in
+  let rho = measured_rho_unweighted graph pi in
+  Instance.make ~conflict:(Instance.Unweighted graph) ~k
+    ~bidders:(bidders g ~n ~k ~profile) ~ordering:pi ~rho
+
+let disk_instance ~seed ~n ~k ?(profile = Xor_small) () =
+  let g = Prng.create ~seed in
+  let disks = Disk.random g ~n ~side:(side_for n) ~rmin:0.5 ~rmax:1.5 in
+  let graph = Disk.conflict_graph disks in
+  let pi = Disk.ordering disks in
+  let rho = measured_rho_unweighted graph pi in
+  Instance.make ~conflict:(Instance.Unweighted graph) ~k
+    ~bidders:(bidders g ~n ~k ~profile) ~ordering:pi ~rho
+
+let sinr_fixed_instance ~seed ~n ~k ~scheme ?(profile = Xor_small) () =
+  let g = Prng.create ~seed in
+  let pairs =
+    Placement.random_links g ~n ~side:(2.0 *. side_for n) ~min_len:0.5 ~max_len:2.0
+  in
+  let sys = Link.of_point_pairs pairs in
+  let prm = { sinr_default_params with Sinr.noise = 0.01 } in
+  let powers = Sinr.powers sys prm scheme in
+  let wg = Sinr_graph.prop11_graph sys prm ~powers in
+  let pi = Sinr_graph.ordering sys in
+  let rho =
+    Float.max 1.0 (Inductive.rho_weighted ~node_limit:200_000 wg pi).Inductive.rho
+  in
+  let inst =
+    Instance.make ~conflict:(Instance.Edge_weighted wg) ~k
+      ~bidders:(bidders g ~n ~k ~profile) ~ordering:pi ~rho
+  in
+  (inst, sys)
+
+let sinr_powercontrol_instance ~seed ~n ~k ~weight_scale ?(profile = Xor_small) () =
+  let g = Prng.create ~seed in
+  let pairs =
+    Placement.random_links g ~n ~side:(2.0 *. side_for n) ~min_len:0.5 ~max_len:2.0
+  in
+  let sys = Link.of_point_pairs pairs in
+  let prm = sinr_default_params in
+  let wg = Sinr_graph.thm13_graph ~weight_scale sys prm in
+  let pi = Sinr_graph.ordering sys in
+  let rho =
+    Float.max 1.0 (Inductive.rho_weighted ~node_limit:200_000 wg pi).Inductive.rho
+  in
+  let inst =
+    Instance.make ~conflict:(Instance.Edge_weighted wg) ~k
+      ~bidders:(bidders g ~n ~k ~profile) ~ordering:pi ~rho
+  in
+  (inst, sys, prm)
+
+let asymmetric_instance ~seed ~n ~k ~d =
+  let g = Prng.create ~seed in
+  let base = Sa_graph.Generators.random_bounded_degree g ~n ~d in
+  let inst, _ = Sa_core.Hardness.theorem14_instance base ~k in
+  inst
+
+let asymmetric_weighted_instance ~seed ~n ~k ?(profile = Xor_small) () =
+  let g = Prng.create ~seed in
+  let pairs =
+    Placement.random_links g ~n ~side:(2.0 *. side_for n) ~min_len:0.5 ~max_len:2.0
+  in
+  let sys = Link.of_point_pairs pairs in
+  (* Channel j models a different frequency band: lower channels propagate
+     further (smaller path-loss exponent), so each channel gets its own
+     Prop-11 weighted conflict graph. *)
+  let graphs =
+    Array.init k (fun j ->
+        let alpha = 2.5 +. (0.5 *. float_of_int j) in
+        let prm = { Sinr.alpha; beta = 1.5; noise = 0.01 } in
+        let powers = Sinr.powers sys prm Sinr.Uniform in
+        Sinr_graph.prop11_graph sys prm ~powers)
+  in
+  let pi = Sinr_graph.ordering sys in
+  let rho =
+    Array.fold_left
+      (fun acc wg ->
+        Float.max acc (Inductive.rho_weighted ~node_limit:100_000 wg pi).Inductive.rho)
+      1.0 graphs
+  in
+  let inst =
+    Instance.make ~conflict:(Instance.Per_channel_weighted graphs) ~k
+      ~bidders:(bidders g ~n ~k ~profile) ~ordering:pi ~rho
+  in
+  (inst, sys)
+
+let clique_instance ~seed ~n ~k ?(profile = Xor_small) () =
+  let g = Prng.create ~seed in
+  let graph = Sa_graph.Graph.clique n in
+  Instance.make ~conflict:(Instance.Unweighted graph) ~k
+    ~bidders:(bidders g ~n ~k ~profile)
+    ~ordering:(Sa_graph.Ordering.identity n) ~rho:1.0

@@ -1,0 +1,73 @@
+(** Shared synthetic workload builders for the experiment suite (E1–E10).
+
+    Every builder is deterministic in its [seed]; experiments report means
+    over several seeds.  See DESIGN.md §3 for the experiment index. *)
+
+type bid_profile =
+  | Xor_small  (** 3 XOR bids on bundles of ≤ 2 channels, Uniform(1,10) *)
+  | Xor_heavy  (** 4 XOR bids on bundles of ≤ 4 channels, Pareto values *)
+  | Mixed  (** random mix of the four bidding languages *)
+
+val bidders :
+  Sa_util.Prng.t -> n:int -> k:int -> profile:bid_profile -> Sa_val.Valuation.t array
+
+val rate_based_bidders :
+  Sa_util.Prng.t ->
+  sys:Sa_wireless.Link.system ->
+  k:int ->
+  prm:Sa_wireless.Sinr.params ->
+  Sa_val.Valuation.t array
+(** Geometry-aware valuations (§1: values depend on "locations … and
+    interference conditions"): a link's per-channel value is the Shannon-
+    style achievable rate [log2(1 + SNR)] of the link alone under uniform
+    power — short links are worth more — times a random per-bidder traffic
+    demand; expressed as a concave [Symmetric] valuation over the number of
+    channels (channel aggregation with diminishing returns). *)
+
+val protocol_instance :
+  seed:int -> n:int -> k:int -> ?delta:float -> ?profile:bid_profile -> unit ->
+  Sa_core.Instance.t
+(** Links uniform in a square scaled so conflict density stays moderate as
+    [n] grows; protocol-model conflict graph, length ordering, ρ set to the
+    *measured* ρ(π) (the LP is tighter and the guarantee still valid). *)
+
+val disk_instance :
+  seed:int -> n:int -> k:int -> ?profile:bid_profile -> unit -> Sa_core.Instance.t
+
+val sinr_fixed_instance :
+  seed:int ->
+  n:int ->
+  k:int ->
+  scheme:Sa_wireless.Sinr.power_scheme ->
+  ?profile:bid_profile ->
+  unit ->
+  Sa_core.Instance.t * Sa_wireless.Link.system
+(** Edge-weighted instance from the Proposition-11 graph (fixed powers). *)
+
+val sinr_powercontrol_instance :
+  seed:int ->
+  n:int ->
+  k:int ->
+  weight_scale:float ->
+  ?profile:bid_profile ->
+  unit ->
+  Sa_core.Instance.t * Sa_wireless.Link.system * Sa_wireless.Sinr.params
+(** Edge-weighted instance from the Theorem-13 graph at the given scale. *)
+
+val asymmetric_instance :
+  seed:int -> n:int -> k:int -> d:int -> Sa_core.Instance.t
+(** Theorem-14 construction over a random degree-≤d graph. *)
+
+val asymmetric_weighted_instance :
+  seed:int -> n:int -> k:int -> ?profile:bid_profile -> unit ->
+  Sa_core.Instance.t * Sa_wireless.Link.system
+(** Section 6 in full generality: per-channel *edge-weighted* conflict
+    graphs — each channel is a different frequency band with its own
+    path-loss exponent, hence its own Prop-11 SINR graph. *)
+
+val clique_instance :
+  seed:int -> n:int -> k:int -> ?profile:bid_profile -> unit -> Sa_core.Instance.t
+(** Regular combinatorial auction (clique conflicts, ρ = 1). *)
+
+val sinr_default_params : Sa_wireless.Sinr.params
+(** α = 3, β = 1.5, ν = 0 — used by all SINR experiments. *)

@@ -1,0 +1,1 @@
+lib/geometry/metric.mli: Point

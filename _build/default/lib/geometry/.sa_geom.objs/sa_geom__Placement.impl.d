@@ -1,0 +1,1 @@
+lib/geometry/placement.ml: Array Float Point Sa_util

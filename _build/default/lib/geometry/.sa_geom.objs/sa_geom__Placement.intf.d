@@ -1,0 +1,1 @@
+lib/geometry/placement.mli: Point Sa_util

@@ -1,0 +1,54 @@
+type t =
+  | Euclidean of Point.t array
+  | Matrix of float array array
+
+let size = function
+  | Euclidean pts -> Array.length pts
+  | Matrix m -> Array.length m
+
+let dist t i j =
+  match t with
+  | Euclidean pts -> Point.dist pts.(i) pts.(j)
+  | Matrix m -> m.(i).(j)
+
+let of_points pts = Euclidean (Array.copy pts)
+
+let of_matrix m =
+  let n = Array.length m in
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Metric.of_matrix: not square")
+    m;
+  for i = 0 to n - 1 do
+    if Float.abs m.(i).(i) > 1e-9 then invalid_arg "Metric.of_matrix: non-zero diagonal";
+    for j = i + 1 to n - 1 do
+      if Float.abs (m.(i).(j) -. m.(j).(i)) > 1e-9 then
+        invalid_arg "Metric.of_matrix: not symmetric";
+      if m.(i).(j) <= 0.0 then invalid_arg "Metric.of_matrix: non-positive distance"
+    done
+  done;
+  Matrix (Array.map Array.copy m)
+
+let points = function Euclidean pts -> Some (Array.copy pts) | Matrix _ -> None
+
+let check_triangle t =
+  let n = size t in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      for l = 0 to n - 1 do
+        if dist t i j > dist t i l +. dist t l j +. 1e-9 then ok := false
+      done
+    done
+  done;
+  !ok
+
+let star_metric n ~arm =
+  if arm <= 0.0 then invalid_arg "Metric.star_metric: arm must be positive";
+  let m =
+    Array.init n (fun i -> Array.init n (fun j -> if i = j then 0.0 else 2.0 *. arm))
+  in
+  Matrix m
+
+let uniform_metric n ~d =
+  if d <= 0.0 then invalid_arg "Metric.uniform_metric: d must be positive";
+  Matrix (Array.init n (fun i -> Array.init n (fun j -> if i = j then 0.0 else d)))

@@ -1,0 +1,38 @@
+(** Finite metric spaces over indexed nodes.
+
+    The physical (SINR) model of Section 4.2 places nodes "in a metric
+    space"; Theorem 13 distinguishes *fading* (bounded doubling dimension,
+    e.g. the Euclidean plane) from *general* metrics.  A value of type [t]
+    gives distances between the [size] nodes of an instance. *)
+
+type t
+
+val size : t -> int
+(** Number of points. *)
+
+val dist : t -> int -> int -> float
+(** [dist m i j] — symmetric, non-negative, zero iff [i = j] for the
+    constructors in this module. *)
+
+val of_points : Point.t array -> t
+(** Euclidean plane metric over explicit points (a fading metric). *)
+
+val of_matrix : float array array -> t
+(** Explicit distance matrix.  Raises [Invalid_argument] if the matrix is not
+    square, symmetric (up to 1e-9), with zero diagonal and positive
+    off-diagonal entries.  Triangle inequality is checked only by
+    {!check_triangle}. *)
+
+val points : t -> Point.t array option
+(** Underlying points when the metric came from {!of_points}. *)
+
+val check_triangle : t -> bool
+(** Exhaustive O(n^3) triangle-inequality check (tests only). *)
+
+val star_metric : int -> arm:float -> t
+(** A general (non-fading) metric: [n] leaves at pairwise distance [2*arm],
+    i.e. a star with arm length [arm].  Used to exercise the "general
+    metrics" branch of Theorem 13. *)
+
+val uniform_metric : int -> d:float -> t
+(** All pairwise distances equal to [d] — the extreme non-fading case. *)

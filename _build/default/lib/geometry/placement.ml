@@ -1,0 +1,50 @@
+module Prng = Sa_util.Prng
+
+let uniform g ~n ~side =
+  Array.init n (fun _ -> Point.make (Prng.float g side) (Prng.float g side))
+
+let clamp_to side (p : Point.t) =
+  Point.make
+    (Sa_util.Floats.clamp ~lo:0.0 ~hi:side p.Point.x)
+    (Sa_util.Floats.clamp ~lo:0.0 ~hi:side p.Point.y)
+
+let clustered g ~n ~side ~clusters ~spread =
+  if clusters <= 0 then invalid_arg "Placement.clustered: clusters must be positive";
+  let centres = uniform g ~n:clusters ~side in
+  Array.init n (fun _ ->
+      let c = Prng.choose g centres in
+      let p =
+        Point.make
+          (Prng.gaussian g ~mean:c.Point.x ~stddev:spread)
+          (Prng.gaussian g ~mean:c.Point.y ~stddev:spread)
+      in
+      clamp_to side p)
+
+let grid ~n ~side =
+  let cols = int_of_float (Float.ceil (sqrt (float_of_int n))) in
+  let step = side /. float_of_int (max 1 (cols - 1)) in
+  Array.init n (fun i ->
+      let row = i / cols and col = i mod cols in
+      Point.make (float_of_int col *. step) (float_of_int row *. step))
+
+let random_links g ~n ~side ~min_len ~max_len =
+  if min_len <= 0.0 || max_len < min_len then
+    invalid_arg "Placement.random_links: need 0 < min_len <= max_len";
+  Array.init n (fun _ ->
+      let sender = Point.make (Prng.float g side) (Prng.float g side) in
+      let len = Prng.uniform_in g min_len max_len in
+      let theta = Prng.float g (2.0 *. Float.pi) in
+      let receiver =
+        clamp_to side
+          (Point.translate sender ~dx:(len *. cos theta) ~dy:(len *. sin theta))
+      in
+      (* Clamping can shrink a link to zero length when the sender sits in a
+         corner; nudge the receiver back inside in that case. *)
+      let receiver =
+        if Point.dist sender receiver < min_len /. 2.0 then
+          Point.translate sender
+            ~dx:(if sender.Point.x < side /. 2.0 then len else -.len)
+            ~dy:0.0
+        else receiver
+      in
+      (sender, receiver))

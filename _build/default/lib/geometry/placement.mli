@@ -1,0 +1,38 @@
+(** Random node placements for synthetic scenarios.
+
+    The paper has no data sets; all experiments place secondary users
+    synthetically.  Three standard spatial processes are provided:
+    uniform (Poisson-like), clustered (Matérn-like "hot spots", modelling
+    urban demand concentration), and grid (worst-case regular density). *)
+
+val uniform : Sa_util.Prng.t -> n:int -> side:float -> Point.t array
+(** [uniform g ~n ~side] draws [n] points i.i.d. uniform on
+    [\[0,side\] x \[0,side\]]. *)
+
+val clustered :
+  Sa_util.Prng.t ->
+  n:int ->
+  side:float ->
+  clusters:int ->
+  spread:float ->
+  Point.t array
+(** [clustered g ~n ~side ~clusters ~spread] draws [clusters] uniform cluster
+    centres, then places each of the [n] points at a Gaussian offset
+    (stddev [spread]) from a uniformly chosen centre, clamped to the square. *)
+
+val grid : n:int -> side:float -> Point.t array
+(** [grid ~n ~side] places points on the smallest [ceil(sqrt n)]² lattice
+    covering the square, returning the first [n]. *)
+
+val random_links :
+  Sa_util.Prng.t ->
+  n:int ->
+  side:float ->
+  min_len:float ->
+  max_len:float ->
+  (Point.t * Point.t) array
+(** [random_links g ~n ~side ~min_len ~max_len] draws [n] sender/receiver
+    pairs: the sender uniform in the square, the receiver at a uniform
+    distance in [\[min_len, max_len\]] and uniform angle (clamped into the
+    square).  Link lengths therefore span the full range, which matters for
+    the length-ordering arguments of Section 4.2. *)

@@ -1,0 +1,16 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+let origin = { x = 0.0; y = 0.0 }
+
+let dist_sq a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let dist a b = sqrt (dist_sq a b)
+
+let midpoint a b = { x = (a.x +. b.x) /. 2.0; y = (a.y +. b.y) /. 2.0 }
+let angle_from center p = atan2 (p.y -. center.y) (p.x -. center.x)
+let translate p ~dx ~dy = { x = p.x +. dx; y = p.y +. dy }
+
+let pp fmt p = Format.fprintf fmt "(%.3f, %.3f)" p.x p.y

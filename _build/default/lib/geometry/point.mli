@@ -1,0 +1,26 @@
+(** Points in the Euclidean plane.
+
+    The binary interference models of Section 4 (protocol model, disk graphs,
+    distance-2 variants) all place network nodes at planar points. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+val origin : t
+
+val dist : t -> t -> float
+(** Euclidean distance. *)
+
+val dist_sq : t -> t -> float
+(** Squared distance (avoids the square root in comparisons). *)
+
+val midpoint : t -> t -> t
+
+val angle_from : t -> t -> float
+(** [angle_from center p] is the polar angle of [p] seen from [center],
+    in [(-pi, pi]]. *)
+
+val translate : t -> dx:float -> dy:float -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["(x, y)"] with 3 decimals. *)

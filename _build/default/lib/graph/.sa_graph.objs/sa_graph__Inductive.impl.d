@@ -1,0 +1,1 @@
+lib/graph/inductive.ml: Array Fun Graph Indep List Ordering Sa_util Weighted

@@ -1,0 +1,1 @@
+lib/graph/inductive.mli: Graph Ordering Weighted

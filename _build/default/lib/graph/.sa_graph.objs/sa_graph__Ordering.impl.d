@@ -1,0 +1,1 @@
+lib/graph/ordering.ml: Array Format Graph List

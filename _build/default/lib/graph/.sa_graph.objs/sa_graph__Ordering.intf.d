@@ -1,0 +1,1 @@
+lib/graph/ordering.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/graph/weighted.ml: Array Format Graph List

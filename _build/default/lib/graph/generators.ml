@@ -1,0 +1,46 @@
+module Prng = Sa_util.Prng
+
+let gnp g ~n ~p =
+  let graph = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.bernoulli g p then Graph.add_edge graph u v
+    done
+  done;
+  graph
+
+let random_bounded_degree g ~n ~d =
+  if d < 0 then invalid_arg "Generators.random_bounded_degree: negative degree";
+  let graph = Graph.create n in
+  let attempts = n * d * 4 in
+  for _ = 1 to attempts do
+    if n >= 2 then begin
+      let u = Prng.int g n and v = Prng.int g n in
+      if u <> v
+         && (not (Graph.mem_edge graph u v))
+         && Graph.degree graph u < d
+         && Graph.degree graph v < d
+      then Graph.add_edge graph u v
+    end
+  done;
+  graph
+
+let random_weighted g ~n ~density ~scale =
+  let wg = Weighted.create n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Prng.bernoulli g density then
+        Weighted.set wg u v (Prng.float g scale)
+    done
+  done;
+  wg
+
+let split_for_asymmetric_channels graph pi ~k =
+  if k <= 0 then invalid_arg "Generators.split_for_asymmetric_channels: k <= 0";
+  let n = Graph.n graph in
+  let parts = Array.init k (fun _ -> Graph.create n) in
+  for v = 0 to n - 1 do
+    let backward = Ordering.backward_neighbors pi graph v in
+    List.iteri (fun i u -> Graph.add_edge parts.(i mod k) u v) backward
+  done;
+  parts

@@ -1,0 +1,26 @@
+(** Random and structured conflict-graph generators.
+
+    Besides the wireless models (built in [Sa_wireless] from geometry), the
+    experiments need abstract graph families: G(n,p), bounded-degree graphs
+    (the hardness reductions of Theorems 5 and 14 start from these), and the
+    Theorem-14 edge-splitting construction for asymmetric channels. *)
+
+val gnp : Sa_util.Prng.t -> n:int -> p:float -> Graph.t
+(** Erdős–Rényi G(n,p). *)
+
+val random_bounded_degree : Sa_util.Prng.t -> n:int -> d:int -> Graph.t
+(** Random graph with maximum degree at most [d] (random edge insertions
+    that respect the cap; not uniform over all such graphs, which is fine
+    for workload purposes). *)
+
+val random_weighted :
+  Sa_util.Prng.t -> n:int -> density:float -> scale:float -> Weighted.t
+(** Random edge-weighted conflict graph: each ordered pair independently
+    receives weight [Uniform(0, scale)] with probability [density]. *)
+
+val split_for_asymmetric_channels :
+  Graph.t -> Ordering.t -> k:int -> Graph.t array
+(** The Theorem-14 construction: distribute each vertex's backward edges
+    round-robin over [k] edge sets, so that every [G_j] has backward degree
+    (hence inductive independence w.r.t. the same ordering) at most
+    [⌈d_back/k⌉].  The union of the returned graphs is the input graph. *)

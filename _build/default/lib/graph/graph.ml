@@ -1,0 +1,109 @@
+type t = {
+  size : int;
+  adj : bool array array;
+  mutable m : int;
+}
+
+let create size =
+  if size < 0 then invalid_arg "Graph.create: negative size";
+  { size; adj = Array.make_matrix size size false; m = 0 }
+
+let n g = g.size
+let num_edges g = g.m
+
+let check_vertex g v =
+  if v < 0 || v >= g.size then invalid_arg "Graph: vertex out of range"
+
+let add_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if not g.adj.(u).(v) then begin
+    g.adj.(u).(v) <- true;
+    g.adj.(v).(u) <- true;
+    g.m <- g.m + 1
+  end
+
+let of_edges size edges =
+  let g = create size in
+  List.iter (fun (u, v) -> add_edge g u v) edges;
+  g
+
+let mem_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  g.adj.(u).(v)
+
+let neighbors g v =
+  check_vertex g v;
+  let rec collect u acc =
+    if u < 0 then acc
+    else collect (u - 1) (if g.adj.(v).(u) then u :: acc else acc)
+  in
+  collect (g.size - 1) []
+
+let degree g v =
+  check_vertex g v;
+  let d = ref 0 in
+  for u = 0 to g.size - 1 do
+    if g.adj.(v).(u) then incr d
+  done;
+  !d
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.size - 1 do
+    best := max !best (degree g v)
+  done;
+  !best
+
+let avg_degree g =
+  if g.size = 0 then 0.0 else 2.0 *. float_of_int g.m /. float_of_int g.size
+
+let iter_edges g f =
+  for u = 0 to g.size - 1 do
+    for v = u + 1 to g.size - 1 do
+      if g.adj.(u).(v) then f u v
+    done
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges g (fun u v -> acc := (u, v) :: !acc);
+  List.rev !acc
+
+let complement g =
+  let c = create g.size in
+  for u = 0 to g.size - 1 do
+    for v = u + 1 to g.size - 1 do
+      if not g.adj.(u).(v) then add_edge c u v
+    done
+  done;
+  c
+
+let induced g vs =
+  let sub = create (Array.length vs) in
+  Array.iteri (fun i u ->
+      Array.iteri (fun j v -> if j > i && g.adj.(u).(v) then add_edge sub i j) vs)
+    vs;
+  sub
+
+let clique size =
+  let g = create size in
+  for u = 0 to size - 1 do
+    for v = u + 1 to size - 1 do
+      add_edge g u v
+    done
+  done;
+  g
+
+let is_independent g set =
+  let rec check = function
+    | [] -> true
+    | v :: rest -> List.for_all (fun u -> not (mem_edge g u v)) rest && check rest
+  in
+  check set
+
+let copy g = { size = g.size; adj = Array.map Array.copy g.adj; m = g.m }
+
+let pp fmt g = Format.fprintf fmt "graph(n=%d, m=%d)" g.size g.m

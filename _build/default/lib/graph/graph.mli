@@ -1,0 +1,58 @@
+(** Unweighted conflict graphs (Section 2).
+
+    Vertices are bidders [0 .. n-1]; an edge means the two bidders may never
+    share a channel.  Feasible channel allocations are exactly the
+    independent sets (Problem 1). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the edgeless graph on [n] vertices. *)
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n edges] builds the graph; self-loops are rejected, duplicate
+    edges are merged. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val num_edges : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Idempotent; rejects self-loops and out-of-range vertices. *)
+
+val mem_edge : t -> int -> int -> bool
+(** O(1) adjacency test. *)
+
+val neighbors : t -> int -> int list
+(** Sorted list of neighbours. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+
+val avg_degree : t -> float
+(** Average vertex degree [d̄] (the edge-LP bound of §2.1 is [(d̄+1)/2]). *)
+
+val edges : t -> (int * int) list
+(** All edges [(u, v)] with [u < v]. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+val complement : t -> t
+
+val induced : t -> int array -> t
+(** [induced g vs] is the subgraph induced by [vs]; vertex [i] of the result
+    corresponds to [vs.(i)]. *)
+
+val clique : int -> t
+(** Complete graph — models a regular combinatorial auction (every pair of
+    bidders conflicts). *)
+
+val is_independent : t -> int list -> bool
+(** No edge inside the set. *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Summary ["graph(n=…, m=…)"]. *)

@@ -1,0 +1,143 @@
+type 'a result = { set : int list; value : 'a; exact : bool }
+
+exception Budget_exhausted
+
+let default_node_limit = 2_000_000
+
+let greedy_weight g ~weights =
+  let size = Graph.n g in
+  let order = Array.init size (fun i -> i) in
+  Array.sort (fun a b -> compare weights.(b) weights.(a)) order;
+  let chosen = ref [] in
+  Array.iter
+    (fun v ->
+      if weights.(v) > 0.0 && List.for_all (fun u -> not (Graph.mem_edge g u v)) !chosen
+      then chosen := v :: !chosen)
+    order;
+  let total = List.fold_left (fun acc v -> acc +. weights.(v)) 0.0 !chosen in
+  (!chosen, total)
+
+(* Branch and bound for maximum-weight independent set: vertices are
+   processed in decreasing weight order; the bound is the weight collected so
+   far plus the total weight still processable. *)
+let max_weight_independent_set ?(node_limit = default_node_limit) g ~weights =
+  let size = Graph.n g in
+  if Array.length weights <> size then
+    invalid_arg "Indep.max_weight_independent_set: weights length mismatch";
+  Array.iter
+    (fun w -> if w < 0.0 then invalid_arg "Indep.max_weight_independent_set: negative weight")
+    weights;
+  let order = Array.init size (fun i -> i) in
+  Array.sort (fun a b -> compare weights.(b) weights.(a)) order;
+  let candidates = Array.to_list order in
+  let best_set = ref [] and best_w = ref 0.0 in
+  let nodes = ref 0 in
+  let rec go current cur_w remaining rem_total =
+    incr nodes;
+    if !nodes > node_limit then raise Budget_exhausted;
+    if cur_w > !best_w then begin
+      best_w := cur_w;
+      best_set := current
+    end;
+    match remaining with
+    | [] -> ()
+    | v :: rest ->
+        if cur_w +. rem_total > !best_w then begin
+          (* include v *)
+          let rest_in = List.filter (fun u -> not (Graph.mem_edge g u v)) rest in
+          let rem_in = List.fold_left (fun acc u -> acc +. weights.(u)) 0.0 rest_in in
+          go (v :: current) (cur_w +. weights.(v)) rest_in rem_in;
+          (* exclude v *)
+          go current cur_w rest (rem_total -. weights.(v))
+        end
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let exact =
+    try
+      go [] 0.0 candidates total;
+      true
+    with Budget_exhausted -> false
+  in
+  if exact then { set = !best_set; value = !best_w; exact = true }
+  else
+    let gset, gw = greedy_weight g ~weights in
+    if gw > !best_w then { set = gset; value = gw; exact = false }
+    else { set = !best_set; value = !best_w; exact = false }
+
+let max_independent_set ?node_limit g =
+  let weights = Array.make (Graph.n g) 1.0 in
+  let r = max_weight_independent_set ?node_limit g ~weights in
+  { set = r.set; value = List.length r.set; exact = r.exact }
+
+(* Weighted-graph (Definition 2) inner problem.  Independence is downward
+   closed and adding a vertex only increases incoming sums, so an include
+   branch can be pruned as soon as it is infeasible. *)
+
+let feasible_with wg chosen incoming u =
+  (* [incoming.(v)] holds the interference into chosen vertex [v] from the
+     other chosen vertices; check that adding [u] keeps everyone below 1. *)
+  let into_u = List.fold_left (fun acc v -> acc +. Weighted.w wg v u) 0.0 chosen in
+  into_u < 1.0
+  && List.for_all (fun v -> incoming.(v) +. Weighted.w wg u v < 1.0) chosen
+
+let greedy_profit_weighted wg ~candidates ~profit =
+  let cands = Array.copy candidates in
+  Array.sort (fun a b -> compare (profit b) (profit a)) cands;
+  let incoming = Array.make (Weighted.n wg) 0.0 in
+  let chosen = ref [] in
+  Array.iter
+    (fun u ->
+      if profit u > 0.0 && feasible_with wg !chosen incoming u then begin
+        List.iter (fun v -> incoming.(v) <- incoming.(v) +. Weighted.w wg u v) !chosen;
+        incoming.(u) <-
+          List.fold_left (fun acc v -> acc +. Weighted.w wg v u) 0.0 !chosen;
+        chosen := u :: !chosen
+      end)
+    cands;
+  let total = List.fold_left (fun acc u -> acc +. profit u) 0.0 !chosen in
+  (!chosen, total)
+
+let max_profit_weighted ?(node_limit = default_node_limit) wg ~candidates ~profit =
+  Array.iter
+    (fun u -> if profit u < 0.0 then invalid_arg "Indep.max_profit_weighted: negative profit")
+    candidates;
+  let cands = Array.copy candidates in
+  Array.sort (fun a b -> compare (profit b) (profit a)) cands;
+  let cand_list = Array.to_list cands in
+  let incoming = Array.make (Weighted.n wg) 0.0 in
+  let best_set = ref [] and best_p = ref 0.0 in
+  let nodes = ref 0 in
+  let rec go chosen cur_p remaining rem_total =
+    incr nodes;
+    if !nodes > node_limit then raise Budget_exhausted;
+    if cur_p > !best_p then begin
+      best_p := cur_p;
+      best_set := chosen
+    end;
+    match remaining with
+    | [] -> ()
+    | u :: rest ->
+        if cur_p +. rem_total > !best_p then begin
+          if feasible_with wg chosen incoming u then begin
+            List.iter (fun v -> incoming.(v) <- incoming.(v) +. Weighted.w wg u v) chosen;
+            incoming.(u) <-
+              List.fold_left (fun acc v -> acc +. Weighted.w wg v u) 0.0 chosen;
+            go (u :: chosen) (cur_p +. profit u) rest (rem_total -. profit u);
+            List.iter (fun v -> incoming.(v) <- incoming.(v) -. Weighted.w wg u v) chosen;
+            incoming.(u) <- 0.0
+          end;
+          go chosen cur_p rest (rem_total -. profit u)
+        end
+  in
+  let total = Array.fold_left (fun acc u -> acc +. profit u) 0.0 cands in
+  let exact =
+    try
+      go [] 0.0 cand_list total;
+      true
+    with Budget_exhausted -> false
+  in
+  if exact then { set = !best_set; value = !best_p; exact = true }
+  else
+    let gset, gp = greedy_profit_weighted wg ~candidates ~profit in
+    if gp > !best_p then { set = gset; value = gp; exact = false }
+    else { set = !best_set; value = !best_p; exact = false }

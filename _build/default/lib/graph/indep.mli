@@ -1,0 +1,34 @@
+(** Independent-set computations.
+
+    Exact solvers are branch-and-bound with a node budget; every exact entry
+    point returns whether the budget sufficed, and falls back to its greedy
+    counterpart's value otherwise (still a valid lower bound, since both
+    notions of independence are downward closed). *)
+
+type 'a result = { set : int list; value : 'a; exact : bool }
+
+val max_weight_independent_set :
+  ?node_limit:int -> Graph.t -> weights:float array -> float result
+(** Maximum-weight independent set in an unweighted conflict graph
+    (non-negative vertex weights).  [node_limit] defaults to 2_000_000
+    branch nodes. *)
+
+val max_independent_set : ?node_limit:int -> Graph.t -> int result
+(** Maximum-cardinality independent set. *)
+
+val greedy_weight : Graph.t -> weights:float array -> int list * float
+(** Greedy by decreasing weight. *)
+
+val max_profit_weighted :
+  ?node_limit:int ->
+  Weighted.t ->
+  candidates:int array ->
+  profit:(int -> float) ->
+  float result
+(** Over subsets [M] of [candidates] that are independent in the
+    edge-weighted sense, maximise [Σ_{u ∈ M} profit u]  (profits must be
+    non-negative).  This is the inner problem of Definition 2. *)
+
+val greedy_profit_weighted :
+  Weighted.t -> candidates:int array -> profit:(int -> float) -> int list * float
+(** Greedy by decreasing profit, keeping weighted independence. *)

@@ -1,0 +1,53 @@
+type t = { order : int array; ranks : int array }
+
+let of_order order =
+  let size = Array.length order in
+  let ranks = Array.make size (-1) in
+  Array.iteri
+    (fun pos v ->
+      if v < 0 || v >= size then invalid_arg "Ordering.of_order: vertex out of range";
+      if ranks.(v) >= 0 then invalid_arg "Ordering.of_order: not a permutation";
+      ranks.(v) <- pos)
+    order;
+  { order = Array.copy order; ranks }
+
+let identity size = of_order (Array.init size (fun i -> i))
+
+let n t = Array.length t.order
+let rank t v = t.ranks.(v)
+let vertex_at t pos = t.order.(pos)
+let precedes t u v = t.ranks.(u) < t.ranks.(v)
+
+let before t v =
+  let r = t.ranks.(v) in
+  List.init r (fun pos -> t.order.(pos))
+
+let after t v =
+  let r = t.ranks.(v) in
+  let size = n t in
+  List.init (size - r - 1) (fun i -> t.order.(r + 1 + i))
+
+let by_key size key =
+  let order = Array.init size (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare (key a) (key b) in
+      if c <> 0 then c else compare a b)
+    order;
+  of_order order
+
+let reverse t =
+  let size = n t in
+  of_order (Array.init size (fun pos -> t.order.(size - 1 - pos)))
+
+let backward_neighbors t g v =
+  List.filter (fun u -> precedes t u v) (Graph.neighbors g v)
+
+let to_order t = Array.copy t.order
+
+let pp fmt t =
+  Format.fprintf fmt "ordering[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+       Format.pp_print_int)
+    (Array.to_list t.order)

@@ -1,0 +1,44 @@
+(** Vertex orderings π (Definition 1).
+
+    The inductive independence number is always relative to an ordering; the
+    algorithms only ever ask "does u precede v" and "which vertices precede
+    v", so both directions of the permutation are stored. *)
+
+type t
+
+val of_order : int array -> t
+(** [of_order a]: [a.(pos)] is the vertex at position [pos].  Must be a
+    permutation of [0 .. n-1]. *)
+
+val identity : int -> t
+
+val n : t -> int
+
+val rank : t -> int -> int
+(** [rank t v] is π(v), the position of [v] (0-based). *)
+
+val vertex_at : t -> int -> int
+(** Inverse of {!rank}. *)
+
+val precedes : t -> int -> int -> bool
+(** [precedes t u v] iff π(u) < π(v). *)
+
+val before : t -> int -> int list
+(** All vertices [u] with π(u) < π(v), ascending by rank. *)
+
+val after : t -> int -> int list
+(** All vertices [u] with π(u) > π(v), ascending by rank. *)
+
+val by_key : int -> (int -> float) -> t
+(** [by_key n key] orders vertices by increasing [key] (ties by index).
+    E.g. disk graphs use *decreasing* radius: pass [fun v -> -. r v]. *)
+
+val reverse : t -> t
+
+val backward_neighbors : t -> Graph.t -> int -> int list
+(** [Γ_π(v)]: neighbours of [v] in the graph that precede [v]. *)
+
+val to_order : t -> int array
+(** Copy of the position→vertex array. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type t = { size : int; weights : float array array }
+
+let create size =
+  if size < 0 then invalid_arg "Weighted.create: negative size";
+  { size; weights = Array.make_matrix size size 0.0 }
+
+let n t = t.size
+
+let check_vertex t v =
+  if v < 0 || v >= t.size then invalid_arg "Weighted: vertex out of range"
+
+let w t u v =
+  check_vertex t u;
+  check_vertex t v;
+  t.weights.(u).(v)
+
+let wbar t u v = w t u v +. w t v u
+
+let set t u v x =
+  check_vertex t u;
+  check_vertex t v;
+  if u = v then invalid_arg "Weighted.set: self-pair";
+  if x < 0.0 then invalid_arg "Weighted.set: negative weight";
+  t.weights.(u).(v) <- x
+
+let of_function size f =
+  let t = create size in
+  for u = 0 to size - 1 do
+    for v = 0 to size - 1 do
+      if u <> v then set t u v (f u v)
+    done
+  done;
+  t
+
+let of_graph g =
+  of_function (Graph.n g) (fun u v -> if Graph.mem_edge g u v then 1.0 else 0.0)
+
+let incoming t ~into set =
+  List.fold_left
+    (fun acc u -> if u = into then acc else acc +. w t u into)
+    0.0 set
+
+let is_independent t set = List.for_all (fun v -> incoming t ~into:v set < 1.0) set
+
+let is_independent_arr t mask =
+  if Array.length mask <> t.size then invalid_arg "Weighted.is_independent_arr: bad mask";
+  let ok = ref true in
+  for v = 0 to t.size - 1 do
+    if mask.(v) then begin
+      let total = ref 0.0 in
+      for u = 0 to t.size - 1 do
+        if mask.(u) && u <> v then total := !total +. t.weights.(u).(v)
+      done;
+      if !total >= 1.0 then ok := false
+    end
+  done;
+  !ok
+
+let copy t = { size = t.size; weights = Array.map Array.copy t.weights }
+
+let pp fmt t = Format.fprintf fmt "weighted-graph(n=%d)" t.size

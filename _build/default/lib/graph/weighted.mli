@@ -1,0 +1,43 @@
+(** Edge-weighted conflict graphs (Section 3).
+
+    A non-negative, possibly asymmetric weight [w u v] is attached to every
+    ordered pair; a set [M] is independent when the incoming interference
+    [Σ_{u ∈ M, u ≠ v} w u v < 1] for every [v ∈ M].  The algorithms use the
+    symmetrised weights [w̄ u v = w u v + w v u] (Definition 2). *)
+
+type t
+
+val create : int -> t
+(** [create n]: all weights zero. *)
+
+val of_function : int -> (int -> int -> float) -> t
+(** [of_function n f] sets [w u v = f u v] for all [u ≠ v]; diagonal forced
+    to zero; negative weights rejected. *)
+
+val of_graph : Graph.t -> t
+(** Embed an unweighted graph: [w u v = 1] on edges (in both directions), so
+    weighted independence coincides with graph independence. *)
+
+val n : t -> int
+
+val w : t -> int -> int -> float
+(** Directed weight into the second argument. *)
+
+val wbar : t -> int -> int -> float
+(** Symmetrised weight [w u v + w v u]. *)
+
+val set : t -> int -> int -> float -> unit
+(** [set t u v x] sets [w u v <- x]; rejects self-pairs and negative [x]. *)
+
+val incoming : t -> into:int -> int list -> float
+(** [incoming t ~into:v set] is [Σ_{u ∈ set, u ≠ v} w u v]. *)
+
+val is_independent : t -> int list -> bool
+(** [incoming] strictly below 1 for every member. *)
+
+val is_independent_arr : t -> bool array -> bool
+(** Same over a membership mask (avoids list allocation in hot loops). *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

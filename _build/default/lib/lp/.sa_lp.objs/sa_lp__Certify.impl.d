@@ -1,0 +1,1 @@
+lib/lp/certify.ml: Array Float Format Simplex

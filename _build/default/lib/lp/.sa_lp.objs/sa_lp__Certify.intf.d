@@ -1,0 +1,1 @@
+lib/lp/certify.mli: Format Simplex

@@ -1,0 +1,87 @@
+type report = {
+  primal_feasible : bool;
+  dual_feasible : bool;
+  duality_gap : float;
+  max_primal_violation : float;
+  max_dual_violation : float;
+  certified : bool;
+}
+
+let scale_of x = Float.max 1.0 (Float.abs x)
+
+let check ?(eps = 1e-6) (problem : Simplex.problem) (solution : Simplex.solution) =
+  let { Simplex.direction; c; rows } = problem in
+  let x = solution.Simplex.x and y = solution.Simplex.duals in
+  let nvars = Array.length c in
+  let m = Array.length rows in
+  let primal_violation = ref 0.0 in
+  (* variable signs *)
+  Array.iter (fun xj -> primal_violation := Float.max !primal_violation (-.xj)) x;
+  (* row constraints *)
+  let lhs = Array.make m 0.0 in
+  Array.iteri
+    (fun i (a, rel, b) ->
+      let dot = ref 0.0 in
+      for j = 0 to nvars - 1 do
+        dot := !dot +. (a.(j) *. x.(j))
+      done;
+      lhs.(i) <- !dot;
+      let viol =
+        match rel with
+        | Simplex.Le -> (!dot -. b) /. scale_of b
+        | Simplex.Ge -> (b -. !dot) /. scale_of b
+        | Simplex.Eq -> Float.abs (!dot -. b) /. scale_of b
+      in
+      primal_violation := Float.max !primal_violation viol)
+    rows;
+  (* Dual sign conventions (see Simplex.solution docs): for Maximize,
+     Le-rows need y >= 0 and Ge-rows y <= 0; mirrored for Minimize.  Dual
+     feasibility: A^T y >= c (max) resp. A^T y <= c (min). *)
+  let dual_violation = ref 0.0 in
+  let sign = match direction with Simplex.Maximize -> 1.0 | Simplex.Minimize -> -1.0 in
+  Array.iteri
+    (fun i (_, rel, _) ->
+      let yi = y.(i) in
+      let viol =
+        match rel with
+        | Simplex.Le -> -.(sign *. yi)
+        | Simplex.Ge -> sign *. yi
+        | Simplex.Eq -> 0.0
+      in
+      dual_violation := Float.max !dual_violation viol)
+    rows;
+  for j = 0 to nvars - 1 do
+    let col = ref 0.0 in
+    Array.iteri (fun i (a, _, _) -> col := !col +. (a.(j) *. y.(i))) rows;
+    (* max: A^T y >= c; min: A^T y <= c *)
+    let viol = sign *. (c.(j) -. !col) /. scale_of c.(j) in
+    dual_violation := Float.max !dual_violation viol
+  done;
+  let primal_obj = ref 0.0 in
+  for j = 0 to nvars - 1 do
+    primal_obj := !primal_obj +. (c.(j) *. x.(j))
+  done;
+  let dual_obj = ref 0.0 in
+  Array.iteri (fun i (_, _, b) -> dual_obj := !dual_obj +. (b *. y.(i))) rows;
+  let duality_gap = Float.abs (!primal_obj -. !dual_obj) /. scale_of !primal_obj in
+  let primal_feasible = !primal_violation <= eps in
+  let dual_feasible = !dual_violation <= eps in
+  {
+    primal_feasible;
+    dual_feasible;
+    duality_gap;
+    max_primal_violation = !primal_violation;
+    max_dual_violation = !dual_violation;
+    certified =
+      solution.Simplex.status = Simplex.Optimal
+      && primal_feasible && dual_feasible
+      && duality_gap <= eps;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "certificate: %s (primal %s, dual %s, gap %.2e; violations %.2e / %.2e)"
+    (if r.certified then "OK" else "FAILED")
+    (if r.primal_feasible then "feasible" else "INFEASIBLE")
+    (if r.dual_feasible then "feasible" else "INFEASIBLE")
+    r.duality_gap r.max_primal_violation r.max_dual_violation

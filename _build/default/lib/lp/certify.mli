@@ -1,0 +1,23 @@
+(** Independent certification of simplex solutions.
+
+    The solver returns primal values and dual multipliers; this module
+    re-checks them against the *original* problem data without trusting any
+    solver internals: primal feasibility, dual feasibility, and the duality
+    gap (which also subsumes complementary slackness at optimum).  Every LP
+    result used in an experiment can therefore carry a machine-checked
+    optimality certificate. *)
+
+type report = {
+  primal_feasible : bool;
+  dual_feasible : bool;
+  duality_gap : float;  (** |cᵀx − bᵀy| (absolute) *)
+  max_primal_violation : float;  (** worst constraint/sign violation found *)
+  max_dual_violation : float;
+  certified : bool;  (** all of the above within tolerance *)
+}
+
+val check : ?eps:float -> Simplex.problem -> Simplex.solution -> report
+(** [eps] is the certification tolerance (default 1e-6, scaled by row/value
+    magnitudes).  A non-[Optimal] solution is never certified. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,81 @@
+type var = int
+type row = int
+
+type row_data = {
+  mutable coeffs : (var * float) list;
+  relation : Simplex.relation;
+  rhs : float;
+}
+
+type t = {
+  direction : Simplex.direction;
+  mutable objs : float list; (* reversed *)
+  mutable nvars : int;
+  mutable rows : row_data list; (* reversed *)
+  mutable nrows : int;
+}
+
+let create direction = { direction; objs = []; nvars = 0; rows = []; nrows = 0 }
+
+let add_var t ~obj =
+  let v = t.nvars in
+  t.objs <- obj :: t.objs;
+  t.nvars <- t.nvars + 1;
+  v
+
+let check_var t v =
+  if v < 0 || v >= t.nvars then invalid_arg "Model: variable out of range"
+
+let add_row t coeffs relation rhs =
+  List.iter (fun (v, _) -> check_var t v) coeffs;
+  let r = t.nrows in
+  t.rows <- { coeffs; relation; rhs } :: t.rows;
+  t.nrows <- t.nrows + 1;
+  r
+
+let add_to_row t r v coeff =
+  check_var t v;
+  if r < 0 || r >= t.nrows then invalid_arg "Model.add_to_row: row out of range";
+  (* rows are stored reversed *)
+  let idx = t.nrows - 1 - r in
+  let data = List.nth t.rows idx in
+  data.coeffs <- (v, coeff) :: data.coeffs
+
+let num_vars t = t.nvars
+let num_rows t = t.nrows
+
+type solution = {
+  status : Simplex.status;
+  objective : float;
+  value : var -> float;
+  dual : row -> float;
+}
+
+type engine = Dense_tableau | Revised_sparse
+
+let solve ?(engine = Dense_tableau) ?eps ?max_iters t =
+  let c = Array.of_list (List.rev t.objs) in
+  let dense_row data =
+    let a = Array.make t.nvars 0.0 in
+    List.iter (fun (v, coeff) -> a.(v) <- a.(v) +. coeff) data.coeffs;
+    (a, data.relation, data.rhs)
+  in
+  let rows = Array.of_list (List.rev_map dense_row t.rows) in
+  let problem = { Simplex.direction = t.direction; c; rows } in
+  let sol =
+    match engine with
+    | Dense_tableau -> Simplex.solve ?eps ?max_iters problem
+    | Revised_sparse -> Revised.solve ?eps ?max_iters problem
+  in
+  {
+    status = sol.Simplex.status;
+    objective = sol.Simplex.objective;
+    value =
+      (fun v ->
+        check_var t v;
+        sol.Simplex.x.(v));
+    dual =
+      (fun r ->
+        if r < 0 || r >= t.nrows then invalid_arg "Model: row out of range";
+        sol.Simplex.duals.(r));
+  }

@@ -1,0 +1,42 @@
+(** Incremental LP model builder on top of {!Simplex}.
+
+    Callers register variables (all implicitly [≥ 0]) and sparse constraint
+    rows, then [solve].  Variable and row handles are plain ints, stable
+    across the model's lifetime, so callers can keep maps from model objects
+    (bidder/bundle pairs, (vertex, channel) constraints) to handles. *)
+
+type t
+
+type var = int
+type row = int
+
+val create : Simplex.direction -> t
+
+val add_var : t -> obj:float -> var
+(** New variable with the given objective coefficient. *)
+
+val add_row : t -> (var * float) list -> Simplex.relation -> float -> row
+(** [add_row t coeffs rel rhs] adds [Σ coeff·x rel rhs].  Repeated variables
+    in [coeffs] are summed. *)
+
+val add_to_row : t -> row -> var -> float -> unit
+(** Add [coeff] to the entry of [var] in an existing row — lets column
+    generation extend previously created constraints with new variables. *)
+
+val num_vars : t -> int
+val num_rows : t -> int
+
+type solution = {
+  status : Simplex.status;
+  objective : float;
+  value : var -> float;
+  dual : row -> float;
+}
+
+type engine = Dense_tableau | Revised_sparse
+
+val solve : ?engine:engine -> ?eps:float -> ?max_iters:int -> t -> solution
+(** Runs the chosen simplex engine (default [Dense_tableau]; see
+    {!Revised}) on the current model.  The model remains usable (more
+    variables/rows may be added and [solve] called again — each call solves
+    from scratch). *)

@@ -1,0 +1,298 @@
+(* Sparse revised simplex with an explicitly maintained basis inverse.
+
+   Shares the external types with [Simplex].  Internally:
+   - structural + slack/surplus + artificial columns, stored sparsely;
+   - B_inv (m x m, dense) updated by eta pivots;
+   - x_B maintained incrementally;
+   - two phases, artificials blocked in phase 2. *)
+
+type sparse_col = (int * float) array (* (row, coeff), rows strictly increasing *)
+
+let feas_eps = 1e-7
+
+type core = {
+  m : int;
+  ncols : int;
+  cols : sparse_col array;
+  artificial : bool array;
+  b : float array;
+  b_inv : float array array;
+  basis : int array;
+  x_b : float array;
+  in_basis : bool array;
+}
+
+let col_dot col v = Array.fold_left (fun acc (r, x) -> acc +. (x *. v.(r))) 0.0 col
+
+(* w = B^{-1} A_j *)
+let ftran t col =
+  let w = Array.make t.m 0.0 in
+  Array.iter
+    (fun (r, x) ->
+      for i = 0 to t.m - 1 do
+        w.(i) <- w.(i) +. (t.b_inv.(i).(r) *. x)
+      done)
+    col;
+  w
+
+(* y^T = c_B^T B^{-1} *)
+let btran t costs =
+  let y = Array.make t.m 0.0 in
+  for i = 0 to t.m - 1 do
+    let cb = costs.(t.basis.(i)) in
+    if cb <> 0.0 then begin
+      let row = t.b_inv.(i) in
+      for j = 0 to t.m - 1 do
+        y.(j) <- y.(j) +. (cb *. row.(j))
+      done
+    end
+  done;
+  y
+
+let pivot t ~row ~col ~w =
+  let wr = w.(row) in
+  let inv = 1.0 /. wr in
+  let brow = t.b_inv.(row) in
+  for j = 0 to t.m - 1 do
+    brow.(j) <- brow.(j) *. inv
+  done;
+  t.x_b.(row) <- t.x_b.(row) *. inv;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let f = w.(i) in
+      if Float.abs f > 1e-13 then begin
+        let bi = t.b_inv.(i) in
+        for j = 0 to t.m - 1 do
+          bi.(j) <- bi.(j) -. (f *. brow.(j))
+        done;
+        t.x_b.(i) <- t.x_b.(i) -. (f *. t.x_b.(row))
+      end
+    end
+  done;
+  t.in_basis.(t.basis.(row)) <- false;
+  t.in_basis.(col) <- true;
+  t.basis.(row) <- col
+
+let run_phase t ~costs ~eps ~max_iters ~allowed =
+  let iter = ref 0 in
+  let bland_threshold = max 2000 (10 * (t.m + t.ncols)) in
+  let result = ref None in
+  while !result = None do
+    incr iter;
+    if !iter > max_iters then result := Some `Iteration_limit
+    else begin
+      let y = btran t costs in
+      let use_bland = !iter > bland_threshold in
+      let enter = ref (-1) in
+      let best = ref (-.eps) in
+      (try
+         for j = 0 to t.ncols - 1 do
+           if allowed j && not t.in_basis.(j) then begin
+             let d = costs.(j) -. col_dot t.cols.(j) y in
+             if d > eps then
+               if use_bland then begin
+                 enter := j;
+                 raise Exit
+               end
+               else if d > !best then begin
+                 best := d;
+                 enter := j
+               end
+           end
+         done
+       with Exit -> ());
+      if !enter < 0 then result := Some `Optimal
+      else begin
+        let col = !enter in
+        let w = ftran t t.cols.(col) in
+        let leave = ref (-1) in
+        let best_ratio = ref infinity in
+        for i = 0 to t.m - 1 do
+          if w.(i) > eps then begin
+            let ratio = t.x_b.(i) /. w.(i) in
+            if
+              ratio < !best_ratio -. eps
+              || (ratio < !best_ratio +. eps
+                 && !leave >= 0
+                 && t.basis.(i) < t.basis.(!leave))
+            then begin
+              best_ratio := ratio;
+              leave := i
+            end
+          end
+        done;
+        if !leave < 0 then result := Some `Unbounded
+        else pivot t ~row:!leave ~col ~w
+      end
+    end
+  done;
+  match !result with Some r -> r | None -> assert false
+
+let solve ?(eps = 1e-9) ?max_iters { Simplex.direction; c; rows } =
+  let nstruct = Array.length c in
+  let m = Array.length rows in
+  Array.iter
+    (fun (a, _, _) ->
+      if Array.length a <> nstruct then invalid_arg "Revised.solve: row length mismatch")
+    rows;
+  let sign = match direction with Simplex.Maximize -> 1.0 | Simplex.Minimize -> -1.0 in
+  let flip = Array.make m false in
+  let norm =
+    Array.mapi
+      (fun i (a, rel, b) ->
+        if b < 0.0 then begin
+          flip.(i) <- true;
+          let rel' =
+            match rel with Simplex.Le -> Simplex.Ge | Simplex.Ge -> Simplex.Le | Simplex.Eq -> Simplex.Eq
+          in
+          (Array.map (fun v -> -.v) a, rel', -.b)
+        end
+        else (a, rel, b))
+      rows
+  in
+  let n_art =
+    Array.fold_left
+      (fun acc (_, rel, _) ->
+        match rel with Simplex.Le -> acc | Simplex.Ge | Simplex.Eq -> acc + 1)
+      0 norm
+  in
+  let ncols = nstruct + m + n_art in
+  let cols = Array.make ncols [||] in
+  let artificial = Array.make ncols false in
+  let b = Array.make m 0.0 in
+  let basis = Array.make m (-1) in
+  let slack_col = Array.make m (-1) in
+  let art_col = Array.make m (-1) in
+  (* structural columns, sparse *)
+  for j = 0 to nstruct - 1 do
+    let entries = ref [] in
+    for i = m - 1 downto 0 do
+      let a, _, _ = norm.(i) in
+      if a.(j) <> 0.0 then entries := (i, a.(j)) :: !entries
+    done;
+    cols.(j) <- Array.of_list !entries
+  done;
+  let next_art = ref (nstruct + m) in
+  Array.iteri
+    (fun i (_, rel, rhs) ->
+      b.(i) <- rhs;
+      let sc = nstruct + i in
+      slack_col.(i) <- sc;
+      match rel with
+      | Simplex.Le ->
+          cols.(sc) <- [| (i, 1.0) |];
+          basis.(i) <- sc
+      | Simplex.Ge ->
+          cols.(sc) <- [| (i, -1.0) |];
+          let ac = !next_art in
+          incr next_art;
+          cols.(ac) <- [| (i, 1.0) |];
+          artificial.(ac) <- true;
+          art_col.(i) <- ac;
+          basis.(i) <- ac
+      | Simplex.Eq ->
+          cols.(sc) <- [||];
+          let ac = !next_art in
+          incr next_art;
+          cols.(ac) <- [| (i, 1.0) |];
+          artificial.(ac) <- true;
+          art_col.(i) <- ac;
+          basis.(i) <- ac)
+    norm;
+  let in_basis = Array.make ncols false in
+  Array.iter (fun j -> in_basis.(j) <- true) basis;
+  let t =
+    {
+      m;
+      ncols;
+      cols;
+      artificial;
+      b;
+      b_inv = Array.init m (fun i -> Array.init m (fun j -> if i = j then 1.0 else 0.0));
+      basis;
+      x_b = Array.copy b;
+      in_basis;
+    }
+  in
+  let max_iters =
+    match max_iters with Some v -> v | None -> 50_000 + (50 * (m + ncols))
+  in
+  let infeasible_solution status =
+    {
+      Simplex.status;
+      x = Array.make nstruct 0.0;
+      objective = 0.0;
+      duals = Array.make m 0.0;
+    }
+  in
+  let c2 = Array.make ncols 0.0 in
+  for j = 0 to nstruct - 1 do
+    c2.(j) <- sign *. c.(j)
+  done;
+  let phase1 =
+    if n_art = 0 then `Optimal
+    else begin
+      let c1 = Array.make ncols 0.0 in
+      for j = 0 to ncols - 1 do
+        if artificial.(j) then c1.(j) <- -1.0
+      done;
+      match run_phase t ~costs:c1 ~eps ~max_iters ~allowed:(fun _ -> true) with
+      | `Optimal ->
+          let z =
+            Array.to_list (Array.mapi (fun i col -> (i, col)) t.basis)
+            |> List.fold_left
+                 (fun acc (i, col) ->
+                   if artificial.(col) then acc -. t.x_b.(i) else acc)
+                 0.0
+          in
+          if z < -.feas_eps then `Infeasible
+          else begin
+            (* drive basic artificials out where a non-artificial pivot exists *)
+            for i = 0 to m - 1 do
+              if artificial.(t.basis.(i)) then begin
+                let found = ref (-1) in
+                for j = 0 to ncols - 1 do
+                  if !found < 0 && (not artificial.(j)) && not t.in_basis.(j) then begin
+                    let w = ftran t t.cols.(j) in
+                    if Float.abs w.(i) > 1e-6 then begin
+                      pivot t ~row:i ~col:j ~w;
+                      found := j
+                    end
+                  end
+                done
+              end
+            done;
+            `Optimal
+          end
+      | `Unbounded -> `Infeasible
+      | `Iteration_limit -> `Iteration_limit
+    end
+  in
+  match phase1 with
+  | `Infeasible -> infeasible_solution Simplex.Infeasible
+  | `Iteration_limit -> infeasible_solution Simplex.Iteration_limit
+  | `Optimal -> (
+      let allowed j = not artificial.(j) in
+      match run_phase t ~costs:c2 ~eps ~max_iters ~allowed with
+      | `Unbounded -> infeasible_solution Simplex.Unbounded
+      | `Iteration_limit -> infeasible_solution Simplex.Iteration_limit
+      | `Optimal ->
+          let x = Array.make nstruct 0.0 in
+          Array.iteri
+            (fun i col -> if col < nstruct then x.(col) <- t.x_b.(i))
+            t.basis;
+          for j = 0 to nstruct - 1 do
+            if x.(j) < 0.0 && x.(j) > -.feas_eps then x.(j) <- 0.0
+          done;
+          let y = btran t c2 in
+          let duals = Array.make m 0.0 in
+          for i = 0 to m - 1 do
+            let v = if flip.(i) then -.y.(i) else y.(i) in
+            duals.(i) <- sign *. v
+          done;
+          let objective =
+            let acc = ref 0.0 in
+            Array.iteri (fun i col -> acc := !acc +. (c2.(col) *. t.x_b.(i))) t.basis;
+            sign *. !acc
+          in
+          { Simplex.status = Simplex.Optimal; x; objective; duals })

@@ -1,0 +1,16 @@
+(** Sparse revised simplex — an alternative engine to {!Simplex}.
+
+    Same problem/solution types, different machinery: columns are stored
+    sparsely and the basis inverse is maintained explicitly (product-form
+    updates), so per-iteration cost is O(m² + m·nnz) instead of the dense
+    tableau's O(m·ncols).  This wins when the LP has many more columns than
+    rows — exactly the shape of the explicit channel-allocation LPs, whose
+    column count is Σ|support| while rows are only n(k+1).
+
+    Numerical behaviour can differ from the tableau in degenerate cases
+    (both use Dantzig-with-Bland-fallback); the test suite cross-validates
+    objectives between the two engines and certifies both with
+    {!Certify}. *)
+
+val solve : ?eps:float -> ?max_iters:int -> Simplex.problem -> Simplex.solution
+(** Drop-in replacement for {!Simplex.solve}. *)

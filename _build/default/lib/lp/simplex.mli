@@ -1,0 +1,40 @@
+(** Dense two-phase primal simplex.
+
+    Replaces the external LP solver the paper implicitly assumes (it invokes
+    the ellipsoid method for polynomial-time arguments; any exact LP solver
+    gives the same optimum).  Handles [max/min cᵀx] subject to rows
+    [aᵀx {≤,≥,=} b] with [x ≥ 0].
+
+    Pivoting is Dantzig's rule with an automatic switch to Bland's rule
+    (which cannot cycle) once the iteration count suggests degeneracy.
+    Dual values are recovered from the objective row of the final tableau:
+    for a ≤-row its slack column, for ≥/= rows the retained artificial
+    column. *)
+
+type relation = Le | Ge | Eq
+
+type direction = Maximize | Minimize
+
+type problem = {
+  direction : direction;
+  c : float array;  (** objective coefficients, one per structural variable *)
+  rows : (float array * relation * float) array;
+      (** each [(a, rel, b)]: [aᵀx rel b]; [a] must match [c] in length *)
+}
+
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type solution = {
+  status : status;
+  x : float array;  (** structural variable values (zeros unless Optimal) *)
+  objective : float;  (** in the problem's own direction *)
+  duals : float array;
+      (** one multiplier per row; sign convention: for a Maximize problem
+          ≤-rows have y ≥ 0, ≥-rows y ≤ 0, =-rows free (and the reverse for
+          Minimize), so that strong duality reads
+          [objective = Σ_i duals.(i) * b_i] for non-degenerate optima. *)
+}
+
+val solve : ?eps:float -> ?max_iters:int -> problem -> solution
+(** [eps] is the pivot tolerance (default 1e-9); [max_iters] defaults to
+    [50_000 + 50 * (rows + cols)]. *)

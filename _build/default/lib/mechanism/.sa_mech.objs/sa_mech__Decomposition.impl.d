@@ -1,0 +1,1 @@
+lib/mechanism/decomposition.ml: Array Float Hashtbl List Sa_core Sa_lp Sa_util Sa_val String

@@ -1,0 +1,1 @@
+lib/mechanism/decomposition.mli: Sa_core Sa_util

@@ -1,0 +1,1 @@
+lib/mechanism/double_auction.ml: Array Float Fun Hashtbl List Sa_graph

@@ -1,0 +1,1 @@
+lib/mechanism/double_auction.mli: Sa_graph

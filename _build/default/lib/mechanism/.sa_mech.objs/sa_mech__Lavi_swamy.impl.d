@@ -1,0 +1,1 @@
+lib/mechanism/lavi_swamy.ml: Array Decomposition Float Sa_core Sa_val

@@ -1,0 +1,1 @@
+lib/mechanism/lavi_swamy.mli: Decomposition Sa_core Sa_util Sa_val

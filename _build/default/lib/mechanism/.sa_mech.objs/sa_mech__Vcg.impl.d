@@ -1,0 +1,1 @@
+lib/mechanism/vcg.ml: Array Float Sa_core Sa_val

@@ -1,0 +1,1 @@
+lib/mechanism/vcg.mli: Sa_core

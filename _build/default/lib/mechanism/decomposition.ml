@@ -1,0 +1,222 @@
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+module Greedy = Sa_core.Greedy
+module Exact = Sa_core.Exact
+module Model = Sa_lp.Model
+module Simplex = Sa_lp.Simplex
+module Bundle = Sa_val.Bundle
+module Valuation = Sa_val.Valuation
+module Prng = Sa_util.Prng
+
+type t = {
+  allocations : Sa_core.Allocation.t array;
+  weights : float array;
+  alpha_effective : float;
+}
+
+let alloc_key alloc =
+  String.concat ";" (Array.to_list (Array.map (fun b -> string_of_int (Bundle.to_int b)) alloc))
+
+(* The pricing problem: a conflict-graph auction whose bidders place XOR
+   bids with dual values on the support bundles. *)
+let pricing_instance inst support mu =
+  let n = Instance.n inst in
+  let bids = Array.make n [] in
+  Array.iteri
+    (fun c (v, bundle) ->
+      if mu.(c) > 1e-12 then bids.(v) <- (bundle, mu.(c)) :: bids.(v))
+    support;
+  let bidders = Array.map (fun b -> Valuation.Xor b) bids in
+  Instance.with_available
+    (Instance.make ~conflict:inst.Instance.conflict ~k:inst.Instance.k ~bidders
+       ~ordering:inst.Instance.ordering ~rho:inst.Instance.rho)
+    inst.Instance.available
+
+(* Dual mass of an allocation: Σ_c μ_c · [χ(v) = T_c]. *)
+let dual_mass support mu alloc =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun c (v, bundle) -> if Bundle.equal alloc.(v) bundle then total := !total +. mu.(c))
+    support;
+  !total
+
+let best_pricing_allocation g_rng inst support mu ~pricing_trials =
+  let pinst = pricing_instance inst support mu in
+  let candidates = ref [] in
+  (try
+     let frac = Lp.solve_explicit pinst in
+     candidates := Rounding.solve ~trials:pricing_trials g_rng pinst frac :: !candidates;
+     candidates := Greedy.from_lp pinst frac :: !candidates
+   with Failure _ -> ());
+  candidates := Greedy.by_value pinst :: !candidates;
+  if Instance.n pinst <= 14 then begin
+    let e = Exact.solve ~node_limit:200_000 pinst in
+    candidates := e.Exact.allocation :: !candidates
+  end;
+  (* The pricing valuations are the duals restricted to support bundles, but
+     the candidates' masses must be measured in exact dual terms. *)
+  List.fold_left
+    (fun (best, best_mass) alloc ->
+      let mass = dual_mass support mu alloc in
+      if mass > best_mass then (alloc, mass) else (best, best_mass))
+    (Allocation.empty (Instance.n inst), 0.0)
+    !candidates
+
+let decompose ?(max_rounds = 60) ?(pricing_trials = 12) g_rng inst frac ~alpha =
+  if alpha < 1.0 then invalid_arg "Decomposition.decompose: alpha must be >= 1";
+  let n = Instance.n inst in
+  let support =
+    Array.map (fun c -> (c.Lp.bidder, c.Lp.bundle)) frac.Lp.columns
+  in
+  let ncols = Array.length support in
+  let target = Array.map (fun c -> c.Lp.x /. alpha) frac.Lp.columns in
+  (* Master model: min Σ λ s.t. coverage >= target. *)
+  let m = Model.create Simplex.Minimize in
+  let rows = Array.init ncols (fun c -> Model.add_row m [] Simplex.Ge target.(c)) in
+  let allocations = ref [] (* (alloc, var), reversed *) in
+  let seen = Hashtbl.create 64 in
+  let add_allocation alloc =
+    let key = alloc_key alloc in
+    if Hashtbl.mem seen key then false
+    else begin
+      Hashtbl.add seen key ();
+      let var = Model.add_var m ~obj:1.0 in
+      Array.iteri
+        (fun c (v, bundle) ->
+          if Bundle.equal alloc.(v) bundle then Model.add_to_row m rows.(c) var 1.0)
+        support;
+      allocations := (alloc, var) :: !allocations;
+      true
+    end
+  in
+  (* Seed: singleton allocations — one per support column — guarantee master
+     feasibility (a lone bidder is always independent). *)
+  Array.iter
+    (fun (v, bundle) ->
+      let alloc = Allocation.empty n in
+      alloc.(v) <- bundle;
+      ignore (add_allocation alloc))
+    support;
+  let solve_master () =
+    let sol = Model.solve m in
+    match sol.Model.status with
+    | Simplex.Optimal -> sol
+    | _ -> failwith "Decomposition: master LP failed"
+  in
+  let sol = ref (solve_master ()) in
+  let rounds = ref 0 in
+  let improving = ref true in
+  while !improving && !rounds < max_rounds do
+    incr rounds;
+    let mu = Array.map (fun r -> Float.max 0.0 ((!sol).Model.dual r)) rows in
+    let alloc, mass = best_pricing_allocation g_rng inst support mu ~pricing_trials in
+    if mass > 1.0 +. 1e-7 && add_allocation alloc then sol := solve_master ()
+    else improving := false
+  done;
+  let lambda =
+    List.rev_map (fun (alloc, var) -> (Array.copy alloc, (!sol).Model.value var)) !allocations
+    |> List.filter (fun (_, w) -> w > 1e-12)
+  in
+  let gamma = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 lambda in
+  (* gamma <= 1: pad with the empty allocation.  gamma > 1: the verified
+     factor is alpha * gamma; normalise weights. *)
+  let alpha_effective, lambda =
+    if gamma <= 1.0 then (alpha, ((Allocation.empty n, 1.0 -. gamma) :: lambda))
+    else (alpha *. gamma, List.map (fun (a, w) -> (a, w /. gamma)) lambda)
+  in
+  let scale_targets = alpha /. alpha_effective in
+  let final_target = Array.map (fun t -> t *. scale_targets) target in
+  (* Shrink overshoot to exact equality using downward closure. *)
+  let entries = ref (List.map (fun (a, w) -> ref (a, w)) lambda) in
+  Array.iteri
+    (fun c (v, bundle) ->
+      let coverage =
+        List.fold_left
+          (fun acc r ->
+            let a, w = !r in
+            if Bundle.equal a.(v) bundle then acc +. w else acc)
+          0.0 !entries
+      in
+      let excess = ref (coverage -. final_target.(c)) in
+      if !excess > 1e-12 then
+        List.iter
+          (fun r ->
+            let a, w = !r in
+            if !excess > 1e-12 && Bundle.equal a.(v) bundle && w > 0.0 then begin
+              let delta = Float.min w !excess in
+              (* Move [delta] of this allocation's weight to a copy in which
+                 bidder v is dropped — still feasible. *)
+              let reduced = Array.copy a in
+              reduced.(v) <- Bundle.empty;
+              r := (a, w -. delta);
+              entries := ref (reduced, delta) :: !entries;
+              excess := !excess -. delta
+            end)
+          !entries)
+    support;
+  (* Merge duplicates and drop zero weights. *)
+  let merged = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let a, w = !r in
+      if w > 1e-12 then
+        let key = alloc_key a in
+        match Hashtbl.find_opt merged key with
+        | Some (a0, w0) -> Hashtbl.replace merged key (a0, w0 +. w)
+        | None -> Hashtbl.add merged key (a, w))
+    !entries;
+  let pairs = Hashtbl.fold (fun _ pair acc -> pair :: acc) merged [] in
+  (* Re-normalise the tiny drift from dropped sub-1e-12 weights. *)
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 pairs in
+  let pairs =
+    if total > 0.0 then List.map (fun (a, w) -> (a, w /. total)) pairs else pairs
+  in
+  {
+    allocations = Array.of_list (List.map fst pairs);
+    weights = Array.of_list (List.map snd pairs);
+    alpha_effective;
+  }
+
+let verify ?(eps = 1e-6) inst frac t =
+  let total = Array.fold_left ( +. ) 0.0 t.weights in
+  let weights_ok = Float.abs (total -. 1.0) <= eps in
+  let feasible_ok = Array.for_all (Allocation.is_feasible inst) t.allocations in
+  let support = Array.map (fun c -> (c.Lp.bidder, c.Lp.bundle)) frac.Lp.columns in
+  let coverage_ok = ref true in
+  Array.iteri
+    (fun c (v, bundle) ->
+      let coverage = ref 0.0 in
+      Array.iteri
+        (fun l alloc ->
+          if Bundle.equal alloc.(v) bundle then coverage := !coverage +. t.weights.(l))
+        t.allocations;
+      let want = frac.Lp.columns.(c).Lp.x /. t.alpha_effective in
+      if Float.abs (!coverage -. want) > eps then coverage_ok := false)
+    support;
+  (* No mass outside the support. *)
+  let in_support v bundle =
+    Array.exists (fun (u, b) -> u = v && Bundle.equal b bundle) support
+  in
+  let off_support = ref false in
+  Array.iter
+    (fun alloc ->
+      Array.iteri
+        (fun v bundle ->
+          if (not (Bundle.is_empty bundle)) && not (in_support v bundle) then
+            off_support := true)
+        alloc)
+    t.allocations;
+  weights_ok && feasible_ok && !coverage_ok && not !off_support
+
+let expected_value_of_bidder inst t v =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun l alloc ->
+      total :=
+        !total +. (t.weights.(l) *. Allocation.bidder_value inst alloc v))
+    t.allocations;
+  !total
+
+let sample g t = t.allocations.(Prng.categorical g t.weights)

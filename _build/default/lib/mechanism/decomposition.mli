@@ -1,0 +1,44 @@
+(** Lavi–Swamy decomposition (Section 5).
+
+    Given the LP optimum [x*] and a factor [α] at least the verified
+    integrality gap, express [x*/α] as a convex combination of feasible
+    integral allocations:  [Σ_l λ_l·χ_l = x*/α], [Σ_l λ_l = 1], [λ ≥ 0].
+
+    Implementation: column generation on the covering master
+    [min Σλ  s.t.  Σ_l λ_l χ_l(v,T) ≥ x*_{v,T}/α].  The pricing problem —
+    find a feasible allocation maximising the dual mass [Σ μ_{v,T} χ(v,T)] —
+    is itself a conflict-graph auction with XOR valuations on the support of
+    [x*], solved with the paper's own approximation algorithm (plus greedy
+    and, on small instances, the exact solver).  Overshoot is then *shrunk*
+    to exact equality using downward closure (dropping a bidder from a
+    feasible allocation keeps it feasible), and the weights are normalised;
+    if the master could not reach Σλ ≤ 1 with verified pricing, the returned
+    [alpha_effective ≥ α] records the actually-achieved factor (the paper's
+    "verifies an integrality gap" role of the algorithm). *)
+
+type t = {
+  allocations : Sa_core.Allocation.t array;
+  weights : float array;  (** convex weights, same length *)
+  alpha_effective : float;
+}
+
+val decompose :
+  ?max_rounds:int ->
+  ?pricing_trials:int ->
+  Sa_util.Prng.t ->
+  Sa_core.Instance.t ->
+  Sa_core.Lp_relaxation.fractional ->
+  alpha:float ->
+  t
+(** [alpha] must be ≥ 1.  Every returned allocation is feasible. *)
+
+val verify : ?eps:float -> Sa_core.Instance.t -> Sa_core.Lp_relaxation.fractional -> t -> bool
+(** Checks [Σ λ = 1], all allocations feasible, and
+    [Σ_l λ_l·χ_l(v,T) = x*_{v,T}/alpha_effective] on the support (and zero
+    off-support). *)
+
+val expected_value_of_bidder : Sa_core.Instance.t -> t -> int -> float
+(** [Σ_l λ_l · b_v(χ_l(v))]. *)
+
+val sample : Sa_util.Prng.t -> t -> Sa_core.Allocation.t
+(** Draw an allocation according to the weights. *)

@@ -1,0 +1,112 @@
+module Graph = Sa_graph.Graph
+
+type group = { members : int list; channel : int option; group_bid : float }
+
+type outcome = {
+  groups : group array;
+  buyer_payments : float array;
+  seller_revenue : float array;
+  traded : int;
+  buyer_welfare : float;
+  surplus : float;
+}
+
+(* Bid-independent group formation: repeatedly peel a maximal independent
+   set, scanning vertices in index order (structure-only, so misreporting a
+   bid cannot move a buyer between groups). *)
+let form_groups graph =
+  let n = Graph.n graph in
+  let assigned = Array.make n false in
+  let groups = ref [] in
+  let remaining = ref n in
+  while !remaining > 0 do
+    let members = ref [] in
+    for v = 0 to n - 1 do
+      if
+        (not assigned.(v))
+        && List.for_all (fun u -> not (Graph.mem_edge graph u v)) !members
+      then members := v :: !members
+    done;
+    List.iter
+      (fun v ->
+        assigned.(v) <- true;
+        decr remaining)
+      !members;
+    groups := List.rev !members :: !groups
+  done;
+  List.rev !groups
+
+let run graph ~bids ~asks =
+  let n = Graph.n graph in
+  if Array.length bids <> n then invalid_arg "Double_auction.run: bids size mismatch";
+  Array.iter (fun b -> if b < 0.0 then invalid_arg "Double_auction.run: negative bid") bids;
+  Array.iter (fun a -> if a < 0.0 then invalid_arg "Double_auction.run: negative ask") asks;
+  let m = Array.length asks in
+  let raw_groups = form_groups graph in
+  let group_bid members =
+    match members with
+    | [] -> 0.0
+    | _ ->
+        let size = float_of_int (List.length members) in
+        let lowest = List.fold_left (fun acc v -> Float.min acc bids.(v)) infinity members in
+        size *. lowest
+  in
+  let groups =
+    List.map (fun members -> { members; channel = None; group_bid = group_bid members }) raw_groups
+    |> Array.of_list
+  in
+  (* Sort group indices by bid descending, seller indices by ask ascending. *)
+  let by_bid = Array.init (Array.length groups) Fun.id in
+  Array.sort (fun a b -> compare groups.(b).group_bid groups.(a).group_bid) by_bid;
+  let by_ask = Array.init m Fun.id in
+  Array.sort (fun a b -> compare asks.(a) asks.(b)) by_ask;
+  (* q = largest 1-based index with bid_q >= ask_q. *)
+  let limit = min (Array.length groups) m in
+  let q = ref 0 in
+  for l = 0 to limit - 1 do
+    if groups.(by_bid.(l)).group_bid >= asks.(by_ask.(l)) then q := l + 1
+  done;
+  let traded = max 0 (!q - 1) in
+  let buyer_payments = Array.make n 0.0 in
+  let seller_revenue = Array.make m 0.0 in
+  let buyer_welfare = ref 0.0 in
+  let final_groups = Array.copy groups in
+  if traded > 0 then begin
+    let clearing_bid = groups.(by_bid.(!q - 1)).group_bid in
+    let clearing_ask = asks.(by_ask.(!q - 1)) in
+    for l = 0 to traded - 1 do
+      let gi = by_bid.(l) in
+      let seller = by_ask.(l) in
+      let g = groups.(gi) in
+      final_groups.(gi) <- { g with channel = Some seller };
+      let share = clearing_bid /. float_of_int (List.length g.members) in
+      List.iter
+        (fun v ->
+          buyer_payments.(v) <- share;
+          buyer_welfare := !buyer_welfare +. bids.(v))
+        g.members;
+      seller_revenue.(seller) <- clearing_ask
+    done
+  end;
+  let total_payments = Array.fold_left ( +. ) 0.0 buyer_payments in
+  let total_revenue = Array.fold_left ( +. ) 0.0 seller_revenue in
+  {
+    groups = final_groups;
+    buyer_payments;
+    seller_revenue;
+    traded;
+    buyer_welfare = !buyer_welfare;
+    surplus = total_payments -. total_revenue;
+  }
+
+let is_feasible graph outcome =
+  let channel_ok = Hashtbl.create 8 in
+  Array.for_all
+    (fun g ->
+      match g.channel with
+      | None -> true
+      | Some j ->
+          let fresh = not (Hashtbl.mem channel_ok j) in
+          Hashtbl.replace channel_ok j ();
+          fresh && Graph.is_independent graph g.members)
+    outcome.groups

@@ -1,0 +1,42 @@
+(** Truthful double spectrum auction (related work [32], TRUST-style).
+
+    The single-sided mechanisms assume the auctioneer owns the spectrum; in
+    a real secondary market *primary licence holders sell* while secondary
+    users buy.  This module implements the TRUST/McAfee construction for
+    single-channel, single-minded buyers over a conflict graph:
+
+    1. Buyers are partitioned into *bid-independent* groups, each an
+       independent set of the conflict graph (greedy maximal independent
+       sets in a structure-only order) — a group can share one channel.
+    2. Each group places the virtual bid [π_g = |g| · min_{i∈g} b_i].
+    3. McAfee clearing between the sorted group bids (descending) and the
+       sellers' asks (ascending): with [q] = the largest index where
+       [π_q ≥ a_q], the top [q−1] groups trade with the cheapest [q−1]
+       sellers; every winning group pays [π_q] (split equally among its
+       members) and every trading seller receives [a_q].
+
+    Standard properties, all verified by the test suite: truthfulness for
+    buyers and sellers (the clearing prices are set by the excluded
+    [q]-th participants), ex-post individual rationality, budget balance
+    ([q−1]·(π_q − a_q) ≥ 0 surplus to the market maker), and per-channel
+    feasibility. *)
+
+type group = { members : int list; channel : int option; group_bid : float }
+
+type outcome = {
+  groups : group array;  (** all groups, winners carry [channel = Some j] *)
+  buyer_payments : float array;  (** per buyer; 0 for losers *)
+  seller_revenue : float array;  (** per seller; 0 for non-traders *)
+  traded : int;  (** number of channels traded (= q − 1, or 0) *)
+  buyer_welfare : float;  (** Σ winning bids *)
+  surplus : float;  (** Σ payments − Σ revenue, ≥ 0 *)
+}
+
+val run :
+  Sa_graph.Graph.t -> bids:float array -> asks:float array -> outcome
+(** [run graph ~bids ~asks]: one bid per buyer (vertex), one ask per
+    seller (channel).  Bids and asks must be non-negative. *)
+
+val is_feasible : Sa_graph.Graph.t -> outcome -> bool
+(** Every winning group is an independent set and channels are assigned to
+    at most one group. *)

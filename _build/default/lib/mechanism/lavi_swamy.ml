@@ -1,0 +1,62 @@
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+module Valuation = Sa_val.Valuation
+
+type outcome = {
+  fractional : Lp.fractional;
+  lottery : Decomposition.t;
+  alpha : float;
+  fractional_payments : float array;
+  fractional_values : float array;
+}
+
+let run ?alpha ?max_rounds ?pricing_trials g_rng inst =
+  let n = Instance.n inst in
+  let alpha = match alpha with Some a -> a | None -> Rounding.guarantee inst in
+  let frac = Lp.solve_explicit inst in
+  let lottery = Decomposition.decompose ?max_rounds ?pricing_trials g_rng inst frac ~alpha in
+  let fractional_values =
+    Array.init n (fun v -> Lp.fractional_value_of_bidder inst frac v)
+  in
+  let fractional_payments =
+    Array.init n (fun v ->
+        if fractional_values.(v) <= 1e-12 then 0.0
+        else begin
+          let without = Lp.solve_explicit ~zeroed:[ v ] inst in
+          let others_with_v = frac.Lp.objective -. fractional_values.(v) in
+          Float.max 0.0 (without.Lp.objective -. others_with_v)
+        end)
+  in
+  { fractional = frac; lottery; alpha = lottery.Decomposition.alpha_effective;
+    fractional_payments; fractional_values }
+
+let realised_payment inst outcome alloc v =
+  let fv = outcome.fractional_values.(v) in
+  if fv <= 1e-12 then 0.0
+  else
+    outcome.fractional_payments.(v) *. Allocation.bidder_value inst alloc v /. fv
+
+let sample g inst outcome =
+  let alloc = Decomposition.sample g outcome.lottery in
+  let payments =
+    Array.init (Instance.n inst) (fun v -> realised_payment inst outcome alloc v)
+  in
+  (alloc, payments)
+
+let expected_payment outcome v =
+  (* E[b_v(S(v))] = fv_v / alpha by the decomposition, so the realised
+     payment averages to p_v / alpha. *)
+  outcome.fractional_payments.(v) /. outcome.alpha
+
+let expected_utility inst outcome ~bidder ~true_valuation =
+  let lottery = outcome.lottery in
+  let value = ref 0.0 and payment = ref 0.0 in
+  Array.iteri
+    (fun l alloc ->
+      let w = lottery.Decomposition.weights.(l) in
+      value := !value +. (w *. Valuation.value true_valuation alloc.(bidder));
+      payment := !payment +. (w *. realised_payment inst outcome alloc bidder))
+    lottery.Decomposition.allocations;
+  !value -. !payment

@@ -1,0 +1,40 @@
+(** The truthful-in-expectation mechanism (Section 5).
+
+    Pipeline: solve the LP → decompose [x*/α] into a lottery over feasible
+    integral allocations ({!Decomposition}) → charge scaled VCG payments.
+
+    Payments follow Lavi–Swamy: the *fractional* VCG payment of bidder [v]
+    is [p_v = LP_{-v} − (LP − fv_v)] where [fv_v = Σ_T b_{v,T}·x*_{v,T}] is
+    [v]'s fractional value; when the lottery realises allocation [S], bidder
+    [v] pays [p_v · b_v(S(v)) / fv_v] — so expected payment is [p_v / α] and
+    reporting truthfully maximises expected utility. *)
+
+type outcome = {
+  fractional : Sa_core.Lp_relaxation.fractional;
+  lottery : Decomposition.t;
+  alpha : float;  (** effective scaling factor of the lottery *)
+  fractional_payments : float array;  (** the [p_v] above *)
+  fractional_values : float array;  (** the [fv_v] above *)
+}
+
+val run :
+  ?alpha:float ->
+  ?max_rounds:int ->
+  ?pricing_trials:int ->
+  Sa_util.Prng.t ->
+  Sa_core.Instance.t ->
+  outcome
+(** [alpha] defaults to the instance's theoretical guarantee
+    ({!Sa_core.Rounding.guarantee}).  Uses the explicit LP solver. *)
+
+val sample : Sa_util.Prng.t -> Sa_core.Instance.t -> outcome -> Sa_core.Allocation.t * float array
+(** Draw an allocation and the realised per-bidder payments. *)
+
+val expected_payment : outcome -> int -> float
+(** [p_v / α] (exact, from the lottery). *)
+
+val expected_utility :
+  Sa_core.Instance.t -> outcome -> bidder:int -> true_valuation:Sa_val.Valuation.t -> float
+(** Expected utility of [bidder] when its *true* valuation is
+    [true_valuation] but the mechanism ran on the instance's (possibly
+    misreported) valuations.  Computed exactly from the lottery. *)

@@ -1,0 +1,37 @@
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Exact = Sa_core.Exact
+module Valuation = Sa_val.Valuation
+
+type outcome = {
+  allocation : Sa_core.Allocation.t;
+  welfare : float;
+  payments : float array;
+}
+
+let without_bidder inst v =
+  let bidders = Array.copy inst.Instance.bidders in
+  bidders.(v) <- Valuation.Xor [];
+  Instance.with_available
+    (Instance.make ~conflict:inst.Instance.conflict ~k:inst.Instance.k ~bidders
+       ~ordering:inst.Instance.ordering ~rho:inst.Instance.rho)
+    inst.Instance.available
+
+let run ?node_limit inst =
+  let n = Instance.n inst in
+  let solve instance =
+    let r = Exact.solve ?node_limit instance in
+    if not r.Exact.exact then failwith "Vcg.run: exact solver budget exhausted";
+    r
+  in
+  let full = solve inst in
+  let payments =
+    Array.init n (fun v ->
+        let value_v = Allocation.bidder_value inst full.Exact.allocation v in
+        let others_with_v = full.Exact.value -. value_v in
+        let without = solve (without_bidder inst v) in
+        let p = without.Exact.value -. others_with_v in
+        (* Clarke payments are non-negative up to numerical noise. *)
+        Float.max 0.0 p)
+  in
+  { allocation = full.Exact.allocation; welfare = full.Exact.value; payments }

@@ -1,0 +1,16 @@
+(** Exact VCG over the integral problem (small instances).
+
+    The classical benchmark: welfare-optimal allocation with Clarke-pivot
+    payments [p_v = opt(-v) − (opt − value_v(opt))].  Exponential via the
+    exact branch-and-bound solver — usable only on small instances, which is
+    precisely its role: ground truth against the Lavi–Swamy mechanism. *)
+
+type outcome = {
+  allocation : Sa_core.Allocation.t;
+  welfare : float;
+  payments : float array;  (** Clarke payments, non-negative *)
+}
+
+val run : ?node_limit:int -> Sa_core.Instance.t -> outcome
+(** Requires the exact solver to finish within the budget on [n+1]
+    subproblems; raises [Failure] otherwise. *)

@@ -1,0 +1,1 @@
+lib/sim/market.ml: Array Float Format List Sa_core Sa_geom Sa_graph Sa_mech Sa_util Sa_val Sa_wireless

@@ -1,0 +1,1 @@
+lib/sim/market.mli: Format

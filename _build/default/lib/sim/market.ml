@@ -1,0 +1,239 @@
+module Prng = Sa_util.Prng
+module Floats = Sa_util.Floats
+module Point = Sa_geom.Point
+module Placement = Sa_geom.Placement
+module Inductive = Sa_graph.Inductive
+module Valuation = Sa_val.Valuation
+module Vgen = Sa_val.Gen
+module Link = Sa_wireless.Link
+module Protocol = Sa_wireless.Protocol
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+module Greedy = Sa_core.Greedy
+module Lavi_swamy = Sa_mech.Lavi_swamy
+
+type algorithm = Lp_rounding | Greedy | Truthful_mechanism
+
+type config = {
+  epochs : int;
+  arrivals_per_epoch : float;
+  side : float;
+  k : int;
+  delta : float;
+  patience : int;
+  urgency : float;
+  algorithm : algorithm;
+}
+
+let default_config =
+  {
+    epochs = 40;
+    arrivals_per_epoch = 6.0;
+    side = 12.0;
+    k = 4;
+    delta = 1.0;
+    patience = 5;
+    urgency = 1.1;
+    algorithm = Lp_rounding;
+  }
+
+type epoch_stats = {
+  epoch : int;
+  active : int;
+  served : int;
+  abandoned : int;
+  welfare : float;
+  revenue : float;
+  lp_value : float;
+  mean_wait_served : float;
+}
+
+type summary = {
+  config : config;
+  per_epoch : epoch_stats list;
+  total_arrived : int;
+  total_served : int;
+  total_abandoned : int;
+  total_welfare : float;
+  total_revenue : float;
+  mean_wait : float;
+  service_rate : float;
+  wait_fairness : float;
+}
+
+type bidder = {
+  link : Point.t * Point.t;
+  base_valuation : Valuation.t;
+  mutable wait : int;  (* epochs already waited *)
+}
+
+let validate cfg =
+  if cfg.epochs < 1 then invalid_arg "Market.run: epochs must be >= 1";
+  if cfg.arrivals_per_epoch <= 0.0 then
+    invalid_arg "Market.run: arrivals_per_epoch must be positive";
+  if cfg.k < 1 then invalid_arg "Market.run: k must be >= 1";
+  if cfg.patience < 0 then invalid_arg "Market.run: patience must be >= 0";
+  if cfg.urgency < 1.0 then invalid_arg "Market.run: urgency must be >= 1"
+
+let fresh_bidder g cfg =
+  let pairs = Placement.random_links g ~n:1 ~side:cfg.side ~min_len:0.5 ~max_len:1.5 in
+  {
+    link = pairs.(0);
+    base_valuation =
+      Vgen.random_xor g ~k:cfg.k ~bids:3 ~max_bundle:(min 2 cfg.k)
+        ~dist:(Vgen.Uniform (1.0, 10.0));
+    wait = 0;
+  }
+
+(* Deadline pressure: a bidder who has waited w epochs bids urgency^w times
+   its base valuation. *)
+let current_valuation cfg b = Valuation.scale b.base_valuation (cfg.urgency ** float_of_int b.wait)
+
+let build_instance cfg active =
+  let links = Array.of_list (List.map (fun b -> b.link) active) in
+  let sys = Link.of_point_pairs links in
+  let graph = Protocol.conflict_graph sys ~delta:cfg.delta in
+  let pi = Protocol.ordering sys in
+  let rho =
+    Float.max 1.0
+      (Inductive.rho_unweighted ~node_limit:200_000 graph pi).Inductive.rho
+  in
+  let bidders = Array.of_list (List.map (current_valuation cfg) active) in
+  Instance.make ~conflict:(Instance.Unweighted graph) ~k:cfg.k ~bidders ~ordering:pi
+    ~rho
+
+let allocate g cfg inst =
+  match cfg.algorithm with
+  | Greedy -> (Greedy.by_value inst, Array.make (Instance.n inst) 0.0, 0.0)
+  | Lp_rounding ->
+      let frac = Lp.solve_explicit inst in
+      let alloc = Rounding.solve_adaptive ~trials:4 g inst frac in
+      (alloc, Array.make (Instance.n inst) 0.0, frac.Lp.objective)
+  | Truthful_mechanism ->
+      let alpha_hint = 2.0 *. Rounding.guarantee inst in
+      let o = Lavi_swamy.run ~alpha:alpha_hint ~max_rounds:25 ~pricing_trials:6 g inst in
+      let alloc, payments = Lavi_swamy.sample g inst o in
+      (alloc, payments, o.Lavi_swamy.fractional.Lp.objective)
+
+let run ?(seed = 1) cfg =
+  validate cfg;
+  (* Separate streams so the arrival process is identical across allocation
+     algorithms (which consume varying amounts of randomness). *)
+  let master = Prng.create ~seed in
+  let g = Prng.split master in
+  let alloc_rng = Prng.split master in
+  let active = ref [] in
+  let stats = ref [] in
+  let total_arrived = ref 0 in
+  let total_served = ref 0 and total_abandoned = ref 0 in
+  let total_welfare = ref 0.0 and total_revenue = ref 0.0 in
+  let total_wait_served = ref 0 in
+  let served_waits = ref [] in
+  for epoch = 1 to cfg.epochs do
+    (* arrivals *)
+    let arrivals = Prng.poisson g cfg.arrivals_per_epoch in
+    total_arrived := !total_arrived + arrivals;
+    for _ = 1 to arrivals do
+      active := fresh_bidder g cfg :: !active
+    done;
+    let participants = Array.of_list (List.rev !active) in
+    if Array.length participants = 0 then
+      stats :=
+        {
+          epoch;
+          active = 0;
+          served = 0;
+          abandoned = 0;
+          welfare = 0.0;
+          revenue = 0.0;
+          lp_value = 0.0;
+          mean_wait_served = 0.0;
+        }
+        :: !stats
+    else begin
+      let inst = build_instance cfg (Array.to_list participants) in
+      let alloc, payments, lp_value = allocate alloc_rng cfg inst in
+      assert (Allocation.is_feasible inst alloc);
+      let welfare = Allocation.value inst alloc in
+      let revenue = Array.fold_left ( +. ) 0.0 payments in
+      (* winners leave; losers age and may abandon *)
+      let served = ref 0 and abandoned = ref 0 in
+      let wait_served = ref 0 in
+      let survivors = ref [] in
+      Array.iteri
+        (fun i b ->
+          if not (Sa_val.Bundle.is_empty alloc.(i)) then begin
+            incr served;
+            wait_served := !wait_served + b.wait;
+            served_waits := float_of_int b.wait :: !served_waits
+          end
+          else begin
+            b.wait <- b.wait + 1;
+            if b.wait > cfg.patience then incr abandoned
+            else survivors := b :: !survivors
+          end)
+        participants;
+      active := List.rev !survivors;
+      total_served := !total_served + !served;
+      total_abandoned := !total_abandoned + !abandoned;
+      total_welfare := !total_welfare +. welfare;
+      total_revenue := !total_revenue +. revenue;
+      total_wait_served := !total_wait_served + !wait_served;
+      stats :=
+        {
+          epoch;
+          active = Array.length participants;
+          served = !served;
+          abandoned = !abandoned;
+          welfare;
+          revenue;
+          lp_value;
+          mean_wait_served =
+            (if !served = 0 then 0.0
+             else float_of_int !wait_served /. float_of_int !served);
+        }
+        :: !stats
+    end
+  done;
+  let finished = !total_served + !total_abandoned in
+  {
+    config = cfg;
+    per_epoch = List.rev !stats;
+    total_arrived = !total_arrived;
+    total_served = !total_served;
+    total_abandoned = !total_abandoned;
+    total_welfare = !total_welfare;
+    total_revenue = !total_revenue;
+    mean_wait =
+      (if !total_served = 0 then 0.0
+       else float_of_int !total_wait_served /. float_of_int !total_served);
+    service_rate =
+      (if finished = 0 then 1.0
+       else float_of_int !total_served /. float_of_int finished);
+    (* promptness = 1/(1+wait); Jain index over served bidders *)
+    wait_fairness =
+      Sa_util.Stats.jain_index
+        (Array.of_list (List.map (fun w -> 1.0 /. (1.0 +. w)) !served_waits));
+  }
+
+let algorithm_name = function
+  | Lp_rounding -> "LP rounding (adaptive)"
+  | Greedy -> "greedy"
+  | Truthful_mechanism -> "Lavi-Swamy truthful mechanism"
+
+let pp_summary fmt s =
+  Format.fprintf fmt "market simulation: %d epochs, %s@." s.config.epochs
+    (algorithm_name s.config.algorithm);
+  Format.fprintf fmt "  arrived %d, served %d, abandoned %d (service rate %.1f%%)@."
+    s.total_arrived s.total_served s.total_abandoned (100.0 *. s.service_rate);
+  Format.fprintf fmt "  total welfare %.1f, total revenue %.2f, mean wait %.2f epochs@."
+    s.total_welfare s.total_revenue s.mean_wait;
+  Format.fprintf fmt "  wait fairness (Jain over promptness): %.3f@." s.wait_fairness;
+  let actives = List.map (fun e -> float_of_int e.active) s.per_epoch in
+  if actives <> [] then
+    Format.fprintf fmt "  backlog: mean %.1f active bidders/epoch, max %.0f@."
+      (Sa_util.Stats.mean (Array.of_list actives))
+      (List.fold_left Float.max 0.0 actives);
+  ignore Floats.default_eps

@@ -1,0 +1,23 @@
+let default_eps = 1e-7
+
+let scale a b = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+let approx_eq ?(eps = default_eps) a b = Float.abs (a -. b) <= eps *. scale a b
+let leq ?(eps = default_eps) a b = a <= b +. (eps *. scale a b)
+let geq ?eps a b = leq ?eps b a
+let is_zero ?(eps = default_eps) x = Float.abs x <= eps
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let log2 x = log x /. log 2.0
+let log2n n = Float.max 1.0 (log2 (float_of_int n))
+
+let sum xs =
+  let total = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !total +. y in
+      comp := t -. !total -. y;
+      total := t)
+    xs;
+  !total

@@ -1,0 +1,33 @@
+(** Tolerance-aware float comparisons.
+
+    All LP and verification code compares floats through this module so that
+    numerical slack is applied consistently (see DESIGN.md, tolerances). *)
+
+val default_eps : float
+(** 1e-7, the project-wide feasibility tolerance. *)
+
+val approx_eq : ?eps:float -> float -> float -> bool
+(** [approx_eq a b] holds when [|a - b| <= eps * max(1, |a|, |b|)]
+    (relative-absolute hybrid). *)
+
+val leq : ?eps:float -> float -> float -> bool
+(** [leq a b] is [a <= b + eps * max(1, |a|, |b|)]. *)
+
+val geq : ?eps:float -> float -> float -> bool
+(** [geq a b] is [b <= a] up to tolerance, i.e. [leq b a]. *)
+
+val is_zero : ?eps:float -> float -> bool
+(** [is_zero x] is [|x| <= eps]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp to a closed interval. *)
+
+val log2 : float -> float
+(** Base-2 logarithm. *)
+
+val log2n : int -> float
+(** [log2n n] is the "log n" factor used in the paper's bounds: [max 1 (log2
+    n)], so that tiny instances do not produce vacuous or negative factors. *)
+
+val sum : float array -> float
+(** Kahan-compensated sum (LP objective rows can mix magnitudes). *)

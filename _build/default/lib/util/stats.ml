@@ -1,0 +1,92 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  q1 : float;
+  q3 : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let sq = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sq /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = pos -. float_of_int lo in
+    ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median xs = quantile xs 0.5
+
+let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Stats.summarize: empty sample";
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    median = median xs;
+    q1 = quantile xs 0.25;
+    q3 = quantile xs 0.75;
+  }
+
+let ci95_halfwidth xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0 else 1.96 *. stddev xs /. sqrt (float_of_int n)
+
+let geometric_mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    Array.iter (fun x -> if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive sample") xs;
+    exp (Array.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int n)
+  end
+
+let jain_index xs =
+  let n = Array.length xs in
+  if n = 0 then 1.0
+  else begin
+    Array.iter
+      (fun x -> if x < 0.0 then invalid_arg "Stats.jain_index: negative sample")
+      xs;
+    let total = Array.fold_left ( +. ) 0.0 xs in
+    let sq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    if sq <= 0.0 then 1.0 else total *. total /. (float_of_int n *. sq)
+  end
+
+let histogram xs ~bins =
+  if Array.length xs = 0 then invalid_arg "Stats.histogram: empty sample";
+  if bins < 1 then invalid_arg "Stats.histogram: bins must be >= 1";
+  let lo = Array.fold_left Float.min xs.(0) xs in
+  let hi = Array.fold_left Float.max xs.(0) xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  let bin_of x =
+    let b = int_of_float ((x -. lo) /. width) in
+    if b >= bins then bins - 1 else if b < 0 then 0 else b
+  in
+  Array.iter (fun x -> counts.(bin_of x) <- counts.(bin_of x) + 1) xs;
+  Array.init bins (fun b ->
+      (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))

@@ -1,0 +1,50 @@
+(** Descriptive statistics over float samples.
+
+    Used by the experiment harness to summarise repeated randomized runs
+    (approximation ratios, running times, ρ estimates). *)
+
+type summary = {
+  n : int;  (** number of samples *)
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  q1 : float;  (** 25th percentile *)
+  q3 : float;  (** 75th percentile *)
+}
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; 0 when fewer than 2 samples. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [\[0,1\]], linear interpolation between order
+    statistics.  Requires a non-empty array. *)
+
+val median : float array -> float
+(** [quantile xs 0.5]. *)
+
+val summarize : float array -> summary
+(** Full summary; requires a non-empty array. *)
+
+val ci95_halfwidth : float array -> float
+(** Half-width of a normal-approximation 95% confidence interval for the
+    mean ([1.96 * stddev / sqrt n]); 0 when fewer than 2 samples. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of positive samples; used for ratio aggregation. *)
+
+val jain_index : float array -> float
+(** Jain's fairness index [(Σx)² / (n·Σx²)] over non-negative samples:
+    1 when perfectly equal, → 1/n when one sample dominates.  Returns 1 on
+    empty or all-zero input. *)
+
+val histogram : float array -> bins:int -> (float * float * int) array
+(** [histogram xs ~bins] returns [(lo, hi, count)] per bin over the sample
+    range.  Requires a non-empty array and [bins >= 1]. *)

@@ -1,0 +1,57 @@
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list (* reversed *) }
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells =
+  let width = List.length t.headers in
+  let given = List.length cells in
+  if given > width then invalid_arg "Table.add_row: more cells than headers";
+  let padded = cells @ List.init (width - given) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let cell_f ?(prec = 3) x = Printf.sprintf "%.*f" prec x
+let cell_i = string_of_int
+
+let add_floats t ?prec xs = add_row t (List.map (cell_f ?prec) xs)
+let add_sep t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cell_rows =
+    t.headers :: List.filter_map (function Cells c -> Some c | Separator -> None) rows
+  in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter measure all_cell_rows;
+  let buf = Buffer.create 1024 in
+  let pad i c = c ^ String.make (widths.(i) - String.length c) ' ' in
+  let emit_cells cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let emit_sep () =
+    Buffer.add_char buf '|';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '|')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  emit_sep ();
+  List.iter (function Cells c -> emit_cells c | Separator -> emit_sep ()) rows;
+  Buffer.contents buf
+
+let to_string = render
+let print ?(oc = stdout) t = output_string oc (render t)

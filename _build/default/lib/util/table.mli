@@ -1,0 +1,32 @@
+(** Fixed-width plain-text tables for experiment output.
+
+    The experiment driver prints every reproduced "table" through this module
+    so that outputs are aligned, diffable, and easy to paste into
+    EXPERIMENTS.md. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Rows shorter than the header are padded, longer ones raise
+    [Invalid_argument]. *)
+
+val add_floats : t -> ?prec:int -> float list -> unit
+(** Convenience: format every cell with [%.*f] (default precision 3). *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator row. *)
+
+val print : ?oc:out_channel -> t -> unit
+(** Render with column alignment to [oc] (default [stdout]). *)
+
+val to_string : t -> string
+(** Render to a string. *)
+
+val cell_f : ?prec:int -> float -> string
+(** Format one float cell ([%.*f], default precision 3). *)
+
+val cell_i : int -> string
+(** Format one int cell. *)

@@ -1,0 +1,8 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let time_only f = snd (time f)
+
+let repeat n f = Array.init n (fun _ -> time_only f)

@@ -1,0 +1,13 @@
+(** Wall-clock timing helpers for the experiment driver.
+
+    Bechamel handles micro-benchmarks in [bench/]; this module covers the
+    coarse per-run timings reported in experiment tables. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with elapsed seconds. *)
+
+val time_only : (unit -> 'a) -> float
+(** Elapsed seconds only, discarding the result. *)
+
+val repeat : int -> (unit -> 'a) -> float array
+(** [repeat n f] runs [f] [n] times and returns the per-run timings. *)

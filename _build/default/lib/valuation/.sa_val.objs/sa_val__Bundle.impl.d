@@ -1,0 +1,1 @@
+lib/valuation/bundle.ml: Format Int List

@@ -1,0 +1,1 @@
+lib/valuation/bundle.mli: Format

@@ -1,0 +1,1 @@
+lib/valuation/gen.ml: Array Bundle Float List Sa_util Valuation

@@ -1,0 +1,1 @@
+lib/valuation/gen.mli: Sa_util Valuation

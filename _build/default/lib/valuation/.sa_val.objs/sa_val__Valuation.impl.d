@@ -1,0 +1,1 @@
+lib/valuation/valuation.ml: Array Bundle Float Format List Printf

@@ -1,0 +1,1 @@
+lib/valuation/valuation.mli: Bundle Format

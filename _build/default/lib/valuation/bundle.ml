@@ -1,0 +1,78 @@
+type t = int
+
+let max_channels = 62
+
+let check_channel j =
+  if j < 0 || j >= max_channels then invalid_arg "Bundle: channel out of range"
+
+let empty = 0
+let is_empty t = t = 0
+
+let full k =
+  if k < 0 || k > max_channels then invalid_arg "Bundle.full: bad k";
+  if k = 0 then 0 else (1 lsl k) - 1
+
+let singleton j =
+  check_channel j;
+  1 lsl j
+
+let mem j t =
+  check_channel j;
+  t land (1 lsl j) <> 0
+
+let add j t =
+  check_channel j;
+  t lor (1 lsl j)
+
+let remove j t =
+  check_channel j;
+  t land lnot (1 lsl j)
+
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let subset a b = a land lnot b = 0
+let intersects a b = a land b <> 0
+
+let card t =
+  let rec count t acc = if t = 0 then acc else count (t lsr 1) (acc + (t land 1)) in
+  count t 0
+
+let of_list js = List.fold_left (fun acc j -> add j acc) empty js
+
+let to_list t =
+  let rec collect j acc =
+    if j < 0 then acc
+    else collect (j - 1) (if t land (1 lsl j) <> 0 then j :: acc else acc)
+  in
+  collect (max_channels - 1) []
+
+let fold f t init =
+  let rec go j acc =
+    if j >= max_channels then acc
+    else go (j + 1) (if t land (1 lsl j) <> 0 then f j acc else acc)
+  in
+  go 0 init
+
+let iter f t = fold (fun j () -> f j) t ()
+
+let all_subsets k =
+  if k < 0 || k > 20 then invalid_arg "Bundle.all_subsets: k must be in [0, 20]";
+  List.init (1 lsl k) (fun mask -> mask)
+
+let all_nonempty_subsets k = List.filter (fun t -> t <> 0) (all_subsets k)
+
+let of_int mask =
+  if mask < 0 then invalid_arg "Bundle.of_int: negative mask";
+  mask
+
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+       Format.pp_print_int)
+    (to_list t)

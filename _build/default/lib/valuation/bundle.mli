@@ -1,0 +1,46 @@
+(** Channel bundles [T ⊆ \[k\]] as bitmasks.
+
+    Channels are numbered [0 .. k-1]; the project supports [k ≤ 62] (an OCaml
+    [int] of channel bits), far beyond the experiment range. *)
+
+type t = private int
+
+val max_channels : int
+(** 62. *)
+
+val empty : t
+val is_empty : t -> bool
+
+val full : int -> t
+(** [full k] is [{0, …, k-1}].  Requires [0 ≤ k ≤ max_channels]. *)
+
+val singleton : int -> t
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val intersects : t -> t -> bool
+val card : t -> int
+val of_list : int list -> t
+val to_list : t -> int list
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (int -> unit) -> t -> unit
+
+val all_subsets : int -> t list
+(** [all_subsets k]: all [2^k] bundles over [k] channels (including empty).
+    Requires small [k] (raises above [k = 20] to protect callers). *)
+
+val all_nonempty_subsets : int -> t list
+
+val of_int : int -> t
+(** Unsafe-ish escape hatch for iteration: reinterpret a bitmask.  Negative
+    masks are rejected. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. ["{0,2,5}"]. *)

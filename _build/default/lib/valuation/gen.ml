@@ -1,0 +1,68 @@
+module Prng = Sa_util.Prng
+
+type value_dist = Uniform of float * float | Pareto of { alpha : float; xmin : float }
+
+let draw_value g = function
+  | Uniform (lo, hi) -> Prng.uniform_in g lo hi
+  | Pareto { alpha; xmin } -> Prng.pareto g ~alpha ~xmin
+
+let random_bundle g ~k ~max_bundle =
+  let size = 1 + Prng.int g (min max_bundle k) in
+  Bundle.of_list (Array.to_list (Prng.sample_without_replacement g size k))
+
+let random_xor g ~k ~bids ~max_bundle ~dist =
+  if k <= 0 then invalid_arg "Gen.random_xor: k must be positive";
+  let rec draw_bids acc seen remaining =
+    if remaining = 0 then acc
+    else
+      let b = random_bundle g ~k ~max_bundle in
+      if List.mem b seen then draw_bids acc seen (remaining - 1)
+      else
+        let per_channel = draw_value g dist in
+        let v = per_channel *. (float_of_int (Bundle.card b) ** 1.1) in
+        draw_bids ((b, v) :: acc) (b :: seen) (remaining - 1)
+  in
+  Valuation.Xor (draw_bids [] [] bids)
+
+let random_additive g ~k ~dist =
+  Valuation.Additive (Array.init k (fun _ -> draw_value g dist))
+
+let random_unit_demand g ~k ~dist =
+  Valuation.Unit_demand (Array.init k (fun _ -> draw_value g dist))
+
+let random_symmetric g ~k ~dist ~concave =
+  let f = Array.make (k + 1) 0.0 in
+  let increment = ref (draw_value g dist) in
+  for m = 1 to k do
+    f.(m) <- f.(m - 1) +. !increment;
+    if concave then increment := !increment *. Prng.uniform_in g 0.4 0.95
+    else increment := draw_value g dist
+  done;
+  (* Non-concave draws can decrease marginals arbitrarily, which is fine:
+     the paper allows arbitrary (even non-monotone) valuations, but we keep
+     f non-decreasing here for interpretability. *)
+  Valuation.Symmetric f
+
+let random_budget_additive g ~k ~dist =
+  let values = Array.init k (fun _ -> draw_value g dist) in
+  let total = Array.fold_left ( +. ) 0.0 values in
+  (* A budget between the largest single value and the total keeps the cap
+     meaningful. *)
+  let top = Array.fold_left Float.max 0.0 values in
+  Valuation.Budget_additive { values; budget = Prng.uniform_in g top total }
+
+let random_or g ~k ~bids ~max_bundle ~dist =
+  if k <= 0 then invalid_arg "Gen.random_or: k must be positive";
+  Valuation.Or_bids
+    (List.init bids (fun _ ->
+         let b = random_bundle g ~k ~max_bundle in
+         (b, draw_value g dist *. float_of_int (Bundle.card b))))
+
+let random_mixed g ~k ~dist =
+  match Prng.int g 6 with
+  | 0 -> random_xor g ~k ~bids:(2 + Prng.int g 4) ~max_bundle:(min 3 k) ~dist
+  | 1 -> random_additive g ~k ~dist
+  | 2 -> random_unit_demand g ~k ~dist
+  | 3 -> random_budget_additive g ~k ~dist
+  | 4 -> random_or g ~k ~bids:(2 + Prng.int g 3) ~max_bundle:(min 2 k) ~dist
+  | _ -> random_symmetric g ~k ~dist ~concave:(Prng.bool g)

@@ -1,0 +1,45 @@
+(** Random valuation generators for synthetic workloads.
+
+    Values follow either uniform or Pareto (heavy-tailed) marginals — the
+    latter models the realistic situation where a few secondary users (e.g.
+    congested operators) value spectrum far more than the rest. *)
+
+type value_dist = Uniform of float * float | Pareto of { alpha : float; xmin : float }
+
+val draw_value : Sa_util.Prng.t -> value_dist -> float
+
+val random_xor :
+  Sa_util.Prng.t ->
+  k:int ->
+  bids:int ->
+  max_bundle:int ->
+  dist:value_dist ->
+  Valuation.t
+(** [bids] bids on distinct random bundles of size [1 .. max_bundle];
+    superadditive tilt: a bundle's value is the drawn per-channel value times
+    [|B|^1.1], so larger bundles are worth slightly more than the sum. *)
+
+val random_additive : Sa_util.Prng.t -> k:int -> dist:value_dist -> Valuation.t
+
+val random_unit_demand : Sa_util.Prng.t -> k:int -> dist:value_dist -> Valuation.t
+
+val random_symmetric :
+  Sa_util.Prng.t -> k:int -> dist:value_dist -> concave:bool -> Valuation.t
+(** Non-decreasing [f]; concave (diminishing returns) when [concave]. *)
+
+val random_budget_additive :
+  Sa_util.Prng.t -> k:int -> dist:value_dist -> Valuation.t
+(** Additive values with a budget drawn between the largest single value and
+    the total, so the cap genuinely binds on large bundles. *)
+
+val random_or :
+  Sa_util.Prng.t ->
+  k:int ->
+  bids:int ->
+  max_bundle:int ->
+  dist:value_dist ->
+  Valuation.t
+(** OR bids on random bundles, value scaled by bundle size. *)
+
+val random_mixed : Sa_util.Prng.t -> k:int -> dist:value_dist -> Valuation.t
+(** One of the six languages, uniformly at random. *)

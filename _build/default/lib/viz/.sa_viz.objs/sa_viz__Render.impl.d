@@ -1,0 +1,1 @@
+lib/viz/render.ml: Array Float List Printf Sa_geom Sa_val Sa_wireless Svg

@@ -1,0 +1,1 @@
+lib/viz/render.mli: Sa_core Sa_wireless Svg

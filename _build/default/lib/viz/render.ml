@@ -1,0 +1,90 @@
+module Point = Sa_geom.Point
+module Metric = Sa_geom.Metric
+module Bundle = Sa_val.Bundle
+module Link = Sa_wireless.Link
+module Disk = Sa_wireless.Disk
+
+let palette =
+  [|
+    "#1f77b4"; "#ff7f0e"; "#2ca02c"; "#d62728"; "#9467bd";
+    "#8c564b"; "#e377c2"; "#7f7f7f"; "#bcbd22"; "#17becf";
+  |]
+
+let channel_color j = palette.(j mod Array.length palette)
+let grey = "#c8c8c8"
+
+let color_of_bundle = function
+  | b when Bundle.is_empty b -> grey
+  | b -> channel_color (List.hd (Bundle.to_list b))
+
+let world_of_points pts =
+  let xs = Array.map (fun p -> p.Point.x) pts in
+  let ys = Array.map (fun p -> p.Point.y) pts in
+  let min_of a = Array.fold_left Float.min a.(0) a in
+  let max_of a = Array.fold_left Float.max a.(0) a in
+  let pad = 0.05 *. Float.max 1.0 (max_of xs -. min_of xs) in
+  (min_of xs -. pad, min_of ys -. pad, max_of xs +. pad, max_of ys +. pad)
+
+let legend_of_alloc alloc =
+  match alloc with
+  | None -> []
+  | Some a ->
+      let channels =
+        Array.to_list a
+        |> List.concat_map Bundle.to_list
+        |> List.sort_uniq compare
+      in
+      List.map (fun j -> (channel_color j, Printf.sprintf "channel %d" j)) channels
+      @ [ (grey, "unallocated") ]
+
+let add_title svg = function None -> () | Some t -> Svg.title svg t
+
+let links ?alloc ?title sys =
+  let pts =
+    match Metric.points (Link.metric sys) with
+    | Some pts -> pts
+    | None -> invalid_arg "Render.links: link system has no planar embedding"
+  in
+  let svg = Svg.create ~world:(world_of_points pts) ~width_px:720 in
+  add_title svg title;
+  for i = 0 to Link.n sys - 1 do
+    let l = Link.link sys i in
+    let s = pts.(l.Link.sender) and r = pts.(l.Link.receiver) in
+    let bundle = match alloc with Some a -> a.(i) | None -> Bundle.empty in
+    let color = match alloc with Some _ -> color_of_bundle bundle | None -> "black" in
+    let width = if Bundle.is_empty bundle then 1.0 else 2.5 in
+    Svg.line svg ~x1:s.Point.x ~y1:s.Point.y ~x2:r.Point.x ~y2:r.Point.y
+      ~stroke:color ~stroke_width:width ();
+    Svg.circle svg ~cx:s.Point.x ~cy:s.Point.y ~r:0.08 ~fill:color ~stroke:"none" ();
+    Svg.circle svg ~cx:r.Point.x ~cy:r.Point.y ~r:0.08 ~fill:"white" ~stroke:color ()
+  done;
+  Svg.legend svg (legend_of_alloc alloc);
+  svg
+
+let disks ?alloc ?title d =
+  let pts = Array.init (Disk.n d) (Disk.point d) in
+  let x0, y0, x1, y1 = world_of_points pts in
+  let rmax =
+    let best = ref 0.0 in
+    for i = 0 to Disk.n d - 1 do
+      best := Float.max !best (Disk.radius d i)
+    done;
+    !best
+  in
+  let svg =
+    Svg.create ~world:(x0 -. rmax, y0 -. rmax, x1 +. rmax, y1 +. rmax) ~width_px:720
+  in
+  add_title svg title;
+  for i = 0 to Disk.n d - 1 do
+    let p = Disk.point d i in
+    let bundle = match alloc with Some a -> a.(i) | None -> Bundle.empty in
+    let color = match alloc with Some _ -> color_of_bundle bundle | None -> "black" in
+    let fill = if Bundle.is_empty bundle then "none" else color in
+    Svg.circle svg ~cx:p.Point.x ~cy:p.Point.y ~r:(Disk.radius d i) ~fill
+      ~stroke:color ~opacity:0.35 ();
+    Svg.circle svg ~cx:p.Point.x ~cy:p.Point.y ~r:0.06 ~fill:color ~stroke:"none" ()
+  done;
+  Svg.legend svg (legend_of_alloc alloc);
+  svg
+
+let write path svg = Svg.write_file path svg

@@ -1,0 +1,29 @@
+(** Deployment-map rendering: link systems, disk deployments, allocations.
+
+    Channels are colour-coded with a fixed palette; unallocated bidders are
+    grey.  Output is a standalone SVG (see {!Svg}). *)
+
+val channel_color : int -> string
+(** Stable palette, cycling after 10 channels. *)
+
+val links :
+  ?alloc:Sa_core.Allocation.t ->
+  ?title:string ->
+  Sa_wireless.Link.system ->
+  Svg.t
+(** Senders as dots, receivers as hollow dots, the link as an arrowless
+    line.  With [alloc], a link is coloured by its first allocated channel
+    (grey when unallocated) and thicker when it won; the legend shows the
+    channels in use.  Requires a planar link system (built from points). *)
+
+val disks :
+  ?alloc:Sa_core.Allocation.t ->
+  ?title:string ->
+  Sa_wireless.Disk.t ->
+  Svg.t
+(** Transmitters as centre dots with their coverage disks; with [alloc],
+    disks are filled (translucent) in their first channel's colour. *)
+
+val write : string -> Svg.t -> unit
+(** Alias of {!Svg.write_file} with the arguments in render-pipeline
+    order. *)

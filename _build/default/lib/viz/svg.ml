@@ -1,0 +1,89 @@
+type t = {
+  x0 : float;
+  y0 : float;
+  scale : float;
+  width_px : int;
+  height_px : int;
+  mutable shapes : string list; (* reversed *)
+}
+
+let create ~world:(x0, y0, x1, y1) ~width_px =
+  if x1 <= x0 || y1 <= y0 then invalid_arg "Svg.create: empty world box";
+  let scale = float_of_int width_px /. (x1 -. x0) in
+  let height_px = int_of_float (Float.ceil ((y1 -. y0) *. scale)) in
+  { x0; y0; scale; width_px; height_px; shapes = [] }
+
+let px t x = (x -. t.x0) *. t.scale
+let py t y = float_of_int t.height_px -. ((y -. t.y0) *. t.scale)
+
+let add t s = t.shapes <- s :: t.shapes
+
+let circle t ~cx ~cy ~r ?(fill = "none") ?(stroke = "black") ?(stroke_width = 1.0)
+    ?(opacity = 1.0) () =
+  add t
+    (Printf.sprintf
+       {|<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s" stroke="%s" stroke-width="%.2f" opacity="%.2f"/>|}
+       (px t cx) (py t cy) (r *. t.scale) fill stroke stroke_width opacity)
+
+let line t ~x1 ~y1 ~x2 ~y2 ?(stroke = "black") ?(stroke_width = 1.5)
+    ?(dashed = false) () =
+  add t
+    (Printf.sprintf
+       {|<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"%s/>|}
+       (px t x1) (py t y1) (px t x2) (py t y2) stroke stroke_width
+       (if dashed then {| stroke-dasharray="4 3"|} else ""))
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let text t ~x ~y ?(size_px = 11) ?(fill = "black") s =
+  add t
+    (Printf.sprintf {|<text x="%.2f" y="%.2f" font-size="%d" fill="%s">%s</text>|}
+       (px t x) (py t y) size_px fill (escape s))
+
+let title t s =
+  add t
+    (Printf.sprintf
+       {|<text x="%d" y="%d" font-size="14" font-weight="bold">%s</text>|}
+       8 (t.height_px - 8) (escape s))
+
+let legend t entries =
+  List.iteri
+    (fun i (color, label) ->
+      let y = 16 + (18 * i) in
+      add t
+        (Printf.sprintf {|<rect x="8" y="%d" width="12" height="12" fill="%s"/>|}
+           (y - 10) color);
+      add t
+        (Printf.sprintf {|<text x="26" y="%d" font-size="12">%s</text>|} y
+           (escape label)))
+    entries
+
+let to_string t =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">|}
+       t.width_px t.height_px t.width_px t.height_px);
+  Buffer.add_string buf "\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n')
+    (List.rev t.shapes);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))

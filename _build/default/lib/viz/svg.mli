@@ -1,0 +1,35 @@
+(** Minimal SVG document builder (no dependencies).
+
+    Just enough to draw deployment maps: shapes are accumulated and
+    rendered into a standalone [<svg>] document.  Coordinates are in the
+    caller's world units; a world-box-to-pixels transform is applied at
+    render time. *)
+
+type t
+
+val create : world:float * float * float * float -> width_px:int -> t
+(** [create ~world:(x0, y0, x1, y1) ~width_px] — world bounding box mapped
+    to [width_px] pixels wide (height follows the aspect ratio); the y axis
+    is flipped so world "up" renders up. *)
+
+val circle :
+  t -> cx:float -> cy:float -> r:float -> ?fill:string -> ?stroke:string ->
+  ?stroke_width:float -> ?opacity:float -> unit -> unit
+(** [r] is in world units. *)
+
+val line :
+  t -> x1:float -> y1:float -> x2:float -> y2:float -> ?stroke:string ->
+  ?stroke_width:float -> ?dashed:bool -> unit -> unit
+
+val text :
+  t -> x:float -> y:float -> ?size_px:int -> ?fill:string -> string -> unit
+
+val title : t -> string -> unit
+(** Caption along the bottom edge (pixel space). *)
+
+val legend : t -> (string * string) list -> unit
+(** [(color, label)] swatches stacked in the top-left corner (pixel space). *)
+
+val to_string : t -> string
+
+val write_file : string -> t -> unit

@@ -1,0 +1,1 @@
+lib/wireless/civilized.ml: Array List Sa_geom Sa_graph Sa_util

@@ -1,0 +1,1 @@
+lib/wireless/civilized.mli: Sa_geom Sa_graph Sa_util

@@ -1,0 +1,1 @@
+lib/wireless/disk.ml: Array List Sa_geom Sa_graph Sa_util

@@ -1,0 +1,1 @@
+lib/wireless/disk.mli: Sa_geom Sa_graph Sa_util

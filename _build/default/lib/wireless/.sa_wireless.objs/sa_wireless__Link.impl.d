@@ -1,0 +1,1 @@
+lib/wireless/link.ml: Array Sa_geom Sa_graph

@@ -1,0 +1,1 @@
+lib/wireless/link.mli: Sa_geom Sa_graph

@@ -1,0 +1,1 @@
+lib/wireless/power_control.mli: Link Sinr

@@ -1,0 +1,1 @@
+lib/wireless/primary.ml: Array Link List Sa_geom Sa_util Sa_val

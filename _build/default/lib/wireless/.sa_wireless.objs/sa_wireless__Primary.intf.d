@@ -1,0 +1,1 @@
+lib/wireless/primary.mli: Link Sa_geom Sa_util Sa_val

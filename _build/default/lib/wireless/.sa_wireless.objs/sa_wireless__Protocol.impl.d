@@ -1,0 +1,1 @@
+lib/wireless/protocol.ml: Float Link List Sa_geom Sa_graph

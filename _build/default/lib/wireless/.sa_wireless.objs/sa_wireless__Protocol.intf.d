@@ -1,0 +1,1 @@
+lib/wireless/protocol.mli: Link Sa_graph

@@ -1,0 +1,1 @@
+lib/wireless/sinr.ml: Array Float Link List Sa_util

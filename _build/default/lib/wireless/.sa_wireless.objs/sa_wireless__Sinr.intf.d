@@ -1,0 +1,1 @@
+lib/wireless/sinr.mli: Link Sa_util

@@ -1,0 +1,1 @@
+lib/wireless/sinr_graph.ml: Array Float Link Sa_graph Sinr

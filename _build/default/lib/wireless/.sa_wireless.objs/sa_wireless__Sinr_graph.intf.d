@@ -1,0 +1,1 @@
+lib/wireless/sinr_graph.mli: Link Sa_graph Sinr

@@ -1,0 +1,68 @@
+module Graph = Sa_graph.Graph
+module Point = Sa_geom.Point
+module Prng = Sa_util.Prng
+
+type t = { points : Point.t array; graph : Graph.t }
+
+let make points ~r ~s g =
+  let count = Array.length points in
+  if Graph.n g <> count then invalid_arg "Civilized.make: graph size mismatch";
+  for i = 0 to count - 1 do
+    for j = i + 1 to count - 1 do
+      if Point.dist points.(i) points.(j) < s -. 1e-12 then
+        invalid_arg "Civilized.make: points closer than s"
+    done
+  done;
+  Graph.iter_edges g (fun u v ->
+      if Point.dist points.(u) points.(v) > r +. 1e-12 then
+        invalid_arg "Civilized.make: edge longer than r");
+  { points = Array.copy points; graph = Graph.copy g }
+
+let random g ~n:target ~side ~r ~s ~edge_prob =
+  if s <= 0.0 || r < s then invalid_arg "Civilized.random: need 0 < s <= r";
+  let placed = ref [] in
+  let count = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = target * 50 in
+  while !count < target && !attempts < max_attempts do
+    incr attempts;
+    let p = Point.make (Prng.float g side) (Prng.float g side) in
+    if List.for_all (fun q -> Point.dist p q >= s) !placed then begin
+      placed := p :: !placed;
+      incr count
+    end
+  done;
+  let points = Array.of_list (List.rev !placed) in
+  let m = Array.length points in
+  let graph = Graph.create m in
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      if Point.dist points.(i) points.(j) <= r && Prng.bernoulli g edge_prob then
+        Graph.add_edge graph i j
+    done
+  done;
+  { points; graph }
+
+let graph t = t.graph
+let points t = Array.copy t.points
+let n t = Array.length t.points
+
+let distance2_coloring_graph t =
+  let base = t.graph in
+  let size = Graph.n base in
+  let g2 = Graph.create size in
+  for i = 0 to size - 1 do
+    for j = i + 1 to size - 1 do
+      let adjacent = Graph.mem_edge base i j in
+      let two_hop =
+        (not adjacent)
+        && List.exists (fun u -> Graph.mem_edge base u j) (Graph.neighbors base i)
+      in
+      if adjacent || two_hop then Graph.add_edge g2 i j
+    done
+  done;
+  g2
+
+let rho_bound ~r ~s =
+  let q = (4.0 *. r /. s) +. 2.0 in
+  q *. q

@@ -1,0 +1,29 @@
+(** (r,s)-civilized graphs (Proposition 18).
+
+    A graph is (r,s)-civilized when its vertices can be placed in the plane
+    with pairwise separation at least [s] and edges only between vertices at
+    distance at most [r].  Distance-2 coloring on such graphs has inductive
+    independence at most [(4r/s + 2)²] — for *any* ordering, which the
+    experiments verify with random orderings. *)
+
+type t
+
+val make : Sa_geom.Point.t array -> r:float -> s:float -> Sa_graph.Graph.t -> t
+(** Validates the civilized conditions: pairwise separation ≥ [s] and all
+    edges of length ≤ [r]. *)
+
+val random :
+  Sa_util.Prng.t -> n:int -> side:float -> r:float -> s:float -> edge_prob:float -> t
+(** Poisson-dart placement with minimum separation [s] (placement may yield
+    fewer than [n] points if the square is too crowded); each admissible pair
+    (distance ≤ [r]) becomes an edge with probability [edge_prob]. *)
+
+val graph : t -> Sa_graph.Graph.t
+val points : t -> Sa_geom.Point.t array
+val n : t -> int
+
+val distance2_coloring_graph : t -> Sa_graph.Graph.t
+(** Conflicts between vertices at hop distance ≤ 2. *)
+
+val rho_bound : r:float -> s:float -> float
+(** [(4r/s + 2)²] per the Proposition 18 proof. *)

@@ -1,0 +1,80 @@
+module Graph = Sa_graph.Graph
+module Ordering = Sa_graph.Ordering
+module Point = Sa_geom.Point
+module Prng = Sa_util.Prng
+
+type t = { points : Point.t array; radii : float array }
+
+let make points radii =
+  if Array.length points <> Array.length radii then
+    invalid_arg "Disk.make: points/radii length mismatch";
+  Array.iter (fun r -> if r <= 0.0 then invalid_arg "Disk.make: non-positive radius") radii;
+  { points = Array.copy points; radii = Array.copy radii }
+
+let n t = Array.length t.points
+let point t i = t.points.(i)
+let radius t i = t.radii.(i)
+
+let conflict_graph t =
+  let size = n t in
+  let g = Graph.create size in
+  for i = 0 to size - 1 do
+    for j = i + 1 to size - 1 do
+      if Point.dist t.points.(i) t.points.(j) < t.radii.(i) +. t.radii.(j) then
+        Graph.add_edge g i j
+    done
+  done;
+  g
+
+let ordering t = Ordering.by_key (n t) (fun i -> -.t.radii.(i))
+
+let rho_bound = 5
+
+let distance2_coloring_graph t =
+  let base = conflict_graph t in
+  let size = n t in
+  let g = Graph.create size in
+  for i = 0 to size - 1 do
+    for j = i + 1 to size - 1 do
+      let adjacent = Graph.mem_edge base i j in
+      let two_hop =
+        (not adjacent)
+        && List.exists (fun u -> Graph.mem_edge base u j) (Graph.neighbors base i)
+      in
+      if adjacent || two_hop then Graph.add_edge g i j
+    done
+  done;
+  g
+
+let distance2_matching t =
+  let base = conflict_graph t in
+  let disk_edges = Array.of_list (Graph.edges base) in
+  let m = Array.length disk_edges in
+  let g = Graph.create m in
+  let touches (a, b) v = a = v || b = v in
+  let share_endpoint (a, b) (c, d) = a = c || a = d || b = c || b = d in
+  for e = 0 to m - 1 do
+    for f = e + 1 to m - 1 do
+      let ea, eb = disk_edges.(e) and fa, fb = disk_edges.(f) in
+      let joined =
+        (* some disk-graph edge connects an endpoint of e to one of f *)
+        Array.exists
+          (fun (x, y) ->
+            (touches (ea, eb) x && touches (fa, fb) y)
+            || (touches (ea, eb) y && touches (fa, fb) x))
+          disk_edges
+      in
+      if share_endpoint (ea, eb) (fa, fb) || joined then Graph.add_edge g e f
+    done
+  done;
+  let r_of_edge e =
+    let a, b = disk_edges.(e) in
+    t.radii.(a) +. t.radii.(b)
+  in
+  (g, Ordering.by_key m r_of_edge, disk_edges)
+
+let random g ~n:count ~side ~rmin ~rmax =
+  if rmin <= 0.0 || rmax < rmin then invalid_arg "Disk.random: need 0 < rmin <= rmax";
+  let points = Sa_geom.Placement.uniform g ~n:count ~side in
+  let radii = Array.init count (fun _ -> Prng.uniform_in g rmin rmax) in
+  make points radii

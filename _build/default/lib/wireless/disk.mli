@@ -1,0 +1,41 @@
+(** Disk graphs and distance-2 structures (Appendix A, §4.1).
+
+    Transmitter scenario: each bidder is a transmitter at a planar point
+    with a transmission radius; two transmitters conflict when their disks
+    intersect.  Derived structures: distance-2 coloring (the square of the
+    disk graph, Prop 17) and distance-2 matching (bidders are *links* of the
+    disk graph, Cor 10). *)
+
+type t
+(** Transmitters: points plus radii. *)
+
+val make : Sa_geom.Point.t array -> float array -> t
+(** Radii must be positive and match the point count. *)
+
+val n : t -> int
+val point : t -> int -> Sa_geom.Point.t
+val radius : t -> int -> float
+
+val conflict_graph : t -> Sa_graph.Graph.t
+(** Disks intersect: [d(p_i, p_j) < r_i + r_j]. *)
+
+val ordering : t -> Sa_graph.Ordering.t
+(** Decreasing radius (Proposition 15's ordering; ρ ≤ 5). *)
+
+val rho_bound : int
+(** 5 (Proposition 15). *)
+
+val distance2_coloring_graph : t -> Sa_graph.Graph.t
+(** Conflict between transmitters at hop distance ≤ 2 in the disk graph
+    (Prop 17; same decreasing-radius ordering, ρ = O(1)). *)
+
+val distance2_matching : t -> Sa_graph.Graph.t * Sa_graph.Ordering.t * (int * int) array
+(** Distance-2 matching instance (Cor 10): bidders are the *edges* of the
+    disk graph; two edges conflict unless every connecting path has ≥ 2
+    intermediate edges (i.e. they share an endpoint or an edge joins their
+    endpoints).  Returns the conflict graph over edges, the Barrett et al.
+    ordering by increasing [r(e) = r(u) + r(v)], and the edge list mapping
+    bidder index → disk-graph edge. *)
+
+val random : Sa_util.Prng.t -> n:int -> side:float -> rmin:float -> rmax:float -> t
+(** Uniform placement with radii [Uniform(rmin, rmax)]. *)

@@ -1,0 +1,42 @@
+module Metric = Sa_geom.Metric
+
+type t = { sender : int; receiver : int }
+
+type system = { metric : Metric.t; links : t array }
+
+let make metric links =
+  let nodes = Metric.size metric in
+  Array.iter
+    (fun { sender; receiver } ->
+      if sender < 0 || sender >= nodes || receiver < 0 || receiver >= nodes then
+        invalid_arg "Link.make: endpoint outside the metric";
+      if sender = receiver then invalid_arg "Link.make: sender = receiver")
+    links;
+  { metric; links = Array.copy links }
+
+let of_point_pairs pairs =
+  let points =
+    Array.concat
+      (Array.to_list (Array.map (fun (s, r) -> [| s; r |]) pairs))
+  in
+  let links =
+    Array.init (Array.length pairs) (fun i -> { sender = 2 * i; receiver = (2 * i) + 1 })
+  in
+  make (Metric.of_points points) links
+
+let metric sys = sys.metric
+let n sys = Array.length sys.links
+
+let link sys i = sys.links.(i)
+
+let length sys i =
+  let { sender; receiver } = sys.links.(i) in
+  Metric.dist sys.metric sender receiver
+
+let dist_sr sys ~from_sender_of ~to_receiver_of =
+  Metric.dist sys.metric sys.links.(from_sender_of).sender
+    sys.links.(to_receiver_of).receiver
+
+let ordering_by_length ?(decreasing = false) sys =
+  let key i = if decreasing then -.length sys i else length sys i in
+  Sa_graph.Ordering.by_key (n sys) key

@@ -1,0 +1,33 @@
+(** Communication links (sender/receiver pairs) in a metric space.
+
+    Link-based scenarios (Sections 4.1–4.2) have one bidder per link; the
+    conflict structure is derived from the geometry of the links.  A
+    [system] owns the metric and the link endpoints: link [i]'s sender and
+    receiver are node indices into the metric. *)
+
+type t = { sender : int; receiver : int }
+
+type system
+
+val make : Sa_geom.Metric.t -> t array -> system
+(** Endpoint indices must lie inside the metric; sender ≠ receiver. *)
+
+val of_point_pairs : (Sa_geom.Point.t * Sa_geom.Point.t) array -> system
+(** Planar convenience: builds the Euclidean metric over all endpoints
+    (2 nodes per link). *)
+
+val metric : system -> Sa_geom.Metric.t
+val n : system -> int
+(** Number of links. *)
+
+val link : system -> int -> t
+
+val length : system -> int -> float
+(** [d(s_i, r_i)]. *)
+
+val dist_sr : system -> from_sender_of:int -> to_receiver_of:int -> float
+(** [d(s_j, r_i)] — distance from link [j]'s sender to link [i]'s receiver,
+    the quantity in every interference constraint. *)
+
+val ordering_by_length : ?decreasing:bool -> system -> Sa_graph.Ordering.t
+(** Orders links by length (increasing by default); ties by index. *)

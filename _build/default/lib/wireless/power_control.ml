@@ -1,0 +1,35 @@
+type result = { powers : float array; feasible : bool }
+
+let assign_scaled sys prm ~factor set =
+  Sinr.validate_params prm;
+  if factor <= 0.0 then invalid_arg "Power_control.assign_scaled: factor must be positive";
+  let n = Link.n sys in
+  let powers = Array.make n 0.0 in
+  let by_length_desc =
+    List.sort
+      (fun a b -> compare (Link.length sys b) (Link.length sys a))
+      (List.sort_uniq compare set)
+  in
+  let assigned = ref [] in
+  List.iter
+    (fun i ->
+      let interference =
+        List.fold_left
+          (fun acc j -> acc +. Sinr.received sys prm ~powers ~from_link:j ~at_receiver_of:i)
+          0.0 !assigned
+      in
+      let d_alpha = Link.length sys i ** prm.Sinr.alpha in
+      let p = factor *. d_alpha *. (prm.Sinr.noise +. interference) in
+      (* With zero noise the longest link would get power 0; seed it with a
+         linear-scheme power — SINR is scale-invariant in that case. *)
+      powers.(i) <- (if p > 0.0 then p else d_alpha);
+      assigned := i :: !assigned)
+    by_length_desc;
+  let feasible =
+    match by_length_desc with
+    | [] -> true
+    | _ -> Sinr.feasible sys prm ~powers by_length_desc
+  in
+  { powers; feasible }
+
+let assign sys prm set = assign_scaled sys prm ~factor:(2.0 *. prm.Sinr.beta) set

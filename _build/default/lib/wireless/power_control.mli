@@ -1,0 +1,25 @@
+(** Kesselheim-style power control (Theorem 13's second stage).
+
+    Given a set of links that is independent under the Theorem-13 τ-weights,
+    assign transmission powers making the whole set SINR-feasible.  The
+    procedure processes links from longest to shortest; each link transmits
+    with just enough power (times a safety factor [2β]) to overcome ambient
+    noise plus the interference already committed by the longer links:
+
+    [p_i = 2β·d_i^α·(ν + Σ_{j longer} p_j / d(s_j, r_i)^α)].
+
+    The independence condition bounds the interference the *shorter* links
+    later inflict on [i], which is what makes the set feasible (Kesselheim
+    [23], Theorem 3 — re-implemented here, verified empirically in the test
+    suite and experiment E5). *)
+
+type result = {
+  powers : float array;  (** per-link powers; links outside the set get 0 *)
+  feasible : bool;  (** SINR check of the full set under [powers] *)
+}
+
+val assign : Link.system -> Sinr.params -> int list -> result
+(** [assign sys prm set] — powers for the links of [set]. *)
+
+val assign_scaled : Link.system -> Sinr.params -> factor:float -> int list -> result
+(** Same with an explicit safety factor replacing [2β] (ablation knob). *)

@@ -1,0 +1,42 @@
+module Point = Sa_geom.Point
+module Bundle = Sa_val.Bundle
+module Prng = Sa_util.Prng
+
+type t = { location : Point.t; radius : float; channel : int }
+
+let make location ~radius ~channel =
+  if radius <= 0.0 then invalid_arg "Primary.make: radius must be positive";
+  if channel < 0 || channel >= Bundle.max_channels then
+    invalid_arg "Primary.make: bad channel";
+  { location; radius; channel }
+
+let mask_for_point ~k primaries p =
+  List.fold_left
+    (fun mask prim ->
+      if prim.channel < k && Point.dist p prim.location < prim.radius then
+        Bundle.remove prim.channel mask
+      else mask)
+    (Bundle.full k) primaries
+
+let masks_for_points ~k primaries points =
+  Array.map (mask_for_point ~k primaries) points
+
+let masks_for_links ~k primaries sys =
+  let points =
+    match Sa_geom.Metric.points (Link.metric sys) with
+    | Some pts -> pts
+    | None -> invalid_arg "Primary.masks_for_links: link system has no planar embedding"
+  in
+  Array.init (Link.n sys) (fun i ->
+      let l = Link.link sys i in
+      Bundle.inter
+        (mask_for_point ~k primaries points.(l.Link.sender))
+        (mask_for_point ~k primaries points.(l.Link.receiver)))
+
+let random g ~count ~side ~k ~rmin ~rmax =
+  if rmin <= 0.0 || rmax < rmin then invalid_arg "Primary.random: bad radii";
+  List.init count (fun _ ->
+      make
+        (Point.make (Prng.float g side) (Prng.float g side))
+        ~radius:(Prng.uniform_in g rmin rmax)
+        ~channel:(Prng.int g k))

@@ -1,0 +1,31 @@
+(** Primary users and protection zones (§1 motivation).
+
+    A primary user holds a licence on one channel and must not be disturbed:
+    secondary devices within its protection radius may not use that channel.
+    This module turns a set of primary users into per-bidder availability
+    masks (see {!Sa_core.Instance.with_available} — [Sa_core] depends on this
+    library's *outputs* only, so the masks are plain bundles). *)
+
+type t = {
+  location : Sa_geom.Point.t;
+  radius : float;  (** protection radius, > 0 *)
+  channel : int;  (** the licensed channel *)
+}
+
+val make : Sa_geom.Point.t -> radius:float -> channel:int -> t
+
+val masks_for_points :
+  k:int -> t list -> Sa_geom.Point.t array -> Sa_val.Bundle.t array
+(** [masks_for_points ~k primaries points]: mask for each point — all [k]
+    channels minus those whose primary's zone contains the point. *)
+
+val masks_for_links :
+  k:int -> t list -> Link.system -> Sa_val.Bundle.t array
+(** Link version: a link loses a channel when *either endpoint* lies in the
+    corresponding protection zone (its transmission would reach into the
+    zone).  Requires a planar link system. *)
+
+val random :
+  Sa_util.Prng.t -> count:int -> side:float -> k:int ->
+  rmin:float -> rmax:float -> t list
+(** Uniformly placed primaries with uniform radii and channels. *)

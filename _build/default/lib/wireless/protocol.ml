@@ -1,0 +1,51 @@
+module Graph = Sa_graph.Graph
+module Metric = Sa_geom.Metric
+
+let conflict_graph sys ~delta =
+  if delta <= 0.0 then invalid_arg "Protocol.conflict_graph: delta must be positive";
+  let n = Link.n sys in
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      (* j's sender too close to i's receiver, or vice versa *)
+      let blocks_i =
+        Link.dist_sr sys ~from_sender_of:j ~to_receiver_of:i
+        < (1.0 +. delta) *. Link.length sys i
+      in
+      let blocks_j =
+        Link.dist_sr sys ~from_sender_of:i ~to_receiver_of:j
+        < (1.0 +. delta) *. Link.length sys j
+      in
+      if blocks_i || blocks_j then Graph.add_edge g i j
+    done
+  done;
+  g
+
+let conflict_graph_80211 sys ~delta =
+  if delta <= 0.0 then invalid_arg "Protocol.conflict_graph_80211: delta must be positive";
+  let n = Link.n sys in
+  let m = Link.metric sys in
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let li = Link.link sys i and lj = Link.link sys j in
+      let guard = (1.0 +. delta) *. Float.max (Link.length sys i) (Link.length sys j) in
+      let endpoints l = [ l.Link.sender; l.Link.receiver ] in
+      let close =
+        List.exists
+          (fun a -> List.exists (fun b -> Metric.dist m a b < guard) (endpoints lj))
+          (endpoints li)
+      in
+      if close then Graph.add_edge g i j
+    done
+  done;
+  g
+
+let ordering sys = Link.ordering_by_length ~decreasing:false sys
+
+let rho_bound ~delta =
+  if delta <= 0.0 then invalid_arg "Protocol.rho_bound: delta must be positive";
+  let angle = asin (delta /. (2.0 *. (delta +. 1.0))) in
+  int_of_float (Float.ceil (Float.pi /. angle)) - 1
+
+let rho_bound_80211 = 23

@@ -1,0 +1,24 @@
+(** The protocol model and its IEEE 802.11 bidirectional variant (§4.1).
+
+    In the protocol model [Gupta–Kumar], link [ℓ = (s,r)] tolerates a
+    concurrent sender [s'] only if [d(s',r) ≥ (1+Δ)·d(s,r)]; two links
+    conflict when either one violates the other's guard zone.  The
+    IEEE 802.11 variant of Alicherry et al. is bidirectional: all four
+    endpoint pairs must be separated by [(1+Δ)·max(len, len')]. *)
+
+val conflict_graph : Link.system -> delta:float -> Sa_graph.Graph.t
+(** Protocol-model conflict graph ([Δ > 0]). *)
+
+val conflict_graph_80211 : Link.system -> delta:float -> Sa_graph.Graph.t
+(** Bidirectional (IEEE 802.11) conflict graph. *)
+
+val ordering : Link.system -> Sa_graph.Ordering.t
+(** Increasing link length — the ordering realising Proposition 9's bound
+    (backward neighbours of a link are shorter links, whose senders an
+    independent set packs around the receiver). *)
+
+val rho_bound : delta:float -> int
+(** Proposition 9 (Wan): [⌈π / arcsin(Δ / 2(Δ+1))⌉ − 1]. *)
+
+val rho_bound_80211 : int
+(** 23, per Wan's analysis of the Alicherry et al. model. *)

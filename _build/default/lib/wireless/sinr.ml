@@ -1,0 +1,94 @@
+type params = { alpha : float; beta : float; noise : float }
+
+let default_params = { alpha = 3.0; beta = 1.5; noise = 0.0 }
+
+let validate_params { alpha; beta; noise } =
+  if alpha <= 0.0 then invalid_arg "Sinr: alpha must be positive";
+  if beta <= 0.0 then invalid_arg "Sinr: beta must be positive";
+  if noise < 0.0 then invalid_arg "Sinr: noise must be non-negative"
+
+type power_scheme =
+  | Uniform
+  | Linear
+  | Square_root
+  | Given of float array
+
+let powers sys prm scheme =
+  validate_params prm;
+  let n = Link.n sys in
+  match scheme with
+  | Uniform -> Array.make n 1.0
+  | Linear -> Array.init n (fun i -> Link.length sys i ** prm.alpha)
+  | Square_root -> Array.init n (fun i -> Link.length sys i ** (prm.alpha /. 2.0))
+  | Given p ->
+      if Array.length p <> n then invalid_arg "Sinr.powers: Given length mismatch";
+      Array.iter (fun x -> if x <= 0.0 then invalid_arg "Sinr.powers: non-positive power") p;
+      Array.copy p
+
+let is_monotone_scheme = function
+  | Uniform | Linear | Square_root -> true
+  | Given _ -> false
+
+let received sys prm ~powers ~from_link ~at_receiver_of =
+  let d = Link.dist_sr sys ~from_sender_of:from_link ~to_receiver_of:at_receiver_of in
+  powers.(from_link) /. (d ** prm.alpha)
+
+let signal sys prm ~powers i =
+  powers.(i) /. (Link.length sys i ** prm.alpha)
+
+let sinr sys prm ~powers ~active i =
+  if not (List.mem i active) then invalid_arg "Sinr.sinr: link not active";
+  let interference =
+    List.fold_left
+      (fun acc j ->
+        if j = i then acc else acc +. received sys prm ~powers ~from_link:j ~at_receiver_of:i)
+      0.0 active
+  in
+  let denom = interference +. prm.noise in
+  if denom <= 0.0 then infinity else signal sys prm ~powers i /. denom
+
+let feasible sys prm ~powers set =
+  List.for_all (fun i -> sinr sys prm ~powers ~active:set i >= prm.beta) set
+
+(* One fading draw: SINR of link i with every term scaled by an Exp(1)
+   gain drawn from [g]. *)
+let faded_sinr g sys prm ~powers ~active i =
+  let gain () = Sa_util.Prng.exponential g 1.0 in
+  let interference =
+    List.fold_left
+      (fun acc j ->
+        if j = i then acc
+        else acc +. (gain () *. received sys prm ~powers ~from_link:j ~at_receiver_of:i))
+      0.0 active
+  in
+  let denom = interference +. prm.noise in
+  if denom <= 0.0 then infinity else gain () *. signal sys prm ~powers i /. denom
+
+let rayleigh_success_probability g sys prm ~powers ~active ~trials i =
+  if trials < 1 then invalid_arg "Sinr.rayleigh_success_probability: trials >= 1";
+  if not (List.mem i active) then
+    invalid_arg "Sinr.rayleigh_success_probability: link not active";
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    if faded_sinr g sys prm ~powers ~active i >= prm.beta then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials
+
+let rayleigh_all_success g sys prm ~powers ~active ~trials =
+  if trials < 1 then invalid_arg "Sinr.rayleigh_all_success: trials >= 1";
+  match active with
+  | [] -> 1.0
+  | _ ->
+      let hits = ref 0 in
+      for _ = 1 to trials do
+        if List.for_all (fun i -> faded_sinr g sys prm ~powers ~active i >= prm.beta) active
+        then incr hits
+      done;
+      float_of_int !hits /. float_of_int trials
+
+let affectance sys prm ~powers j i =
+  let budget = signal sys prm ~powers i -. (prm.beta *. prm.noise) in
+  if budget <= 0.0 then 1.0
+  else
+    Float.min 1.0
+      (prm.beta *. received sys prm ~powers ~from_link:j ~at_receiver_of:i /. budget)

@@ -1,0 +1,73 @@
+(** The physical (SINR) interference model (§4.2).
+
+    Signals decay polynomially: a sender at power [p] is received at
+    distance [d] with strength [p / d^α].  A set [M] of links sharing a
+    channel is feasible when every link's SINR constraint holds:
+
+    [p_i / d(s_i,r_i)^α ≥ β (Σ_{j ∈ M, j≠i} p_j / d(s_j,r_i)^α + ν)]. *)
+
+type params = { alpha : float; beta : float; noise : float }
+(** Path-loss exponent [α > 0] (typically 2–6), SINR threshold [β > 0],
+    ambient noise [ν ≥ 0]. *)
+
+val default_params : params
+(** α = 3, β = 1.5, ν = 0 — a conventional outdoor setting with the paper's
+    "noise plays a minor role" assumption (cf. [24]). *)
+
+val validate_params : params -> unit
+
+type power_scheme =
+  | Uniform  (** p(ℓ) = 1 *)
+  | Linear  (** p(ℓ) = d(ℓ)^α — exactly compensates path loss *)
+  | Square_root  (** p(ℓ) = d(ℓ)^(α/2) — the "mean" monotone assignment *)
+  | Given of float array  (** explicit per-link powers *)
+
+val powers : Link.system -> params -> power_scheme -> float array
+(** Concrete per-link powers (all positive). *)
+
+val is_monotone_scheme : power_scheme -> bool
+(** Whether the scheme satisfies the paper's monotonicity constraints
+    ([d ≤ d' ⇒ p ≤ p'] and [p/d^α ≥ p'/d'^α]) by construction — true for
+    the three symbolic schemes, unknown (false) for [Given]. *)
+
+val received : Link.system -> params -> powers:float array -> from_link:int -> at_receiver_of:int -> float
+(** Signal strength [p_j / d(s_j, r_i)^α]. *)
+
+val sinr : Link.system -> params -> powers:float array -> active:int list -> int -> float
+(** SINR of link [i] when the links in [active] (which must contain [i])
+    transmit simultaneously; [infinity] when interference + noise is 0. *)
+
+val feasible : Link.system -> params -> powers:float array -> int list -> bool
+(** All links in the set meet the SINR threshold simultaneously. *)
+
+val affectance : Link.system -> params -> powers:float array -> int -> int -> float
+(** [affectance sys prm ~powers j i]: the (capped) fraction of link [i]'s
+    SINR budget consumed by link [j],
+    [min(1, β·recv(j→i) / (p_i/d_i^α − β·ν))] — the quantity of [24] used in
+    Proposition 11. *)
+
+val rayleigh_success_probability :
+  Sa_util.Prng.t ->
+  Link.system ->
+  params ->
+  powers:float array ->
+  active:int list ->
+  trials:int ->
+  int ->
+  float
+(** Monte-Carlo SINR success probability of a link under Rayleigh fading:
+    each received power (signal and every interference term) is multiplied
+    by an independent Exp(1) channel gain per trial.  The deterministic
+    model of §4.2 is the mean-gain abstraction of this; experiment E13 uses
+    it to measure how robust deterministic allocations are to fading. *)
+
+val rayleigh_all_success :
+  Sa_util.Prng.t ->
+  Link.system ->
+  params ->
+  powers:float array ->
+  active:int list ->
+  trials:int ->
+  float
+(** Probability that *every* active link clears its SINR threshold in the
+    same fading draw. *)

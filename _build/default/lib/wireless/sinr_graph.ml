@@ -1,0 +1,60 @@
+module Weighted = Sa_graph.Weighted
+module Ordering = Sa_graph.Ordering
+
+let prop11_epsilon sys prm ~powers =
+  ignore powers;
+  let n = Link.n sys in
+  let best = ref infinity in
+  for i = 0 to n - 1 do
+    let di = Link.length sys i in
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let d_sj_ri = Link.dist_sr sys ~from_sender_of:j ~to_receiver_of:i in
+        let ratio = (di /. d_sj_ri) ** prm.Sinr.alpha in
+        if ratio < !best then best := ratio
+      end
+    done
+  done;
+  if !best = infinity then prm.Sinr.beta /. 2.0 else prm.Sinr.beta /. 2.0 *. !best
+
+let prop11_graph sys prm ~powers =
+  Sinr.validate_params prm;
+  let n = Link.n sys in
+  let eps = prop11_epsilon sys prm ~powers in
+  let beta' = prm.Sinr.beta /. (1.0 +. eps) in
+  Weighted.of_function n (fun j i ->
+      (* weight of ℓ' = j into ℓ = i *)
+      let signal_i = powers.(i) /. (Link.length sys i ** prm.Sinr.alpha) in
+      let budget = signal_i -. (beta' *. prm.Sinr.noise) in
+      if budget <= 0.0 then 1.0
+      else
+        let recv = Sinr.received sys prm ~powers ~from_link:j ~at_receiver_of:i in
+        Float.min 1.0 (beta' *. recv /. budget))
+
+let ordering sys = Link.ordering_by_length ~decreasing:true sys
+
+let tau prm =
+  1.0 /. (2.0 *. (3.0 ** prm.Sinr.alpha) *. ((4.0 *. prm.Sinr.beta) +. 2.0))
+
+let thm13_graph ?weight_scale sys prm =
+  Sinr.validate_params prm;
+  let scale = match weight_scale with Some s -> s | None -> 1.0 /. tau prm in
+  if scale <= 0.0 then invalid_arg "Sinr_graph.thm13_graph: scale must be positive";
+  let n = Link.n sys in
+  let pi = ordering sys in
+  let alpha = prm.Sinr.alpha in
+  Weighted.of_function n (fun l l' ->
+      if not (Ordering.precedes pi l l') then 0.0
+      else begin
+        (* ℓ = (s,r) the longer link, ℓ' = (s',r') the shorter one *)
+        let dl = Link.length sys l ** alpha in
+        let d_s_r' = Link.dist_sr sys ~from_sender_of:l ~to_receiver_of:l' in
+        let d_s'_r = Link.dist_sr sys ~from_sender_of:l' ~to_receiver_of:l in
+        let term1 = Float.min 1.0 (dl /. (d_s_r' ** alpha)) in
+        let term2 = Float.min 1.0 (dl /. (d_s'_r ** alpha)) in
+        scale *. (term1 +. term2)
+      end)
+
+let sinr_iff_independent sys prm ~powers set =
+  let wg = prop11_graph sys prm ~powers in
+  (Sinr.feasible sys prm ~powers set, Weighted.is_independent wg set)

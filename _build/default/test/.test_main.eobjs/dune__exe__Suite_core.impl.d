@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Sa_core Sa_exp Sa_geom Sa_graph Sa_lp Sa_util Sa_val Sa_wireless

@@ -1,0 +1,1 @@
+test/suite_double_auction.ml: Alcotest Array Fun List Printf Sa_graph Sa_mech Sa_util

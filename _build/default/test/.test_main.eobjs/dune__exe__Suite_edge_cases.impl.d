@@ -1,0 +1,1 @@
+test/suite_edge_cases.ml: Alcotest Array Float List Printf Sa_core Sa_geom Sa_graph Sa_lp Sa_util Sa_val Sa_wireless

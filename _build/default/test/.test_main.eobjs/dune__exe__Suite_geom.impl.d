@@ -1,0 +1,1 @@
+test/suite_geom.ml: Alcotest Array QCheck QCheck_alcotest Sa_geom Sa_util

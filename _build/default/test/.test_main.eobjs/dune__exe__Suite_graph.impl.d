@@ -1,0 +1,1 @@
+test/suite_graph.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Sa_graph Sa_util

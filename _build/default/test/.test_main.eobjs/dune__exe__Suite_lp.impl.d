@@ -1,0 +1,1 @@
+test/suite_lp.ml: Alcotest Array Float Format List QCheck QCheck_alcotest Sa_lp Sa_util

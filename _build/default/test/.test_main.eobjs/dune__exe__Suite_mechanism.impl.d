@@ -1,0 +1,1 @@
+test/suite_mechanism.ml: Alcotest Array Float List Printf Sa_core Sa_graph Sa_mech Sa_util Sa_val

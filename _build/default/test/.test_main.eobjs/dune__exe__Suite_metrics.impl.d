@@ -1,0 +1,1 @@
+test/suite_metrics.ml: Alcotest Array Sa_core Sa_exp Sa_graph Sa_util Sa_val

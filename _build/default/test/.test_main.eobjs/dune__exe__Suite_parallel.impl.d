@@ -1,0 +1,1 @@
+test/suite_parallel.ml: Alcotest List Printf Sa_core Sa_exp Sa_util Sa_wireless

@@ -1,0 +1,1 @@
+test/suite_primary.ml: Alcotest Array Float Printf Sa_core Sa_geom Sa_graph Sa_util Sa_val Sa_wireless

@@ -1,0 +1,1 @@
+test/suite_serialize.ml: Alcotest Array Filename Float Fun List QCheck QCheck_alcotest Sa_core Sa_exp Sa_graph Sa_util Sa_val Sa_wireless Sys

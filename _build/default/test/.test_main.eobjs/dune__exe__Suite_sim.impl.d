@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest List Sa_sim Sa_util

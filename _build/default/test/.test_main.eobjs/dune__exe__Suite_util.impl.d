@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Float Fun List Printf QCheck QCheck_alcotest Sa_util String

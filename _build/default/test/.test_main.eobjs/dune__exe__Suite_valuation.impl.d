@@ -1,0 +1,1 @@
+test/suite_valuation.ml: Alcotest Array List QCheck QCheck_alcotest Sa_util Sa_val

@@ -1,0 +1,1 @@
+test/suite_viz.ml: Alcotest Array Sa_core Sa_geom Sa_util Sa_val Sa_viz Sa_wireless String

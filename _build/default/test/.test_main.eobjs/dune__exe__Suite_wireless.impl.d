@@ -1,0 +1,1 @@
+test/suite_wireless.ml: Alcotest Array Float List Printf Sa_geom Sa_graph Sa_util Sa_wireless

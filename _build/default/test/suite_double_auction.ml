@@ -1,0 +1,153 @@
+(* Tests for the TRUST-style double auction. *)
+
+module Prng = Sa_util.Prng
+module Graph = Sa_graph.Graph
+module Generators = Sa_graph.Generators
+module Da = Sa_mech.Double_auction
+
+let run_random ~seed ~n ~m ~p =
+  let g = Prng.create ~seed in
+  let graph = Generators.gnp g ~n ~p in
+  let bids = Array.init n (fun _ -> Prng.float g 10.0) in
+  let asks = Array.init m (fun _ -> Prng.float g 8.0) in
+  (graph, bids, asks, Da.run graph ~bids ~asks)
+
+let test_feasibility () =
+  for seed = 1 to 10 do
+    let graph, _, _, o = run_random ~seed ~n:14 ~m:4 ~p:0.3 in
+    Alcotest.(check bool) "feasible" true (Da.is_feasible graph o)
+  done
+
+let test_budget_balance () =
+  for seed = 11 to 25 do
+    let _, _, _, o = run_random ~seed ~n:14 ~m:4 ~p:0.3 in
+    Alcotest.(check bool)
+      (Printf.sprintf "surplus %.4f >= 0" o.Da.surplus)
+      true (o.Da.surplus >= -1e-9)
+  done
+
+let test_individual_rationality () =
+  for seed = 26 to 40 do
+    let _, bids, asks, o = run_random ~seed ~n:14 ~m:4 ~p:0.3 in
+    (* winners pay at most their bid *)
+    Array.iteri
+      (fun v pay ->
+        if pay > 0.0 && pay > bids.(v) +. 1e-9 then
+          Alcotest.failf "buyer %d pays %.4f above bid %.4f" v pay bids.(v))
+      o.Da.buyer_payments;
+    (* trading sellers receive at least their ask *)
+    Array.iteri
+      (fun j rev ->
+        if rev > 0.0 && rev < asks.(j) -. 1e-9 then
+          Alcotest.failf "seller %d receives %.4f below ask %.4f" j rev asks.(j))
+      o.Da.seller_revenue
+  done
+
+let test_clearing_logic () =
+  (* Hand-crafted: 4 isolated buyers (one group... careful: isolated graph
+     -> a single group of all 4).  Use a path to split groups. *)
+  let graph = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  (* groups by index-order peeling: {0, 2}, {1, 3} *)
+  let bids = [| 6.0; 5.0; 4.0; 3.0 |] in
+  (* group bids: {0,2} -> 2*4 = 8; {1,3} -> 2*3 = 6 *)
+  let asks = [| 5.0; 7.0 |] in
+  (* sorted bids [8; 6] vs asks [5; 7]: q = 1 (8 >= 5; 6 < 7) -> trade 0 *)
+  let o = Da.run graph ~bids ~asks in
+  Alcotest.(check int) "no trade when q = 1" 0 o.Da.traded;
+  (* cheaper second ask -> q = 2, one trade at clearing bid 6, ask 5 *)
+  let o2 = Da.run graph ~bids ~asks:[| 5.0; 5.5 |] in
+  Alcotest.(check int) "one trade" 1 o2.Da.traded;
+  (* winning group = {0,2}, each pays 6/2 = 3 *)
+  Alcotest.(check (float 1e-9)) "buyer 0 pays" 3.0 o2.Da.buyer_payments.(0);
+  Alcotest.(check (float 1e-9)) "buyer 2 pays" 3.0 o2.Da.buyer_payments.(2);
+  Alcotest.(check (float 1e-9)) "buyer 1 pays nothing" 0.0 o2.Da.buyer_payments.(1);
+  (* cheapest seller (ask 5) trades and receives the 2nd-lowest ask 5.5 *)
+  Alcotest.(check (float 1e-9)) "seller 0 revenue" 5.5 o2.Da.seller_revenue.(0);
+  Alcotest.(check (float 1e-9)) "surplus" (6.0 -. 5.5) o2.Da.surplus
+
+let test_buyer_truthfulness () =
+  (* Fix everyone else; sweep one buyer's misreports and compare utility
+     (bid-value is the true value). *)
+  for seed = 41 to 46 do
+    let g = Prng.create ~seed in
+    let graph = Generators.gnp g ~n:10 ~p:0.3 in
+    let bids = Array.init 10 (fun _ -> Prng.float g 10.0) in
+    let asks = Array.init 3 (fun _ -> Prng.float g 6.0) in
+    let utility o v true_value =
+      if o.Da.buyer_payments.(v) > 0.0 then true_value -. o.Da.buyer_payments.(v)
+      else 0.0
+    in
+    for v = 0 to 9 do
+      let truth = Da.run graph ~bids ~asks in
+      let u_truth = utility truth v bids.(v) in
+      List.iter
+        (fun factor ->
+          let mis = Array.copy bids in
+          mis.(v) <- bids.(v) *. factor;
+          let o = Da.run graph ~bids:mis ~asks in
+          let u = utility o v bids.(v) in
+          if u > u_truth +. 1e-9 then
+            Alcotest.failf "seed %d: buyer %d gains %.4f > %.4f by bidding x%.1f" seed
+              v u u_truth factor)
+        [ 0.0; 0.5; 0.9; 1.1; 2.0; 10.0 ]
+    done
+  done
+
+let test_seller_truthfulness () =
+  for seed = 47 to 50 do
+    let g = Prng.create ~seed in
+    let graph = Generators.gnp g ~n:10 ~p:0.3 in
+    let bids = Array.init 10 (fun _ -> Prng.float g 10.0) in
+    let asks = Array.init 3 (fun _ -> 1.0 +. Prng.float g 5.0) in
+    let utility o j true_cost =
+      if o.Da.seller_revenue.(j) > 0.0 then o.Da.seller_revenue.(j) -. true_cost else 0.0
+    in
+    for j = 0 to 2 do
+      let truth = Da.run graph ~bids ~asks in
+      let u_truth = utility truth j asks.(j) in
+      List.iter
+        (fun factor ->
+          let mis = Array.copy asks in
+          mis.(j) <- asks.(j) *. factor;
+          let o = Da.run graph ~bids ~asks:mis in
+          let u = utility o j asks.(j) in
+          if u > u_truth +. 1e-9 then
+            Alcotest.failf "seed %d: seller %d gains by asking x%.1f" seed j factor)
+        [ 0.1; 0.5; 0.9; 1.1; 2.0 ]
+    done
+  done
+
+let test_group_formation_independent_sets () =
+  let g = Prng.create ~seed:51 in
+  let graph = Generators.gnp g ~n:20 ~p:0.4 in
+  let bids = Array.make 20 1.0 in
+  let asks = [| 0.5 |] in
+  let o = Da.run graph ~bids ~asks in
+  Array.iter
+    (fun grp ->
+      Alcotest.(check bool) "group is independent" true
+        (Graph.is_independent graph grp.Da.members))
+    o.Da.groups;
+  (* groups partition the buyers *)
+  let covered =
+    Array.to_list o.Da.groups |> List.concat_map (fun g -> g.Da.members) |> List.sort compare
+  in
+  Alcotest.(check (list int)) "partition" (List.init 20 Fun.id) covered
+
+let test_no_sellers () =
+  let graph = Graph.create 4 in
+  let o = Da.run graph ~bids:[| 1.0; 2.0; 3.0; 4.0 |] ~asks:[||] in
+  Alcotest.(check int) "no trade" 0 o.Da.traded;
+  Alcotest.(check (float 1e-12)) "no welfare" 0.0 o.Da.buyer_welfare
+
+let suite =
+  [
+    Alcotest.test_case "feasibility" `Quick test_feasibility;
+    Alcotest.test_case "budget balance" `Quick test_budget_balance;
+    Alcotest.test_case "individual rationality" `Quick test_individual_rationality;
+    Alcotest.test_case "McAfee clearing logic" `Quick test_clearing_logic;
+    Alcotest.test_case "buyer truthfulness" `Quick test_buyer_truthfulness;
+    Alcotest.test_case "seller truthfulness" `Quick test_seller_truthfulness;
+    Alcotest.test_case "groups are independent sets" `Quick test_group_formation_independent_sets;
+    Alcotest.test_case "degenerate: no sellers" `Quick test_no_sellers;
+  ]

@@ -1,0 +1,103 @@
+(* Tests for Sa_geom: points, metrics, placements. *)
+
+module Point = Sa_geom.Point
+module Metric = Sa_geom.Metric
+module Placement = Sa_geom.Placement
+module Prng = Sa_util.Prng
+
+let test_point_dist () =
+  let a = Point.make 0.0 0.0 and b = Point.make 3.0 4.0 in
+  Alcotest.(check (float 1e-12)) "dist" 5.0 (Point.dist a b);
+  Alcotest.(check (float 1e-12)) "dist_sq" 25.0 (Point.dist_sq a b);
+  Alcotest.(check (float 1e-12)) "symmetric" (Point.dist a b) (Point.dist b a);
+  Alcotest.(check (float 1e-12)) "self" 0.0 (Point.dist a a)
+
+let test_point_midpoint_translate () =
+  let a = Point.make 0.0 0.0 and b = Point.make 2.0 4.0 in
+  let m = Point.midpoint a b in
+  Alcotest.(check (float 1e-12)) "mid x" 1.0 m.Point.x;
+  Alcotest.(check (float 1e-12)) "mid y" 2.0 m.Point.y;
+  let t = Point.translate a ~dx:1.0 ~dy:(-1.0) in
+  Alcotest.(check (float 1e-12)) "tx" 1.0 t.Point.x;
+  Alcotest.(check (float 1e-12)) "ty" (-1.0) t.Point.y
+
+let test_metric_euclidean () =
+  let pts = [| Point.make 0.0 0.0; Point.make 1.0 0.0; Point.make 0.0 1.0 |] in
+  let m = Metric.of_points pts in
+  Alcotest.(check int) "size" 3 (Metric.size m);
+  Alcotest.(check (float 1e-12)) "d01" 1.0 (Metric.dist m 0 1);
+  Alcotest.(check (float 1e-12)) "d12" (sqrt 2.0) (Metric.dist m 1 2);
+  Alcotest.(check bool) "triangle" true (Metric.check_triangle m)
+
+let test_metric_matrix_validation () =
+  let bad = [| [| 0.0; 1.0 |]; [| 2.0; 0.0 |] |] in
+  Alcotest.check_raises "asymmetric rejected"
+    (Invalid_argument "Metric.of_matrix: not symmetric") (fun () ->
+      ignore (Metric.of_matrix bad))
+
+let test_metric_star () =
+  let m = Metric.star_metric 5 ~arm:1.0 in
+  Alcotest.(check (float 1e-12)) "leaf distance" 2.0 (Metric.dist m 0 4);
+  Alcotest.(check bool) "triangle holds" true (Metric.check_triangle m)
+
+let test_placement_uniform () =
+  let g = Prng.create ~seed:1 in
+  let pts = Placement.uniform g ~n:200 ~side:10.0 in
+  Alcotest.(check int) "count" 200 (Array.length pts);
+  Array.iter
+    (fun p ->
+      if p.Point.x < 0.0 || p.Point.x > 10.0 || p.Point.y < 0.0 || p.Point.y > 10.0
+      then Alcotest.failf "point outside square")
+    pts
+
+let test_placement_clustered () =
+  let g = Prng.create ~seed:2 in
+  let pts = Placement.clustered g ~n:100 ~side:10.0 ~clusters:3 ~spread:0.5 in
+  Alcotest.(check int) "count" 100 (Array.length pts);
+  Array.iter
+    (fun p ->
+      if p.Point.x < 0.0 || p.Point.x > 10.0 || p.Point.y < 0.0 || p.Point.y > 10.0
+      then Alcotest.failf "point outside square")
+    pts
+
+let test_placement_grid () =
+  let pts = Placement.grid ~n:9 ~side:2.0 in
+  Alcotest.(check int) "count" 9 (Array.length pts);
+  Alcotest.(check (float 1e-12)) "first at origin" 0.0 pts.(0).Point.x;
+  (* neighbours on the 3x3 grid over [0,2] are 1.0 apart *)
+  Alcotest.(check (float 1e-12)) "spacing" 1.0 (Point.dist pts.(0) pts.(1))
+
+let test_random_links () =
+  let g = Prng.create ~seed:3 in
+  let links = Placement.random_links g ~n:100 ~side:10.0 ~min_len:0.5 ~max_len:2.0 in
+  Alcotest.(check int) "count" 100 (Array.length links);
+  Array.iter
+    (fun (s, r) ->
+      let len = Point.dist s r in
+      if len <= 0.0 then Alcotest.failf "degenerate link";
+      (* clamping can shorten links, but never beyond the max *)
+      if len > 2.0 +. 1e-9 then Alcotest.failf "link too long: %f" len)
+    links
+
+let prop_triangle_euclidean =
+  QCheck.Test.make ~name:"euclidean metrics satisfy triangle inequality"
+    ~count:50
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let pts = Placement.uniform g ~n:8 ~side:5.0 in
+      Metric.check_triangle (Metric.of_points pts))
+
+let suite =
+  [
+    Alcotest.test_case "point distances" `Quick test_point_dist;
+    Alcotest.test_case "midpoint/translate" `Quick test_point_midpoint_translate;
+    Alcotest.test_case "euclidean metric" `Quick test_metric_euclidean;
+    Alcotest.test_case "matrix metric validation" `Quick test_metric_matrix_validation;
+    Alcotest.test_case "star metric" `Quick test_metric_star;
+    Alcotest.test_case "uniform placement" `Quick test_placement_uniform;
+    Alcotest.test_case "clustered placement" `Quick test_placement_clustered;
+    Alcotest.test_case "grid placement" `Quick test_placement_grid;
+    Alcotest.test_case "random links" `Quick test_random_links;
+    QCheck_alcotest.to_alcotest prop_triangle_euclidean;
+  ]

@@ -1,0 +1,355 @@
+(* Tests for Sa_graph: graphs, weighted graphs, orderings, independent sets,
+   inductive independence. *)
+
+module Graph = Sa_graph.Graph
+module Weighted = Sa_graph.Weighted
+module Ordering = Sa_graph.Ordering
+module Indep = Sa_graph.Indep
+module Inductive = Sa_graph.Inductive
+module Generators = Sa_graph.Generators
+module Prng = Sa_util.Prng
+
+(* ---------- Graph -------------------------------------------------------- *)
+
+let test_graph_basic () =
+  let g = Graph.of_edges 4 [ (0, 1); (1, 2) ] in
+  Alcotest.(check int) "n" 4 (Graph.n g);
+  Alcotest.(check int) "m" 2 (Graph.num_edges g);
+  Alcotest.(check bool) "edge 0-1" true (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "edge 1-0 symmetric" true (Graph.mem_edge g 1 0);
+  Alcotest.(check bool) "no edge 0-2" false (Graph.mem_edge g 0 2);
+  Alcotest.(check (list int)) "neighbors of 1" [ 0; 2 ] (Graph.neighbors g 1);
+  Alcotest.(check int) "degree" 2 (Graph.degree g 1);
+  Alcotest.(check int) "max degree" 2 (Graph.max_degree g)
+
+let test_graph_duplicate_edges () =
+  let g = Graph.of_edges 3 [ (0, 1); (1, 0); (0, 1) ] in
+  Alcotest.(check int) "merged" 1 (Graph.num_edges g)
+
+let test_graph_self_loop_rejected () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop")
+    (fun () -> ignore (Graph.of_edges 3 [ (1, 1) ]))
+
+let test_graph_clique_complement () =
+  let c = Graph.clique 5 in
+  Alcotest.(check int) "clique edges" 10 (Graph.num_edges c);
+  let comp = Graph.complement c in
+  Alcotest.(check int) "complement empty" 0 (Graph.num_edges comp)
+
+let test_graph_induced () =
+  let g = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  let sub = Graph.induced g [| 0; 1; 2 |] in
+  Alcotest.(check int) "sub n" 3 (Graph.n sub);
+  Alcotest.(check int) "sub m" 2 (Graph.num_edges sub)
+
+let test_graph_independence () =
+  let g = Graph.of_edges 4 [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "independent" true (Graph.is_independent g [ 0; 2 ]);
+  Alcotest.(check bool) "not independent" false (Graph.is_independent g [ 0; 1 ])
+
+(* ---------- Weighted ------------------------------------------------------ *)
+
+let test_weighted_basic () =
+  let wg = Weighted.create 3 in
+  Weighted.set wg 0 1 0.4;
+  Weighted.set wg 1 0 0.3;
+  Alcotest.(check (float 1e-12)) "w directed" 0.4 (Weighted.w wg 0 1);
+  Alcotest.(check (float 1e-12)) "wbar symmetric" 0.7 (Weighted.wbar wg 0 1);
+  Alcotest.(check (float 1e-12)) "wbar other way" 0.7 (Weighted.wbar wg 1 0)
+
+let test_weighted_independence () =
+  let wg = Weighted.create 3 in
+  Weighted.set wg 0 2 0.6;
+  Weighted.set wg 1 2 0.6;
+  (* each alone is fine with 2, but together they exceed 1 into vertex 2 *)
+  Alcotest.(check bool) "pair ok" true (Weighted.is_independent wg [ 0; 2 ]);
+  Alcotest.(check bool) "triple not ok" false (Weighted.is_independent wg [ 0; 1; 2 ]);
+  Alcotest.(check bool) "senders only ok" true (Weighted.is_independent wg [ 0; 1 ])
+
+let test_weighted_of_graph () =
+  let g = Graph.of_edges 3 [ (0, 1) ] in
+  let wg = Weighted.of_graph g in
+  Alcotest.(check bool) "same independence (edge)" false
+    (Weighted.is_independent wg [ 0; 1 ]);
+  Alcotest.(check bool) "same independence (non-edge)" true
+    (Weighted.is_independent wg [ 0; 2 ])
+
+let test_weighted_mask_check () =
+  let wg = Weighted.create 4 in
+  Weighted.set wg 0 1 1.2;
+  let mask = [| true; true; false; false |] in
+  Alcotest.(check bool) "mask version agrees" false (Weighted.is_independent_arr wg mask);
+  Alcotest.(check bool) "mask version agrees (ok set)" true
+    (Weighted.is_independent_arr wg [| true; false; true; true |])
+
+(* ---------- Ordering ------------------------------------------------------ *)
+
+let test_ordering_basic () =
+  let pi = Ordering.of_order [| 2; 0; 1 |] in
+  Alcotest.(check int) "rank of 2" 0 (Ordering.rank pi 2);
+  Alcotest.(check int) "vertex at 0" 2 (Ordering.vertex_at pi 0);
+  Alcotest.(check bool) "2 precedes 0" true (Ordering.precedes pi 2 0);
+  Alcotest.(check (list int)) "before 1" [ 2; 0 ] (Ordering.before pi 1);
+  Alcotest.(check (list int)) "after 2" [ 0; 1 ] (Ordering.after pi 2)
+
+let test_ordering_by_key () =
+  let pi = Ordering.by_key 3 (fun v -> float_of_int (-v)) in
+  Alcotest.(check int) "largest key first... smallest value" 2 (Ordering.vertex_at pi 0)
+
+let test_ordering_reverse () =
+  let pi = Ordering.of_order [| 0; 1; 2 |] in
+  let rev = Ordering.reverse pi in
+  Alcotest.(check int) "reversed" 2 (Ordering.vertex_at rev 0)
+
+let test_ordering_backward_neighbors () =
+  let g = Graph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let pi = Ordering.identity 3 in
+  Alcotest.(check (list int)) "backward of 1" [ 0 ] (Ordering.backward_neighbors pi g 1);
+  Alcotest.(check (list int)) "backward of 0" [] (Ordering.backward_neighbors pi g 0)
+
+let test_ordering_not_permutation () =
+  Alcotest.check_raises "dup" (Invalid_argument "Ordering.of_order: not a permutation")
+    (fun () -> ignore (Ordering.of_order [| 0; 0; 1 |]))
+
+(* ---------- Independent sets ---------------------------------------------- *)
+
+let test_mis_path () =
+  (* path of 5 vertices: MIS = {0,2,4} *)
+  let g = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  let r = Indep.max_independent_set g in
+  Alcotest.(check bool) "exact" true r.Indep.exact;
+  Alcotest.(check int) "size 3" 3 r.Indep.value;
+  Alcotest.(check bool) "is independent" true (Graph.is_independent g r.Indep.set)
+
+let test_mwis_weights () =
+  (* path 0-1-2; weights 1, 5, 1: MWIS = {1} *)
+  let g = Graph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let r = Indep.max_weight_independent_set g ~weights:[| 1.0; 5.0; 1.0 |] in
+  Alcotest.(check (float 1e-12)) "weight 5" 5.0 r.Indep.value;
+  Alcotest.(check (list int)) "the middle vertex" [ 1 ] r.Indep.set
+
+let test_mis_clique () =
+  let g = Graph.clique 8 in
+  let r = Indep.max_independent_set g in
+  Alcotest.(check int) "MIS of clique = 1" 1 r.Indep.value
+
+let test_greedy_weight_feasible () =
+  let g = Prng.create ~seed:5 in
+  let graph = Generators.gnp g ~n:20 ~p:0.3 in
+  let weights = Array.init 20 (fun _ -> Prng.float g 10.0) in
+  let set, total = Indep.greedy_weight graph ~weights in
+  Alcotest.(check bool) "independent" true (Graph.is_independent graph set);
+  Alcotest.(check bool) "total positive" true (total > 0.0)
+
+let test_max_profit_weighted () =
+  let wg = Weighted.create 3 in
+  (* 0 and 1 heavily conflict; 2 is free *)
+  Weighted.set wg 0 1 0.8;
+  Weighted.set wg 1 0 0.8;
+  let r =
+    Indep.max_profit_weighted wg ~candidates:[| 0; 1; 2 |]
+      ~profit:(fun v -> float_of_int (v + 1))
+  in
+  Alcotest.(check bool) "exact" true r.Indep.exact;
+  (* {1,2} profit 5 beats {0,2} = 4 and {0,1,2} is infeasible (0.8+0.8>1?
+     no: incoming into 1 is only w(0,1)+w(2,1)=0.8<1, into 0 is 0.8<1 —
+     so {0,1,2} IS feasible with profit 6. *)
+  Alcotest.(check (float 1e-12)) "profit" 6.0 r.Indep.value
+
+let test_max_profit_weighted_blocked () =
+  let wg = Weighted.create 2 in
+  Weighted.set wg 0 1 1.0;
+  let r =
+    Indep.max_profit_weighted wg ~candidates:[| 0; 1 |] ~profit:(fun _ -> 1.0)
+  in
+  (* w(0,1) = 1 >= 1 blocks the pair *)
+  Alcotest.(check (float 1e-12)) "only one" 1.0 r.Indep.value
+
+(* ---------- Inductive independence ---------------------------------------- *)
+
+let test_rho_clique () =
+  (* For a clique, every backward neighbourhood is a clique: MIS = 1. *)
+  let g = Graph.clique 6 in
+  let e = Inductive.rho_unweighted g (Ordering.identity 6) in
+  Alcotest.(check (float 1e-12)) "rho = 1" 1.0 e.Inductive.rho;
+  Alcotest.(check bool) "exact" true e.Inductive.exact
+
+let test_rho_star () =
+  (* Star with centre last: backward neighbourhood of the centre is all
+     leaves — an independent set of size n-1. *)
+  let n = 6 in
+  let g = Graph.of_edges n (List.init (n - 1) (fun i -> (i, n - 1))) in
+  let e = Inductive.rho_unweighted g (Ordering.identity n) in
+  Alcotest.(check (float 1e-12)) "rho = n-1" (float_of_int (n - 1)) e.Inductive.rho;
+  Alcotest.(check int) "witness is the centre" (n - 1) e.Inductive.witness_vertex;
+  (* Centre first: every leaf sees only the centre backward: rho = 1. *)
+  let order = Array.of_list ((n - 1) :: List.init (n - 1) Fun.id) in
+  let e' = Inductive.rho_unweighted g (Ordering.of_order order) in
+  Alcotest.(check (float 1e-12)) "centre-first rho = 1" 1.0 e'.Inductive.rho
+
+let test_degeneracy_ordering_bound () =
+  let g = Prng.create ~seed:9 in
+  let graph = Generators.gnp g ~n:25 ~p:0.2 in
+  let pi, d = Inductive.degeneracy_ordering graph in
+  let e = Inductive.rho_unweighted graph pi in
+  Alcotest.(check bool)
+    (Printf.sprintf "rho(pi) = %.0f <= degeneracy %d" e.Inductive.rho d)
+    true
+    (e.Inductive.rho <= float_of_int d +. 1e-9)
+
+let test_rho_weighted_simple () =
+  let wg = Weighted.create 3 in
+  Weighted.set wg 0 2 0.4;
+  Weighted.set wg 1 2 0.4;
+  let e = Inductive.rho_weighted wg (Ordering.identity 3) in
+  (* backward of 2 = {0,1}, independent together, mass 0.8 *)
+  Alcotest.(check (float 1e-9)) "rho" 0.8 e.Inductive.rho;
+  Alcotest.(check bool) "exact" true e.Inductive.exact
+
+let test_check_bounds () =
+  let g = Graph.of_edges 4 [ (0, 3); (1, 3); (2, 3) ] in
+  let pi = Ordering.identity 4 in
+  Alcotest.(check bool) "bound 3 holds" true
+    (Inductive.check_unweighted_bound g pi ~rho:3 [ 0; 1; 2 ]);
+  Alcotest.(check bool) "bound 2 fails" false
+    (Inductive.check_unweighted_bound g pi ~rho:2 [ 0; 1; 2 ])
+
+let test_greedy_weighted_ordering () =
+  (* Weighted star: all weight flows into vertex 0 from the leaves.  The
+     greedy ordering should place vertex 0 early (few backward neighbours)
+     rather than last. *)
+  let n = 8 in
+  let wg = Weighted.create n in
+  for u = 1 to n - 1 do
+    Weighted.set wg u 0 0.3
+  done;
+  let pi = Inductive.greedy_weighted_ordering wg in
+  let rho_greedy = (Inductive.rho_weighted wg pi).Inductive.rho in
+  (* centre-last identity ordering would pay ~0.9 (three 0.3-leaves form an
+     independent set into 0)... compare against the worst ordering: centre
+     at the very end. *)
+  let worst = Ordering.of_order (Array.of_list (List.init (n - 1) (fun i -> i + 1) @ [ 0 ])) in
+  let rho_worst = (Inductive.rho_weighted wg worst).Inductive.rho in
+  Alcotest.(check bool)
+    (Printf.sprintf "greedy %.3f <= worst %.3f" rho_greedy rho_worst)
+    true (rho_greedy <= rho_worst +. 1e-9)
+
+let prop_greedy_ordering_not_worse_than_random =
+  QCheck.Test.make ~name:"greedy weighted ordering beats random (usually)" ~count:20
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let wg = Generators.random_weighted g ~n:10 ~density:0.4 ~scale:0.5 in
+      let greedy_pi = Inductive.greedy_weighted_ordering wg in
+      let random_pi = Ordering.of_order (Prng.permutation g 10) in
+      let r_g = (Inductive.rho_weighted wg greedy_pi).Inductive.rho in
+      let r_r = (Inductive.rho_weighted wg random_pi).Inductive.rho in
+      (* greedy is a heuristic: allow slack, but it must not be much worse *)
+      r_g <= r_r +. 0.5)
+
+(* ---------- Generators ----------------------------------------------------- *)
+
+let test_gnp_extremes () =
+  let g = Prng.create ~seed:11 in
+  Alcotest.(check int) "p=0 empty" 0 (Graph.num_edges (Generators.gnp g ~n:10 ~p:0.0));
+  Alcotest.(check int) "p=1 complete" 45 (Graph.num_edges (Generators.gnp g ~n:10 ~p:1.0))
+
+let test_bounded_degree () =
+  let g = Prng.create ~seed:13 in
+  let graph = Generators.random_bounded_degree g ~n:30 ~d:4 in
+  Alcotest.(check bool) "degree cap respected" true (Graph.max_degree graph <= 4)
+
+let test_split_asymmetric_union () =
+  let g = Prng.create ~seed:17 in
+  let graph = Generators.gnp g ~n:15 ~p:0.3 in
+  let pi = Ordering.identity 15 in
+  let parts = Generators.split_for_asymmetric_channels graph pi ~k:3 in
+  Alcotest.(check int) "3 parts" 3 (Array.length parts);
+  (* union of parts = original *)
+  let total = Array.fold_left (fun acc p -> acc + Graph.num_edges p) 0 parts in
+  Alcotest.(check int) "edges partitioned" (Graph.num_edges graph) total;
+  Graph.iter_edges graph (fun u v ->
+      if not (Array.exists (fun p -> Graph.mem_edge p u v) parts) then
+        Alcotest.failf "edge (%d,%d) lost" u v)
+
+let test_split_backward_degree () =
+  let g = Prng.create ~seed:19 in
+  let graph = Generators.random_bounded_degree g ~n:20 ~d:6 in
+  let pi, _ = Inductive.degeneracy_ordering graph in
+  let k = 3 in
+  let parts = Generators.split_for_asymmetric_channels graph pi ~k in
+  (* every part has backward degree <= ceil(d_back/k) *)
+  for v = 0 to 19 do
+    let total_back = List.length (Ordering.backward_neighbors pi graph v) in
+    let cap = (total_back + k - 1) / k in
+    Array.iter
+      (fun p ->
+        let b = List.length (Ordering.backward_neighbors pi p v) in
+        if b > cap then Alcotest.failf "backward degree %d > cap %d" b cap)
+      parts
+  done
+
+(* ---------- property tests -------------------------------------------------- *)
+
+let prop_mis_maximal =
+  QCheck.Test.make ~name:"exact MIS beats greedy" ~count:50
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let graph = Generators.gnp g ~n:14 ~p:0.3 in
+      let weights = Array.init 14 (fun _ -> 0.1 +. Prng.float g 5.0) in
+      let exact = Indep.max_weight_independent_set graph ~weights in
+      let _, greedy = Indep.greedy_weight graph ~weights in
+      exact.Indep.exact
+      && exact.Indep.value >= greedy -. 1e-9
+      && Graph.is_independent graph exact.Indep.set)
+
+let prop_rho_witnesses_definition =
+  QCheck.Test.make ~name:"rho(pi) bounds all independent sets (Def 1)" ~count:30
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let graph = Generators.gnp g ~n:12 ~p:0.25 in
+      let pi = Ordering.of_order (Prng.permutation g 12) in
+      let e = Inductive.rho_unweighted graph pi in
+      let m = (Indep.max_independent_set graph).Indep.set in
+      Inductive.check_unweighted_bound graph pi
+        ~rho:(int_of_float e.Inductive.rho) m)
+
+let suite =
+  [
+    Alcotest.test_case "graph basics" `Quick test_graph_basic;
+    Alcotest.test_case "duplicate edges merged" `Quick test_graph_duplicate_edges;
+    Alcotest.test_case "self-loops rejected" `Quick test_graph_self_loop_rejected;
+    Alcotest.test_case "clique/complement" `Quick test_graph_clique_complement;
+    Alcotest.test_case "induced subgraph" `Quick test_graph_induced;
+    Alcotest.test_case "independence check" `Quick test_graph_independence;
+    Alcotest.test_case "weighted basics" `Quick test_weighted_basic;
+    Alcotest.test_case "weighted independence" `Quick test_weighted_independence;
+    Alcotest.test_case "weighted of_graph embedding" `Quick test_weighted_of_graph;
+    Alcotest.test_case "weighted mask check" `Quick test_weighted_mask_check;
+    Alcotest.test_case "ordering basics" `Quick test_ordering_basic;
+    Alcotest.test_case "ordering by key" `Quick test_ordering_by_key;
+    Alcotest.test_case "ordering reverse" `Quick test_ordering_reverse;
+    Alcotest.test_case "backward neighbors" `Quick test_ordering_backward_neighbors;
+    Alcotest.test_case "bad permutation rejected" `Quick test_ordering_not_permutation;
+    Alcotest.test_case "MIS on a path" `Quick test_mis_path;
+    Alcotest.test_case "MWIS picks heavy middle" `Quick test_mwis_weights;
+    Alcotest.test_case "MIS of clique" `Quick test_mis_clique;
+    Alcotest.test_case "greedy MWIS feasible" `Quick test_greedy_weight_feasible;
+    Alcotest.test_case "weighted profit B&B" `Quick test_max_profit_weighted;
+    Alcotest.test_case "weighted profit blocked pair" `Quick test_max_profit_weighted_blocked;
+    Alcotest.test_case "rho of clique" `Quick test_rho_clique;
+    Alcotest.test_case "rho of star (both orderings)" `Quick test_rho_star;
+    Alcotest.test_case "degeneracy bounds rho" `Quick test_degeneracy_ordering_bound;
+    Alcotest.test_case "weighted rho" `Quick test_rho_weighted_simple;
+    Alcotest.test_case "Definition 1 checker" `Quick test_check_bounds;
+    Alcotest.test_case "greedy weighted ordering (star)" `Quick test_greedy_weighted_ordering;
+    QCheck_alcotest.to_alcotest prop_greedy_ordering_not_worse_than_random;
+    Alcotest.test_case "gnp extremes" `Quick test_gnp_extremes;
+    Alcotest.test_case "bounded-degree generator" `Quick test_bounded_degree;
+    Alcotest.test_case "Theorem 14 split: union preserved" `Quick test_split_asymmetric_union;
+    Alcotest.test_case "Theorem 14 split: backward degree" `Quick test_split_backward_degree;
+    QCheck_alcotest.to_alcotest prop_mis_maximal;
+    QCheck_alcotest.to_alcotest prop_rho_witnesses_definition;
+  ]

@@ -1,0 +1,220 @@
+(* Tests for VCG, the Lavi–Swamy decomposition and the truthful mechanism. *)
+
+module Prng = Sa_util.Prng
+module Bundle = Sa_val.Bundle
+module Valuation = Sa_val.Valuation
+module Vgen = Sa_val.Gen
+module Graph = Sa_graph.Graph
+module Generators = Sa_graph.Generators
+module Inductive = Sa_graph.Inductive
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+module Vcg = Sa_mech.Vcg
+module Decomposition = Sa_mech.Decomposition
+module Lavi_swamy = Sa_mech.Lavi_swamy
+
+let small_instance ~seed ~n ~k =
+  let g = Prng.create ~seed in
+  let graph = Generators.random_bounded_degree g ~n ~d:3 in
+  let pi, degeneracy = Inductive.degeneracy_ordering graph in
+  let bidders =
+    Array.init n (fun _ ->
+        Vgen.random_xor g ~k ~bids:2 ~max_bundle:(min 2 k)
+          ~dist:(Vgen.Uniform (1.0, 10.0)))
+  in
+  Instance.make ~conflict:(Instance.Unweighted graph) ~k ~bidders ~ordering:pi
+    ~rho:(float_of_int (max 1 degeneracy))
+
+(* ---------- VCG ---------------------------------------------------------- *)
+
+let test_vcg_basic () =
+  let inst = small_instance ~seed:1 ~n:8 ~k:2 in
+  let o = Vcg.run inst in
+  Alcotest.(check bool) "allocation feasible" true
+    (Allocation.is_feasible inst o.Vcg.allocation);
+  Array.iteri
+    (fun v p ->
+      Alcotest.(check bool) "payment non-negative" true (p >= 0.0);
+      (* individual rationality: pay at most your value *)
+      Alcotest.(check bool) "payment <= value" true
+        (p <= Allocation.bidder_value inst o.Vcg.allocation v +. 1e-9))
+    o.Vcg.payments
+
+let test_vcg_truthful () =
+  (* Misreporting (scaling the valuation) never increases VCG utility. *)
+  let inst = small_instance ~seed:2 ~n:7 ~k:2 in
+  let truth = Vcg.run inst in
+  let utility o v =
+    Allocation.bidder_value inst o.Vcg.allocation v -. o.Vcg.payments.(v)
+  in
+  for v = 0 to Instance.n inst - 1 do
+    List.iter
+      (fun factor ->
+        let bidders = Array.copy inst.Instance.bidders in
+        bidders.(v) <- Valuation.scale bidders.(v) factor;
+        let misreported =
+          Instance.make ~conflict:inst.Instance.conflict ~k:inst.Instance.k
+            ~bidders ~ordering:inst.Instance.ordering ~rho:inst.Instance.rho
+        in
+        let o' = Vcg.run misreported in
+        (* utility measured with the TRUE valuation *)
+        let u' =
+          Valuation.value inst.Instance.bidders.(v) o'.Vcg.allocation.(v)
+          -. o'.Vcg.payments.(v)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "bidder %d misreport x%.1f" v factor)
+          true
+          (u' <= utility truth v +. 1e-6))
+      [ 0.0; 0.5; 2.0; 10.0 ]
+  done
+
+(* ---------- Decomposition ------------------------------------------------ *)
+
+let test_decomposition_exact () =
+  let inst = small_instance ~seed:3 ~n:8 ~k:2 in
+  let frac = Lp.solve_explicit inst in
+  let g = Prng.create ~seed:99 in
+  let d = Decomposition.decompose g inst frac ~alpha:(Rounding.guarantee inst) in
+  Alcotest.(check bool) "decomposition verifies" true
+    (Decomposition.verify inst frac d);
+  Alcotest.(check bool) "alpha_effective >= 1" true
+    (d.Decomposition.alpha_effective >= 1.0)
+
+let test_decomposition_alpha_effective () =
+  (* With a generous alpha the master reaches Σλ <= 1 and alpha_effective
+     equals the requested alpha. *)
+  let inst = small_instance ~seed:4 ~n:7 ~k:2 in
+  let frac = Lp.solve_explicit inst in
+  let g = Prng.create ~seed:100 in
+  let alpha = 4.0 *. Rounding.guarantee inst in
+  let d = Decomposition.decompose g inst frac ~alpha in
+  Alcotest.(check (float 1e-9)) "alpha preserved" alpha d.Decomposition.alpha_effective;
+  Alcotest.(check bool) "verifies" true (Decomposition.verify inst frac d)
+
+let test_decomposition_expected_value () =
+  (* By construction E[b_v(S(v))] = fv_v / alpha_effective. *)
+  let inst = small_instance ~seed:5 ~n:8 ~k:2 in
+  let frac = Lp.solve_explicit inst in
+  let g = Prng.create ~seed:101 in
+  let d = Decomposition.decompose g inst frac ~alpha:(Rounding.guarantee inst) in
+  for v = 0 to Instance.n inst - 1 do
+    let expected = Decomposition.expected_value_of_bidder inst d v in
+    let want = Lp.fractional_value_of_bidder inst frac v /. d.Decomposition.alpha_effective in
+    if Float.abs (expected -. want) > 1e-5 then
+      Alcotest.failf "bidder %d: E[value] %.6f but fv/alpha %.6f" v expected want
+  done
+
+let test_decomposition_sampling () =
+  let inst = small_instance ~seed:6 ~n:6 ~k:2 in
+  let frac = Lp.solve_explicit inst in
+  let g = Prng.create ~seed:102 in
+  let d = Decomposition.decompose g inst frac ~alpha:(Rounding.guarantee inst) in
+  for _ = 1 to 50 do
+    let alloc = Decomposition.sample g d in
+    if not (Allocation.is_feasible inst alloc) then
+      Alcotest.failf "sampled allocation infeasible"
+  done
+
+(* ---------- Lavi–Swamy mechanism ----------------------------------------- *)
+
+let test_mechanism_ir_and_payments () =
+  let inst = small_instance ~seed:7 ~n:8 ~k:2 in
+  let g = Prng.create ~seed:103 in
+  let o = Lavi_swamy.run g inst in
+  for v = 0 to Instance.n inst - 1 do
+    let u = Lavi_swamy.expected_utility inst o ~bidder:v
+        ~true_valuation:inst.Instance.bidders.(v)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "bidder %d IR in expectation (u = %.6f)" v u)
+      true (u >= -1e-6);
+    Alcotest.(check bool) "expected payment non-negative" true
+      (Lavi_swamy.expected_payment o v >= -1e-9)
+  done
+
+let test_mechanism_welfare_guarantee () =
+  (* The lottery's expected welfare is exactly b*/alpha_effective. *)
+  let inst = small_instance ~seed:8 ~n:8 ~k:2 in
+  let g = Prng.create ~seed:104 in
+  let o = Lavi_swamy.run g inst in
+  let expected_welfare =
+    let total = ref 0.0 in
+    for v = 0 to Instance.n inst - 1 do
+      total := !total +. Decomposition.expected_value_of_bidder inst o.Lavi_swamy.lottery v
+    done;
+    !total
+  in
+  let want = o.Lavi_swamy.fractional.Lp.objective /. o.Lavi_swamy.alpha in
+  Alcotest.(check bool)
+    (Printf.sprintf "E[welfare] %.6f = b*/alpha %.6f" expected_welfare want)
+    true
+    (Float.abs (expected_welfare -. want) < 1e-5)
+
+let test_mechanism_truthful_in_expectation () =
+  (* Fix everyone else; bidder v's expected utility under misreports (scale
+     up/down, drop bids) must not beat truth.  alpha is pinned to the same
+     value across runs so the comparison is apples-to-apples. *)
+  let inst = small_instance ~seed:9 ~n:6 ~k:2 in
+  let alpha = 4.0 *. Rounding.guarantee inst in
+  let run instance seed =
+    let g = Prng.create ~seed in
+    Lavi_swamy.run ~alpha g instance
+  in
+  let truth = run inst 105 in
+  Alcotest.(check (float 1e-9)) "alpha pinned" alpha truth.Lavi_swamy.alpha;
+  for v = 0 to Instance.n inst - 1 do
+    let u_truth =
+      Lavi_swamy.expected_utility inst truth ~bidder:v
+        ~true_valuation:inst.Instance.bidders.(v)
+    in
+    List.iter
+      (fun factor ->
+        let bidders = Array.copy inst.Instance.bidders in
+        bidders.(v) <- Valuation.scale bidders.(v) factor;
+        let mis =
+          Instance.make ~conflict:inst.Instance.conflict ~k:inst.Instance.k
+            ~bidders ~ordering:inst.Instance.ordering ~rho:inst.Instance.rho
+        in
+        let o' = run mis 105 in
+        if Float.abs (o'.Lavi_swamy.alpha -. alpha) < 1e-9 then begin
+          let u' =
+            Lavi_swamy.expected_utility mis o' ~bidder:v
+              ~true_valuation:inst.Instance.bidders.(v)
+          in
+          if u' > u_truth +. 1e-4 then
+            Alcotest.failf "bidder %d profits from misreport x%.1f: %.6f > %.6f" v
+              factor u' u_truth
+        end)
+      [ 0.0; 0.5; 2.0 ]
+  done
+
+let test_mechanism_sample () =
+  let inst = small_instance ~seed:10 ~n:6 ~k:2 in
+  let g = Prng.create ~seed:106 in
+  let o = Lavi_swamy.run g inst in
+  for _ = 1 to 30 do
+    let alloc, payments = Lavi_swamy.sample g inst o in
+    Alcotest.(check bool) "sampled feasible" true (Allocation.is_feasible inst alloc);
+    Array.iteri
+      (fun v p ->
+        Alcotest.(check bool) "pay <= value (IR ex-post on realised value)" true
+          (p <= Allocation.bidder_value inst alloc v +. 1e-6))
+      payments
+  done
+
+let suite =
+  [
+    Alcotest.test_case "VCG: feasible, IR, non-negative payments" `Quick test_vcg_basic;
+    Alcotest.test_case "VCG: truthful under scaling misreports" `Quick test_vcg_truthful;
+    Alcotest.test_case "decomposition verifies exactly" `Quick test_decomposition_exact;
+    Alcotest.test_case "decomposition keeps generous alpha" `Quick test_decomposition_alpha_effective;
+    Alcotest.test_case "decomposition: E[value] = fv/alpha" `Quick test_decomposition_expected_value;
+    Alcotest.test_case "decomposition sampling feasible" `Quick test_decomposition_sampling;
+    Alcotest.test_case "mechanism: IR + payments" `Quick test_mechanism_ir_and_payments;
+    Alcotest.test_case "mechanism: E[welfare] = b*/alpha" `Quick test_mechanism_welfare_guarantee;
+    Alcotest.test_case "mechanism: truthful in expectation" `Slow test_mechanism_truthful_in_expectation;
+    Alcotest.test_case "mechanism: sampling" `Quick test_mechanism_sample;
+  ]

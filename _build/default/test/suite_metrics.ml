@@ -1,0 +1,72 @@
+(* Tests for allocation metrics. *)
+
+module Bundle = Sa_val.Bundle
+module Valuation = Sa_val.Valuation
+module Graph = Sa_graph.Graph
+module Ordering = Sa_graph.Ordering
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Metrics = Sa_core.Metrics
+
+let fixture () =
+  let n = 4 and k = 2 in
+  let bidders =
+    Array.init n (fun _ ->
+        Valuation.Xor
+          [ (Bundle.full 2, 6.0); (Bundle.singleton 0, 4.0); (Bundle.singleton 1, 4.0) ])
+  in
+  Instance.make
+    ~conflict:(Instance.Unweighted (Graph.create n))
+    ~k ~bidders ~ordering:(Ordering.identity n) ~rho:1.0
+
+let test_empty_allocation () =
+  let inst = fixture () in
+  let m = Metrics.compute inst (Allocation.empty 4) in
+  Alcotest.(check (float 1e-12)) "welfare" 0.0 m.Metrics.welfare;
+  Alcotest.(check int) "winners" 0 m.Metrics.winners;
+  Alcotest.(check int) "channels used" 0 m.Metrics.channels_used;
+  Alcotest.(check (float 1e-12)) "fairness trivially 1" 1.0
+    m.Metrics.winner_value_fairness
+
+let test_metrics_values () =
+  let inst = fixture () in
+  let alloc = Allocation.empty 4 in
+  alloc.(0) <- Bundle.full 2;
+  (* value 6 *)
+  alloc.(1) <- Bundle.singleton 0;
+  (* value 4 *)
+  alloc.(2) <- Bundle.singleton 0;
+  (* value 4 *)
+  let m = Metrics.compute inst alloc in
+  Alcotest.(check (float 1e-12)) "welfare" 14.0 m.Metrics.welfare;
+  Alcotest.(check int) "winners" 3 m.Metrics.winners;
+  Alcotest.(check int) "channels used" 2 m.Metrics.channels_used;
+  (* holders: channel0 = 3, channel1 = 1 -> mean (3+1)/2 = 2, max 3 *)
+  Alcotest.(check (float 1e-12)) "reuse mean" 2.0 m.Metrics.mean_holders_per_channel;
+  Alcotest.(check int) "reuse max" 3 m.Metrics.max_holders_per_channel;
+  (* channel welfare attribution: bidder 0 splits 6 over 2 channels *)
+  Alcotest.(check (float 1e-12)) "channel 0 welfare" (3.0 +. 4.0 +. 4.0)
+    m.Metrics.channel_welfare.(0);
+  Alcotest.(check (float 1e-12)) "channel 1 welfare" 3.0 m.Metrics.channel_welfare.(1);
+  (* bundle sizes: 2, 1, 1 -> mean 4/3 *)
+  Alcotest.(check (float 1e-9)) "bundle mean" (4.0 /. 3.0) m.Metrics.bundle_size_mean;
+  (* fairness over values [6;4;4] *)
+  let expect = 14.0 *. 14.0 /. (3.0 *. ((6.0 *. 6.0) +. 16.0 +. 16.0)) in
+  Alcotest.(check (float 1e-9)) "jain fairness" expect m.Metrics.winner_value_fairness
+
+let test_channel_welfare_sums () =
+  (* attribution sums back to total welfare *)
+  let inst = Sa_exp.Workloads.protocol_instance ~seed:9 ~n:15 ~k:3 () in
+  let frac = Sa_core.Lp_relaxation.solve_explicit inst in
+  let g = Sa_util.Prng.create ~seed:10 in
+  let alloc = Sa_core.Rounding.solve_adaptive ~trials:4 g inst frac in
+  let m = Metrics.compute inst alloc in
+  Alcotest.(check (float 1e-6)) "attribution sums to welfare" m.Metrics.welfare
+    (Array.fold_left ( +. ) 0.0 m.Metrics.channel_welfare)
+
+let suite =
+  [
+    Alcotest.test_case "empty allocation" `Quick test_empty_allocation;
+    Alcotest.test_case "crafted metrics" `Quick test_metrics_values;
+    Alcotest.test_case "channel attribution sums" `Quick test_channel_welfare_sums;
+  ]

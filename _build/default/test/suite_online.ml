@@ -1,0 +1,144 @@
+(* Tests for the online allocation rules. *)
+
+module Prng = Sa_util.Prng
+module Bundle = Sa_val.Bundle
+module Valuation = Sa_val.Valuation
+module Graph = Sa_graph.Graph
+module Ordering = Sa_graph.Ordering
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Exact = Sa_core.Exact
+module Online = Sa_core.Online
+module Workloads = Sa_exp.Workloads
+
+let identity_order n = Array.init n (fun i -> i)
+
+let test_first_fit_feasible () =
+  for seed = 1 to 10 do
+    let inst = Workloads.protocol_instance ~seed ~n:15 ~k:3 () in
+    let g = Prng.create ~seed:(seed * 3) in
+    let order = Prng.permutation g (Instance.n inst) in
+    let r = Online.first_fit inst ~order in
+    Alcotest.(check bool) "feasible" true (Allocation.is_feasible inst r.Online.allocation);
+    Alcotest.(check (float 1e-9)) "value consistent" r.Online.value
+      (Allocation.value inst r.Online.allocation)
+  done
+
+let test_first_fit_below_optimum () =
+  let inst = Workloads.protocol_instance ~seed:3 ~n:12 ~k:2 () in
+  let e = Exact.solve inst in
+  let r = Online.first_fit inst ~order:(identity_order 12) in
+  Alcotest.(check bool) "<= optimum" true (r.Online.value <= e.Exact.value +. 1e-9)
+
+let test_first_fit_maximality () =
+  (* First-fit leaves no bidder that could still be allocated its best
+     bundle... at least: every unallocated bidder has no feasible support
+     bundle left. *)
+  let inst = Workloads.protocol_instance ~seed:5 ~n:12 ~k:2 () in
+  let n = Instance.n inst in
+  let r = Online.first_fit inst ~order:(identity_order n) in
+  let alloc = r.Online.allocation in
+  Array.iteri
+    (fun v bundle ->
+      if Bundle.is_empty bundle then begin
+        let supports = Valuation.support inst.Instance.bidders.(v) ~k:inst.Instance.k in
+        List.iter
+          (fun (b, value) ->
+            if value > 0.0 then begin
+              alloc.(v) <- b;
+              let feasible = Allocation.is_feasible inst alloc in
+              alloc.(v) <- Bundle.empty;
+              if feasible then
+                Alcotest.failf "bidder %d could still take a bundle after first-fit" v
+            end)
+          supports
+      end)
+    alloc
+
+let test_threshold_zero_equals_first_fit () =
+  let inst = Workloads.protocol_instance ~seed:7 ~n:12 ~k:2 () in
+  let order = identity_order 12 in
+  let ff = Online.first_fit inst ~order in
+  let th = Online.threshold inst ~order ~theta:0.0 in
+  Alcotest.(check (float 1e-9)) "same value" ff.Online.value th.Online.value;
+  Alcotest.(check int) "nothing rejected" 0 th.Online.rejected_by_threshold
+
+let test_threshold_filters () =
+  (* Everyone worth 1 except one worth 100: theta = 50 admits only the
+     big bidder. *)
+  let n = 5 in
+  let bidders =
+    Array.init n (fun v ->
+        Valuation.Xor [ (Bundle.singleton 0, if v = 2 then 100.0 else 1.0) ])
+  in
+  let inst =
+    Instance.make
+      ~conflict:(Instance.Unweighted (Graph.create n))
+      ~k:1 ~bidders ~ordering:(Ordering.identity n) ~rho:1.0
+  in
+  let r = Online.threshold inst ~order:(identity_order n) ~theta:50.0 in
+  Alcotest.(check int) "one admitted" 1 r.Online.admitted;
+  Alcotest.(check int) "four rejected" 4 r.Online.rejected_by_threshold;
+  Alcotest.(check (float 1e-9)) "value 100" 100.0 r.Online.value
+
+let test_threshold_hedges_clique () =
+  (* Clique, cheap bidders first, one expensive bidder last: first-fit
+     takes the first cheap bidder; a good threshold waits. *)
+  let n = 6 in
+  let bidders =
+    Array.init n (fun v ->
+        Valuation.Xor [ (Bundle.singleton 0, if v = n - 1 then 50.0 else 2.0) ])
+  in
+  let inst =
+    Instance.make
+      ~conflict:(Instance.Unweighted (Graph.clique n))
+      ~k:1 ~bidders ~ordering:(Ordering.identity n) ~rho:1.0
+  in
+  let order = identity_order n in
+  let ff = Online.first_fit inst ~order in
+  let th = Online.threshold inst ~order ~theta:10.0 in
+  Alcotest.(check (float 1e-9)) "first-fit grabs a cheap one" 2.0 ff.Online.value;
+  Alcotest.(check (float 1e-9)) "threshold waits for the big one" 50.0 th.Online.value
+
+let test_adaptive_threshold_feasible () =
+  for seed = 11 to 15 do
+    let inst = Workloads.protocol_instance ~seed ~n:14 ~k:2 () in
+    let g = Prng.create ~seed in
+    let order = Prng.permutation g (Instance.n inst) in
+    let r = Online.adaptive_threshold inst ~order in
+    Alcotest.(check bool) "feasible" true (Allocation.is_feasible inst r.Online.allocation)
+  done
+
+let test_order_validation () =
+  let inst = Workloads.protocol_instance ~seed:17 ~n:5 ~k:1 () in
+  Alcotest.check_raises "short order" (Invalid_argument "Online: order size mismatch")
+    (fun () -> ignore (Online.first_fit inst ~order:[| 0; 1 |]));
+  Alcotest.check_raises "dup order" (Invalid_argument "Online: order not a permutation")
+    (fun () -> ignore (Online.first_fit inst ~order:[| 0; 0; 1; 2; 3 |]))
+
+let test_respects_masks () =
+  let n = 3 in
+  let bidders = Array.make n (Valuation.Xor [ (Bundle.singleton 0, 5.0) ]) in
+  let inst =
+    Instance.with_available
+      (Instance.make
+         ~conflict:(Instance.Unweighted (Graph.create n))
+         ~k:1 ~bidders ~ordering:(Ordering.identity n) ~rho:1.0)
+      [| Bundle.empty; Bundle.full 1; Bundle.full 1 |]
+  in
+  let r = Online.first_fit inst ~order:(identity_order n) in
+  Alcotest.(check bool) "blocked bidder not served" true (Bundle.is_empty r.Online.allocation.(0));
+  Alcotest.(check int) "others served" 2 r.Online.admitted
+
+let suite =
+  [
+    Alcotest.test_case "first-fit feasible" `Quick test_first_fit_feasible;
+    Alcotest.test_case "first-fit below optimum" `Quick test_first_fit_below_optimum;
+    Alcotest.test_case "first-fit maximal" `Quick test_first_fit_maximality;
+    Alcotest.test_case "threshold 0 = first-fit" `Quick test_threshold_zero_equals_first_fit;
+    Alcotest.test_case "threshold filters small bids" `Quick test_threshold_filters;
+    Alcotest.test_case "threshold hedges on cliques" `Quick test_threshold_hedges_clique;
+    Alcotest.test_case "adaptive threshold feasible" `Quick test_adaptive_threshold_feasible;
+    Alcotest.test_case "order validation" `Quick test_order_validation;
+    Alcotest.test_case "online respects masks" `Quick test_respects_masks;
+  ]

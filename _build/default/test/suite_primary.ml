@@ -1,0 +1,200 @@
+(* Tests for channel availability masks and the primary-user model. *)
+
+module Prng = Sa_util.Prng
+module Point = Sa_geom.Point
+module Bundle = Sa_val.Bundle
+module Valuation = Sa_val.Valuation
+module Graph = Sa_graph.Graph
+module Ordering = Sa_graph.Ordering
+module Primary = Sa_wireless.Primary
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+module Greedy = Sa_core.Greedy
+module Exact = Sa_core.Exact
+module Oracle = Sa_core.Oracle_solver
+module Serialize = Sa_core.Serialize
+
+(* 4 bidders on an edgeless graph, 2 channels, everyone values both
+   channels; bidder 0 is blocked from channel 0, bidder 1 from both. *)
+let masked_instance () =
+  let n = 4 and k = 2 in
+  let graph = Graph.create n in
+  let bidders =
+    Array.init n (fun _ ->
+        Valuation.Xor
+          [ (Bundle.full 2, 10.0); (Bundle.singleton 0, 6.0); (Bundle.singleton 1, 6.0) ])
+  in
+  let inst =
+    Instance.make ~conflict:(Instance.Unweighted graph) ~k ~bidders
+      ~ordering:(Ordering.identity n) ~rho:1.0
+  in
+  Instance.with_available inst
+    [| Bundle.singleton 1; Bundle.empty; Bundle.full 2; Bundle.full 2 |]
+
+let test_feasibility_respects_masks () =
+  let inst = masked_instance () in
+  let ok = Allocation.empty 4 in
+  ok.(0) <- Bundle.singleton 1;
+  ok.(2) <- Bundle.full 2;
+  Alcotest.(check bool) "allowed allocation feasible" true (Allocation.is_feasible inst ok);
+  let bad = Allocation.empty 4 in
+  bad.(0) <- Bundle.singleton 0;
+  Alcotest.(check bool) "blocked channel infeasible" false
+    (Allocation.is_feasible inst bad);
+  let bad2 = Allocation.empty 4 in
+  bad2.(1) <- Bundle.singleton 1;
+  Alcotest.(check bool) "fully blocked bidder infeasible" false
+    (Allocation.is_feasible inst bad2)
+
+let test_exact_respects_masks () =
+  let inst = masked_instance () in
+  let e = Exact.solve inst in
+  Alcotest.(check bool) "exact finished" true e.Exact.exact;
+  Alcotest.(check bool) "exact feasible under masks" true
+    (Allocation.is_feasible inst e.Exact.allocation);
+  (* optimum: bidders 2,3 get both (10 each), bidder 0 gets channel 1 (6),
+     bidder 1 gets nothing: 26. *)
+  Alcotest.(check (float 1e-9)) "optimal value" 26.0 e.Exact.value
+
+let test_lp_and_rounding_respect_masks () =
+  let inst = masked_instance () in
+  let frac = Lp.solve_explicit inst in
+  (* no column may use a blocked channel *)
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "column respects mask" true
+        (Bundle.equal c.Lp.bundle
+           (Instance.restrict_bundle inst ~bidder:c.Lp.bidder c.Lp.bundle)))
+    frac.Lp.columns;
+  let g = Prng.create ~seed:7 in
+  for _ = 1 to 20 do
+    let alloc = Rounding.solve_adaptive ~trials:2 g inst frac in
+    if not (Allocation.is_feasible inst alloc) then
+      Alcotest.failf "rounding violated availability"
+  done
+
+let test_oracle_respects_masks () =
+  let inst = masked_instance () in
+  let frac, _ = Oracle.solve inst in
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "oracle column respects mask" true
+        (Bundle.equal c.Lp.bundle
+           (Instance.restrict_bundle inst ~bidder:c.Lp.bidder c.Lp.bundle)))
+    frac.Lp.columns;
+  let explicit = Lp.solve_explicit inst in
+  Alcotest.(check bool) "oracle matches explicit under masks" true
+    (Float.abs (frac.Lp.objective -. explicit.Lp.objective) < 1e-5)
+
+let test_greedy_respects_masks () =
+  let inst = masked_instance () in
+  let alloc = Greedy.by_value inst in
+  Alcotest.(check bool) "greedy feasible under masks" true
+    (Allocation.is_feasible inst alloc)
+
+let test_serialize_masks () =
+  let inst = masked_instance () in
+  let inst' = Serialize.instance_of_string (Serialize.instance_to_string inst) in
+  for v = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "mask of bidder %d survives" v)
+      true
+      (Bundle.equal inst.Instance.available.(v) inst'.Instance.available.(v))
+  done
+
+let test_masks_validated () =
+  let inst = masked_instance () in
+  Alcotest.check_raises "mask with channel >= k"
+    (Invalid_argument "Instance.with_available: mask uses channel >= k") (fun () ->
+      ignore (Instance.with_available inst (Array.make 4 (Bundle.full 3))));
+  Alcotest.check_raises "wrong size"
+    (Invalid_argument "Instance.with_available: size mismatch") (fun () ->
+      ignore (Instance.with_available inst [| Bundle.full 2 |]))
+
+(* ---------- primary users ------------------------------------------------- *)
+
+let test_primary_masks_points () =
+  let primaries =
+    [
+      Primary.make (Point.make 0.0 0.0) ~radius:2.0 ~channel:0;
+      Primary.make (Point.make 10.0 0.0) ~radius:1.0 ~channel:1;
+    ]
+  in
+  let points = [| Point.make 0.5 0.0; Point.make 10.2 0.0; Point.make 5.0 5.0 |] in
+  let masks = Primary.masks_for_points ~k:3 primaries points in
+  Alcotest.(check bool) "point 0 loses channel 0" true
+    (Bundle.equal masks.(0) (Bundle.of_list [ 1; 2 ]));
+  Alcotest.(check bool) "point 1 loses channel 1" true
+    (Bundle.equal masks.(1) (Bundle.of_list [ 0; 2 ]));
+  Alcotest.(check bool) "far point keeps everything" true
+    (Bundle.equal masks.(2) (Bundle.full 3))
+
+let test_primary_masks_links () =
+  let primaries = [ Primary.make (Point.make 0.0 0.0) ~radius:1.5 ~channel:0 ] in
+  let sys =
+    Sa_wireless.Link.of_point_pairs
+      [|
+        (Point.make 0.5 0.0, Point.make 3.0 0.0);
+        (* sender inside the zone *)
+        (Point.make 5.0 0.0, Point.make 6.0 0.0);
+        (* fully outside *)
+      |]
+  in
+  let masks = Primary.masks_for_links ~k:2 primaries sys in
+  Alcotest.(check bool) "link 0 blocked on channel 0" true
+    (Bundle.equal masks.(0) (Bundle.singleton 1));
+  Alcotest.(check bool) "link 1 free" true (Bundle.equal masks.(1) (Bundle.full 2))
+
+let test_primary_end_to_end () =
+  (* Full pipeline with primaries: generate, mask, solve, verify no winner
+     uses a protected channel. *)
+  let g = Prng.create ~seed:31 in
+  let side = 12.0 in
+  let pairs = Sa_geom.Placement.random_links g ~n:20 ~side ~min_len:0.5 ~max_len:1.5 in
+  let sys = Sa_wireless.Link.of_point_pairs pairs in
+  let graph = Sa_wireless.Protocol.conflict_graph sys ~delta:1.0 in
+  let pi = Sa_wireless.Protocol.ordering sys in
+  let k = 3 in
+  let bidders =
+    Array.init 20 (fun _ ->
+        Sa_val.Gen.random_xor g ~k ~bids:3 ~max_bundle:2
+          ~dist:(Sa_val.Gen.Uniform (1.0, 10.0)))
+  in
+  let primaries = Primary.random g ~count:4 ~side ~k ~rmin:2.0 ~rmax:4.0 in
+  let masks = Primary.masks_for_links ~k primaries sys in
+  let inst =
+    Instance.with_available
+      (Instance.make ~conflict:(Instance.Unweighted graph) ~k ~bidders ~ordering:pi
+         ~rho:3.0)
+      masks
+  in
+  let frac = Lp.solve_explicit inst in
+  let rng = Prng.create ~seed:32 in
+  let alloc = Rounding.solve_adaptive ~trials:4 rng inst frac in
+  Alcotest.(check bool) "feasible with primaries" true
+    (Allocation.is_feasible inst alloc);
+  (* cross-check against the raw geometry *)
+  Array.iteri
+    (fun i bundle ->
+      Bundle.iter
+        (fun j ->
+          if not (Bundle.mem j masks.(i)) then
+            Alcotest.failf "winner %d uses protected channel %d" i j)
+        bundle)
+    alloc
+
+let suite =
+  [
+    Alcotest.test_case "feasibility respects masks" `Quick test_feasibility_respects_masks;
+    Alcotest.test_case "exact respects masks" `Quick test_exact_respects_masks;
+    Alcotest.test_case "LP + rounding respect masks" `Quick test_lp_and_rounding_respect_masks;
+    Alcotest.test_case "oracle respects masks" `Quick test_oracle_respects_masks;
+    Alcotest.test_case "greedy respects masks" `Quick test_greedy_respects_masks;
+    Alcotest.test_case "masks serialize" `Quick test_serialize_masks;
+    Alcotest.test_case "mask validation" `Quick test_masks_validated;
+    Alcotest.test_case "primary masks: points" `Quick test_primary_masks_points;
+    Alcotest.test_case "primary masks: links" `Quick test_primary_masks_links;
+    Alcotest.test_case "primary end to end" `Quick test_primary_end_to_end;
+  ]

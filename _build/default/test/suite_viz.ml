@@ -1,0 +1,91 @@
+(* Tests for the SVG rendering substrate. *)
+
+module Svg = Sa_viz.Svg
+module Render = Sa_viz.Render
+module Bundle = Sa_val.Bundle
+module Prng = Sa_util.Prng
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_svg_structure () =
+  let svg = Svg.create ~world:(0.0, 0.0, 10.0, 5.0) ~width_px:500 in
+  Svg.circle svg ~cx:5.0 ~cy:2.5 ~r:1.0 ~fill:"red" ();
+  Svg.line svg ~x1:0.0 ~y1:0.0 ~x2:10.0 ~y2:5.0 ();
+  Svg.text svg ~x:1.0 ~y:1.0 "hello";
+  let s = Svg.to_string svg in
+  Alcotest.(check bool) "opens svg" true (contains ~needle:"<svg" s);
+  Alcotest.(check bool) "closes svg" true (contains ~needle:"</svg>" s);
+  Alcotest.(check bool) "has circle" true (contains ~needle:"<circle" s);
+  Alcotest.(check bool) "has line" true (contains ~needle:"<line" s);
+  Alcotest.(check bool) "has text" true (contains ~needle:"hello" s);
+  (* aspect ratio: 10x5 world at 500px wide -> 250px tall *)
+  Alcotest.(check bool) "height follows aspect" true
+    (contains ~needle:{|height="250"|} s)
+
+let test_svg_y_flip () =
+  (* world y=0 must map to the bottom (pixel y = height). *)
+  let svg = Svg.create ~world:(0.0, 0.0, 10.0, 10.0) ~width_px:100 in
+  Svg.circle svg ~cx:0.0 ~cy:0.0 ~r:1.0 ();
+  let s = Svg.to_string svg in
+  Alcotest.(check bool) "y flipped" true (contains ~needle:{|cy="100.00"|} s)
+
+let test_svg_escaping () =
+  let svg = Svg.create ~world:(0.0, 0.0, 1.0, 1.0) ~width_px:100 in
+  Svg.text svg ~x:0.5 ~y:0.5 "a<b & c>d";
+  let s = Svg.to_string svg in
+  Alcotest.(check bool) "escaped" true (contains ~needle:"a&lt;b &amp; c&gt;d" s)
+
+let test_svg_bad_world () =
+  Alcotest.check_raises "empty box" (Invalid_argument "Svg.create: empty world box")
+    (fun () -> ignore (Svg.create ~world:(1.0, 0.0, 1.0, 2.0) ~width_px:100))
+
+let test_render_links () =
+  let g = Prng.create ~seed:5 in
+  let sys =
+    Sa_wireless.Link.of_point_pairs
+      (Sa_geom.Placement.random_links g ~n:10 ~side:8.0 ~min_len:0.5 ~max_len:1.5)
+  in
+  let alloc = Sa_core.Allocation.empty 10 in
+  alloc.(0) <- Bundle.of_list [ 0 ];
+  alloc.(3) <- Bundle.of_list [ 1; 2 ];
+  let s = Svg.to_string (Render.links ~alloc sys) in
+  Alcotest.(check bool) "channel 0 colour present" true
+    (contains ~needle:(Render.channel_color 0) s);
+  Alcotest.(check bool) "channel 1 colour present" true
+    (contains ~needle:(Render.channel_color 1) s);
+  Alcotest.(check bool) "legend labels" true (contains ~needle:"channel 0" s)
+
+let test_render_disks () =
+  let g = Prng.create ~seed:7 in
+  let d = Sa_wireless.Disk.random g ~n:8 ~side:6.0 ~rmin:0.5 ~rmax:1.0 in
+  let s = Svg.to_string (Render.disks d) in
+  (* one coverage circle + one centre dot per disk, plus background rect *)
+  let count =
+    let c = ref 0 and i = ref 0 in
+    let len = String.length s in
+    while !i + 7 <= len do
+      if String.sub s !i 7 = "<circle" then incr c;
+      incr i
+    done;
+    !c
+  in
+  Alcotest.(check int) "two circles per disk" 16 count
+
+let test_palette_cycles () =
+  Alcotest.(check string) "wraps at 10" (Render.channel_color 0) (Render.channel_color 10);
+  Alcotest.(check bool) "distinct early colours" true
+    (Render.channel_color 0 <> Render.channel_color 1)
+
+let suite =
+  [
+    Alcotest.test_case "svg structure + aspect" `Quick test_svg_structure;
+    Alcotest.test_case "svg y axis flip" `Quick test_svg_y_flip;
+    Alcotest.test_case "svg text escaping" `Quick test_svg_escaping;
+    Alcotest.test_case "svg bad world box" `Quick test_svg_bad_world;
+    Alcotest.test_case "render links" `Quick test_render_links;
+    Alcotest.test_case "render disks" `Quick test_render_disks;
+    Alcotest.test_case "palette cycles" `Quick test_palette_cycles;
+  ]
