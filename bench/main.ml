@@ -5,7 +5,14 @@
    algorithms, baselines, exact search, rho computation, SINR graph
    construction, power control, and the Lavi-Swamy decomposition.
 
-   Run with: dune exec bench/main.exe *)
+   Also times the batch engine (lib/engine) on a repeat-topology workload,
+   cold vs warm-started, and writes the comparison to BENCH_engine.json —
+   the recorded perf trajectory for the serving path.
+
+   Run with: dune exec bench/main.exe
+   Flags: --quick       engine smoke run only (small workload, no bechamel)
+          --engine-out  output path for the JSON summary (default
+                        BENCH_engine.json) *)
 
 open Bechamel
 
@@ -176,6 +183,72 @@ let tests =
                   (Sa_core.Serialize.instance_to_string protocol_inst))));
     ]
 
+(* ---- batch engine: cold vs warm throughput ------------------------------- *)
+
+module Engine = Sa_engine.Engine
+module Workload = Sa_engine.Workload
+
+let engine_workload ~quick =
+  if quick then Workload.demo
+  else
+    [
+      Workload.spec ~model:Workload.Protocol ~n:24 ~k:4 ~seed:21 ~repeat:16 ();
+      Workload.spec ~model:Workload.Random_graph ~n:20 ~k:3 ~seed:8
+        ~algorithm:Engine.Lp_round ~repeat:12 ();
+      Workload.spec ~model:Workload.Random_graph ~n:20 ~k:3 ~seed:8
+        ~algorithm:Engine.Greedy_lp ~repeat:6 ();
+      Workload.spec ~model:Workload.Sinr ~n:14 ~k:2 ~seed:4 ~repeat:8 ();
+    ]
+
+let engine_bench ~quick ~out =
+  let specs = engine_workload ~quick in
+  (* expansion has its own engine so the run engines' cache counters stay
+     attributable to the runs themselves *)
+  let expander = Engine.create ~warm_start:false () in
+  let jobs = Workload.expand expander specs in
+  let njobs = List.length jobs in
+  let run ~warm_start ~domains =
+    snd (Engine.run_batch ~domains (Engine.create ~warm_start ()) jobs)
+  in
+  (* one throwaway pass so both measured passes see warmed-up code/caches *)
+  ignore (run ~warm_start:false ~domains:1);
+  let cold = run ~warm_start:false ~domains:1 in
+  let warm = run ~warm_start:true ~domains:1 in
+  let domains = Sa_core.Parallel.default_domains in
+  let warm_par = run ~warm_start:true ~domains in
+  let ratio a b = if b > 0.0 then a /. b else Float.nan in
+  let lp_speedup = ratio cold.Engine.lp_seconds warm.Engine.lp_seconds in
+  let pivot_ratio =
+    ratio (float_of_int cold.Engine.lp_iterations) (float_of_int warm.Engine.lp_iterations)
+  in
+  let throughput s = ratio (float_of_int s.Engine.jobs) s.Engine.wall_seconds in
+  Printf.printf "\nengine batch (%d jobs%s):\n" njobs (if quick then ", quick" else "");
+  Printf.printf "  cold 1-domain : %7.2f jobs/s  %6d pivots  lp %.4fs\n"
+    (throughput cold) cold.Engine.lp_iterations cold.Engine.lp_seconds;
+  Printf.printf "  warm 1-domain : %7.2f jobs/s  %6d pivots  lp %.4fs  hits %d/%d\n"
+    (throughput warm) warm.Engine.lp_iterations warm.Engine.lp_seconds
+    warm.Engine.warm_hits warm.Engine.jobs;
+  Printf.printf "  warm %d-domain: %7.2f jobs/s  wall %.4fs\n" domains
+    (throughput warm_par) warm_par.Engine.wall_seconds;
+  Printf.printf "  lp speedup warm/cold: %.2fx   pivot ratio: %.2fx\n" lp_speedup
+    pivot_ratio;
+  let json =
+    Printf.sprintf
+      "{\"benchmark\":\"engine-batch\",\"quick\":%b,\"jobs\":%d,\
+       \"parallel_domains\":%d,\"cold\":%s,\"warm\":%s,\"warm_parallel\":%s,\
+       \"warm_hit_rate\":%.4f,\"lp_speedup_warm_over_cold\":%.4f,\
+       \"pivot_ratio_cold_over_warm\":%.4f}\n"
+      quick njobs domains
+      (Engine.summary_to_json cold)
+      (Engine.summary_to_json warm)
+      (Engine.summary_to_json warm_par)
+      (ratio (float_of_int warm.Engine.warm_hits) (float_of_int warm.Engine.jobs))
+      lp_speedup pivot_ratio
+  in
+  let oc = open_out out in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  Printf.printf "  summary written to %s\n" out
+
 (* ---- runner + textual report --------------------------------------------- *)
 
 let benchmark () =
@@ -189,7 +262,7 @@ let benchmark () =
   let raw = Benchmark.all cfg instances tests in
   Analyze.all ols Toolkit.Instance.monotonic_clock raw
 
-let () =
+let micro_benchmarks () =
   Printf.printf "Benchmarks: one group per experiment family (see DESIGN.md)\n";
   Printf.printf "%-36s %14s\n" "benchmark" "time/run";
   Printf.printf "%s\n" (String.make 52 '-');
@@ -212,3 +285,17 @@ let () =
       in
       Printf.printf "%-36s %14s\n" name pretty)
     rows
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
+  let out =
+    let rec find = function
+      | "--engine-out" :: path :: _ -> path
+      | _ :: rest -> find rest
+      | [] -> "BENCH_engine.json"
+    in
+    find argv
+  in
+  if not quick then micro_benchmarks ();
+  engine_bench ~quick ~out

@@ -1,14 +1,18 @@
 (* Command-line spectrum-auction runner.
 
-   Builds a synthetic instance for a chosen interference model, solves it
-   with a chosen algorithm, and prints the allocation — the "product"
-   front-end over the library.
+   Two subcommands:
+   - [run] (default): build one synthetic instance for a chosen
+     interference model, solve it with a chosen algorithm, print the
+     allocation — the single-shot front-end over the library.
+   - [serve]: replay a workload file of auction job batches through the
+     batch engine (domain sharding + warm-start caches, see lib/engine).
 
    Examples:
-     dune exec bin/auction.exe -- --model protocol -n 30 -k 4
-     dune exec bin/auction.exe -- --model sinr -n 20 -k 3 --algorithm adaptive
-     dune exec bin/auction.exe -- --model clique -n 8 -k 2 --algorithm exact
-     dune exec bin/auction.exe -- --model protocol -n 10 -k 2 --mechanism *)
+     dune exec bin/auction.exe -- run --model protocol -n 30 -k 4
+     dune exec bin/auction.exe -- run --model sinr -n 20 -k 3 --algorithm adaptive
+     dune exec bin/auction.exe -- run --model protocol -n 10 -k 2 --mechanism
+     dune exec bin/auction.exe -- serve --demo --domains 4
+     dune exec bin/auction.exe -- serve --workload jobs.wl --json summary.json *)
 
 open Cmdliner
 module Prng = Sa_util.Prng
@@ -135,10 +139,89 @@ let load_arg =
          ~doc:"Load the instance from $(docv) instead of generating one \
                (--model/-n/-k/--seed are then ignored).")
 
-let cmd =
+let run_term =
+  Term.(const run_auction $ model_arg $ algorithm_arg $ n_arg $ k_arg $ seed_arg
+        $ trials_arg $ mechanism_arg $ save_arg $ load_arg)
+
+let run_cmd =
   let doc = "Run one synthetic secondary spectrum auction" in
-  Cmd.v (Cmd.info "auction" ~doc)
-    Term.(const run_auction $ model_arg $ algorithm_arg $ n_arg $ k_arg $ seed_arg
-          $ trials_arg $ mechanism_arg $ save_arg $ load_arg)
+  Cmd.v (Cmd.info "run" ~doc) run_term
+
+(* ------------------------------- serve ----------------------------------- *)
+
+module Engine = Sa_engine.Engine
+module Workload = Sa_engine.Workload
+
+let run_serve workload demo domains no_warm verbose json_out =
+  let specs =
+    match (workload, demo) with
+    | Some path, _ -> Workload.load path
+    | None, true -> Workload.demo
+    | None, false ->
+        prerr_endline "serve: pass --workload FILE or --demo";
+        exit 2
+  in
+  let engine = Engine.create ~warm_start:(not no_warm) () in
+  let jobs = Workload.expand engine specs in
+  Printf.printf "serve: %d batches -> %d jobs, %d domain%s, warm-start %s\n%!"
+    (List.length specs) (List.length jobs) domains
+    (if domains = 1 then "" else "s")
+    (if no_warm then "off" else "on");
+  let results, summary = Engine.run_batch ~domains engine jobs in
+  if verbose then begin
+    Printf.printf "%5s %9s %9s %7s %6s %9s %9s\n" "job" "welfare" "lp-ub" "pivots"
+      "warm" "lp-ms" "round-ms";
+    Array.iter
+      (fun r ->
+        Printf.printf "%5d %9.3f %9.3f %7d %6s %9.2f %9.2f\n" r.Engine.job_id
+          r.Engine.welfare r.Engine.lp_objective r.Engine.lp_iterations
+          (if r.Engine.warm_start then "yes" else "no")
+          (r.Engine.timings.Engine.lp_s *. 1e3)
+          (r.Engine.timings.Engine.round_s *. 1e3))
+      results
+  end;
+  Format.printf "%a@." Engine.pp_summary summary;
+  match json_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Engine.summary_to_json summary ^ "\n"));
+      Printf.printf "summary written to %s\n" path
+
+let workload_arg =
+  Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"FILE"
+         ~doc:"Workload file to replay (see lib/engine/workload.mli for the format).")
+
+let demo_arg =
+  Arg.(value & flag & info [ "demo" ]
+         ~doc:"Use the built-in demo workload instead of --workload.")
+
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ]
+         ~doc:"Number of OCaml domains to shard jobs across.")
+
+let no_warm_arg =
+  Arg.(value & flag & info [ "no-warm" ]
+         ~doc:"Disable the LP warm-start basis cache (results are then \
+               byte-identical across any --domains value).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print one line per job.")
+
+let json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+         ~doc:"Write the batch summary as JSON to $(docv).")
+
+let serve_cmd =
+  let doc = "Replay a workload file through the batch auction engine" in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run_serve $ workload_arg $ demo_arg $ domains_arg $ no_warm_arg
+          $ verbose_arg $ json_arg)
+
+let cmd =
+  let doc = "Secondary spectrum auctions: single runs and batch serving" in
+  Cmd.group ~default:run_term (Cmd.info "auction" ~doc) [ run_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -62,7 +62,13 @@ let fractional_value_of_bidder inst frac v =
     (fun acc c -> if c.bidder = v then acc +. column_value inst c else acc)
     0.0 frac.columns
 
-let solve_explicit ?engine ?(zeroed = []) inst =
+type solve_stats = {
+  basis : Sa_lp.Revised.basis option;
+  iterations : int;
+  warm_start_used : bool;
+}
+
+let solve_explicit_stats ?engine ?(zeroed = []) ?warm_start inst =
   let n = Instance.n inst and k = inst.Instance.k in
   let pi = inst.Instance.ordering in
   let m = Model.create Simplex.Maximize in
@@ -108,7 +114,8 @@ let solve_explicit ?engine ?(zeroed = []) inst =
         ignore (Model.add_row m !coeffs Simplex.Le inst.Instance.rho)
     done
   done;
-  let sol = Model.solve ?engine m in
+  let ws = Model.solve_with_basis ?engine ?warm_start m in
+  let sol = ws.Model.solution in
   (match sol.Model.status with
   | Simplex.Optimal -> ()
   | Simplex.Infeasible -> failwith "Lp_relaxation.solve_explicit: LP infeasible (bug)"
@@ -121,7 +128,15 @@ let solve_explicit ?engine ?(zeroed = []) inst =
            if x > 1e-10 then Some { bidder = v; bundle; x } else None)
     |> Array.of_list
   in
-  { columns; objective = sol.Model.objective }
+  ( { columns; objective = sol.Model.objective },
+    {
+      basis = ws.Model.basis;
+      iterations = ws.Model.stats.Sa_lp.Revised.iterations;
+      warm_start_used = ws.Model.stats.Sa_lp.Revised.warm_used;
+    } )
+
+let solve_explicit ?engine ?zeroed inst =
+  fst (solve_explicit_stats ?engine ?zeroed inst)
 
 let scale frac factor =
   if factor < 0.0 || factor > 1.0 then invalid_arg "Lp_relaxation.scale: factor in [0,1]";

@@ -40,6 +40,25 @@ val solve_explicit :
     computations: "the LP without bidder v").  [engine] picks the simplex
     implementation (default dense tableau).  Raises on simplex failure. *)
 
+type solve_stats = {
+  basis : Sa_lp.Revised.basis option;
+      (** optimal simplex basis; reusable as [warm_start] for any instance
+          with the same {!Serialize.shape_fingerprint} *)
+  iterations : int;  (** simplex pivots spent (0 for the dense engine) *)
+  warm_start_used : bool;
+}
+
+val solve_explicit_stats :
+  ?engine:Sa_lp.Model.engine ->
+  ?zeroed:int list ->
+  ?warm_start:Sa_lp.Revised.basis ->
+  Instance.t ->
+  fractional * solve_stats
+(** {!solve_explicit} with the warm-start plumbing exposed: pass a basis
+    cached from a previous same-shape solve to skip the cold start
+    ([Revised_sparse] engine only), and read back the basis/pivot counts
+    the batch engine's cache records. *)
+
 val scale : fractional -> float -> fractional
 (** Scale every [x] (and the objective) by a factor in [\[0,1\]] — LP
     feasibility is preserved by the packing structure (Observation 2). *)

@@ -60,18 +60,8 @@ let emit_bidder buf v valuation =
             (Printf.sprintf "bid %d %.17g\n" (Bundle.to_int b) value))
         bids
 
-let instance_to_string inst =
-  let buf = Buffer.create 4096 in
-  let n = Instance.n inst in
-  Buffer.add_string buf (Printf.sprintf "specauction-instance %d\n" version);
-  Buffer.add_string buf
-    (Printf.sprintf "n %d k %d rho %.17g\n" n inst.Instance.k inst.Instance.rho);
-  Buffer.add_string buf "ordering";
-  Array.iter
-    (fun v -> Buffer.add_string buf (Printf.sprintf " %d" v))
-    (Ordering.to_order inst.Instance.ordering);
-  Buffer.add_char buf '\n';
-  (match inst.Instance.conflict with
+let emit_conflict buf conflict =
+  match conflict with
   | Instance.Unweighted g ->
       Buffer.add_string buf "conflict unweighted\n";
       emit_graph buf g
@@ -91,7 +81,20 @@ let instance_to_string inst =
         (fun j wg ->
           Buffer.add_string buf (Printf.sprintf "channel %d\n" j);
           emit_weighted buf wg)
-        wgs);
+        wgs
+
+let instance_to_string inst =
+  let buf = Buffer.create 4096 in
+  let n = Instance.n inst in
+  Buffer.add_string buf (Printf.sprintf "specauction-instance %d\n" version);
+  Buffer.add_string buf
+    (Printf.sprintf "n %d k %d rho %.17g\n" n inst.Instance.k inst.Instance.rho);
+  Buffer.add_string buf "ordering";
+  Array.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf " %d" v))
+    (Ordering.to_order inst.Instance.ordering);
+  Buffer.add_char buf '\n';
+  emit_conflict buf inst.Instance.conflict;
   Array.iteri
     (fun v mask ->
       if not (Bundle.equal mask (Bundle.full inst.Instance.k)) then
@@ -291,6 +294,41 @@ let allocation_of_string s =
     | _ -> fail r "expected 'alloc v mask' or 'end'"
   in
   go ()
+
+(* ------------------------------ fingerprints ----------------------------- *)
+
+let digest_hex s = Digest.to_hex (Digest.string s)
+
+let fingerprint inst = digest_hex (instance_to_string inst)
+
+let conflict_fingerprint conflict =
+  let buf = Buffer.create 1024 in
+  emit_conflict buf conflict;
+  digest_hex (Buffer.contents buf)
+
+let shape_fingerprint inst =
+  let buf = Buffer.create 4096 in
+  let n = Instance.n inst in
+  Buffer.add_string buf
+    (Printf.sprintf "shape n %d k %d rho %.17g\n" n inst.Instance.k inst.Instance.rho);
+  Buffer.add_string buf "ordering";
+  Array.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf " %d" v))
+    (Ordering.to_order inst.Instance.ordering);
+  Buffer.add_char buf '\n';
+  emit_conflict buf inst.Instance.conflict;
+  (* availability-filtered support masks, in the order [Lp_relaxation]
+     materialises columns — this pins the LP's variable and row layout *)
+  for v = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "support %d" v);
+    Valuation.support inst.Instance.bidders.(v) ~k:inst.Instance.k
+    |> List.filter (fun (bundle, _) ->
+           Bundle.equal bundle (Instance.restrict_bundle inst ~bidder:v bundle))
+    |> List.iter (fun (bundle, _) ->
+           Buffer.add_string buf (Printf.sprintf " %d" (Bundle.to_int bundle)));
+    Buffer.add_char buf '\n'
+  done;
+  digest_hex (Buffer.contents buf)
 
 (* --------------------------------- files -------------------------------- *)
 

@@ -33,6 +33,26 @@ val allocation_to_string : Allocation.t -> string
 val allocation_of_string : string -> Allocation.t
 (** Raises [Failure] on malformed input. *)
 
+val fingerprint : Instance.t -> string
+(** Hex digest of the full serialised instance — two instances share a
+    fingerprint iff they serialise identically (conflict, ordering, k, ρ,
+    availability, and every bid value). *)
+
+val conflict_fingerprint : Instance.conflict -> string
+(** Hex digest of the conflict structure alone.  Keys the engine's
+    topology cache (ordering π, ρ estimate, neighborhood lists): two
+    instances over the same (weighted) graph collide here even when their
+    bidders differ. *)
+
+val shape_fingerprint : Instance.t -> string
+(** Hex digest of everything that determines the explicit LP's *layout*:
+    conflict structure, ordering, k, ρ, and each bidder's availability-
+    filtered support masks — but not the bid values.  Two instances with
+    equal shape fingerprints build LPs with identical variable/row
+    structure and constraint coefficients (only objectives differ), so a
+    simplex basis cached under this key is a valid warm start
+    ({!Sa_lp.Revised.solve_warm}). *)
+
 val save_instance : string -> Instance.t -> unit
 (** [save_instance path inst] writes the file. *)
 

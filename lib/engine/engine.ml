@@ -1,0 +1,299 @@
+module Instance = Sa_core.Instance
+module Allocation = Sa_core.Allocation
+module Lp = Sa_core.Lp_relaxation
+module Rounding = Sa_core.Rounding
+module Greedy = Sa_core.Greedy
+module Derand = Sa_core.Derand
+module Parallel = Sa_core.Parallel
+module Serialize = Sa_core.Serialize
+module Graph = Sa_graph.Graph
+module Weighted = Sa_graph.Weighted
+module Ordering = Sa_graph.Ordering
+module Inductive = Sa_graph.Inductive
+module Prng = Sa_util.Prng
+module Timing = Sa_util.Timing
+
+(* ------------------------------- job types ------------------------------ *)
+
+type algorithm = Lp_round | Adaptive | Greedy_lp | Derand_seq
+
+let algorithm_name = function
+  | Lp_round -> "lp-round"
+  | Adaptive -> "adaptive"
+  | Greedy_lp -> "greedy-lp"
+  | Derand_seq -> "derand"
+
+let algorithm_of_name = function
+  | "lp-round" -> Some Lp_round
+  | "adaptive" -> Some Adaptive
+  | "greedy-lp" -> Some Greedy_lp
+  | "derand" -> Some Derand_seq
+  | _ -> None
+
+type job = {
+  id : int;
+  instance : Instance.t;
+  algorithm : algorithm;
+  seed : int;
+  trials : int;
+  shape_key : string option;
+      (* precomputed Serialize.shape_fingerprint; batch producers that know
+         their jobs repeat a topology pay the serialisation once *)
+}
+
+let job ?(algorithm = Adaptive) ?(seed = 0) ?(trials = 4) ?shape_key ~id instance =
+  if trials < 1 then invalid_arg "Engine.job: trials must be >= 1";
+  { id; instance; algorithm; seed; trials; shape_key }
+
+type job_timings = { lp_s : float; round_s : float; total_s : float }
+
+type result = {
+  job_id : int;
+  allocation : Allocation.t;
+  welfare : float;
+  lp_objective : float;
+  lp_iterations : int;
+  warm_start : bool;
+  timings : job_timings;
+}
+
+(* -------------------------------- caches -------------------------------- *)
+
+type topology = {
+  ordering : Ordering.t;
+  rho : float;
+  backward : int list array;
+      (* per-vertex backward neighbourhoods under [ordering] *)
+}
+
+type t = {
+  warm_start : bool;
+  lock : Mutex.t;
+  topologies : (string, topology) Hashtbl.t;
+  bases : (string, Sa_lp.Revised.basis) Hashtbl.t;
+  mutable topology_hits : int;
+  mutable topology_misses : int;
+  mutable basis_lookups : int;
+  mutable basis_found : int;
+}
+
+let create ?(warm_start = true) () =
+  {
+    warm_start;
+    lock = Mutex.create ();
+    topologies = Hashtbl.create 16;
+    bases = Hashtbl.create 64;
+    topology_hits = 0;
+    topology_misses = 0;
+    basis_lookups = 0;
+    basis_found = 0;
+  }
+
+let warm_start_enabled t = t.warm_start
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ----------------------------- topology cache ---------------------------- *)
+
+let rho_node_limit = 500_000
+
+let union_graph gs =
+  let n = Graph.n gs.(0) in
+  let g = Graph.create n in
+  Array.iter (fun gj -> Graph.iter_edges gj (fun u v -> Graph.add_edge g u v)) gs;
+  g
+
+let weighted_backward wg pi =
+  let n = Weighted.n wg in
+  Array.init n (fun v ->
+      Ordering.before pi v |> List.filter (fun u -> Weighted.wbar wg u v > 0.0))
+
+let compute_topology conflict =
+  match conflict with
+  | Instance.Unweighted g ->
+      let pi, degeneracy = Inductive.degeneracy_ordering g in
+      let rho =
+        Float.max
+          (float_of_int (max 1 degeneracy))
+          (Inductive.rho_unweighted ~node_limit:rho_node_limit g pi).Inductive.rho
+      in
+      let backward = Array.init (Graph.n g) (Ordering.backward_neighbors pi g) in
+      { ordering = pi; rho = Float.max 1.0 rho; backward }
+  | Instance.Edge_weighted wg ->
+      let pi = Ordering.identity (Weighted.n wg) in
+      let rho = (Inductive.rho_weighted ~node_limit:rho_node_limit wg pi).Inductive.rho in
+      { ordering = pi; rho = Float.max 1.0 rho; backward = weighted_backward wg pi }
+  | Instance.Per_channel gs ->
+      let union = union_graph gs in
+      let pi, _ = Inductive.degeneracy_ordering union in
+      let rho =
+        Array.fold_left
+          (fun acc gj ->
+            Float.max acc
+              (Inductive.rho_unweighted ~node_limit:rho_node_limit gj pi).Inductive.rho)
+          1.0 gs
+      in
+      let backward = Array.init (Graph.n union) (Ordering.backward_neighbors pi union) in
+      { ordering = pi; rho; backward }
+  | Instance.Per_channel_weighted wgs ->
+      let pi = Ordering.identity (Weighted.n wgs.(0)) in
+      let rho =
+        Array.fold_left
+          (fun acc wg ->
+            Float.max acc
+              (Inductive.rho_weighted ~node_limit:rho_node_limit wg pi).Inductive.rho)
+          1.0 wgs
+      in
+      let backward =
+        Array.init (Weighted.n wgs.(0)) (fun v ->
+            Ordering.before pi v
+            |> List.filter (fun u ->
+                   Array.exists (fun wg -> Weighted.wbar wg u v > 0.0) wgs))
+      in
+      { ordering = pi; rho; backward }
+
+let topology_of_conflict t conflict =
+  let key = Serialize.conflict_fingerprint conflict in
+  match locked t (fun () -> Hashtbl.find_opt t.topologies key) with
+  | Some topo ->
+      locked t (fun () -> t.topology_hits <- t.topology_hits + 1);
+      topo
+  | None ->
+      (* computed outside the lock: ρ estimation is the expensive part and
+         must not serialise the other domains *)
+      let topo = compute_topology conflict in
+      locked t (fun () ->
+          t.topology_misses <- t.topology_misses + 1;
+          if not (Hashtbl.mem t.topologies key) then Hashtbl.add t.topologies key topo);
+      topo
+
+let prepare t ~conflict ~k bidders =
+  let topo = topology_of_conflict t conflict in
+  Instance.make ~conflict ~k ~bidders ~ordering:topo.ordering ~rho:topo.rho
+
+(* -------------------------------- solving ------------------------------- *)
+
+let run_algorithm job inst frac =
+  let g = Prng.create ~seed:job.seed in
+  match job.algorithm with
+  | Lp_round -> Rounding.solve ~trials:job.trials g inst frac
+  | Adaptive -> Rounding.solve_adaptive ~trials:job.trials g inst frac
+  | Greedy_lp -> Greedy.from_lp inst frac
+  | Derand_seq -> (
+      match inst.Instance.conflict with
+      | Instance.Unweighted _ -> Derand.algorithm1_derand inst frac
+      | Instance.Edge_weighted _ -> Derand.algorithm23_derand inst frac
+      | Instance.Per_channel _ | Instance.Per_channel_weighted _ ->
+          invalid_arg "Engine: derand supports unweighted/edge-weighted instances only")
+
+let run_job t job =
+  let inst = job.instance in
+  let started = Unix.gettimeofday () in
+  let warm =
+    if not t.warm_start then None
+    else begin
+      let key =
+        match job.shape_key with
+        | Some k -> k
+        | None -> Serialize.shape_fingerprint inst
+      in
+      let cached =
+        locked t (fun () ->
+            t.basis_lookups <- t.basis_lookups + 1;
+            let b = Hashtbl.find_opt t.bases key in
+            if b <> None then t.basis_found <- t.basis_found + 1;
+            b)
+      in
+      Some (key, cached)
+    end
+  in
+  let (frac, stats), lp_s =
+    Timing.time (fun () ->
+        Lp.solve_explicit_stats ~engine:Sa_lp.Model.Revised_sparse
+          ?warm_start:(match warm with Some (_, b) -> b | None -> None)
+          inst)
+  in
+  (match (warm, stats.Lp.basis) with
+  | Some (key, _), Some basis ->
+      locked t (fun () -> Hashtbl.replace t.bases key basis)
+  | _ -> ());
+  let alloc, round_s = Timing.time (fun () -> run_algorithm job inst frac) in
+  {
+    job_id = job.id;
+    allocation = alloc;
+    welfare = Allocation.value inst alloc;
+    lp_objective = frac.Lp.objective;
+    lp_iterations = stats.Lp.iterations;
+    warm_start = stats.Lp.warm_start_used;
+    timings = { lp_s; round_s; total_s = Unix.gettimeofday () -. started };
+  }
+
+(* ------------------------------- batch runs ------------------------------ *)
+
+type summary = {
+  jobs : int;
+  total_welfare : float;
+  total_lp_objective : float;
+  lp_iterations : int;
+  warm_hits : int;
+  lp_seconds : float;
+  round_seconds : float;
+  wall_seconds : float;
+  topology_hits : int;
+  topology_misses : int;
+  basis_entries : int;
+}
+
+let summarize (eng : t) results ~wall =
+  let acc =
+    Array.fold_left
+      (fun (w, o, it, wh, ls, rs) r ->
+        ( w +. r.welfare,
+          o +. r.lp_objective,
+          it + r.lp_iterations,
+          wh + (if r.warm_start then 1 else 0),
+          ls +. r.timings.lp_s,
+          rs +. r.timings.round_s ))
+      (0.0, 0.0, 0, 0, 0.0, 0.0) results
+  in
+  let w, o, it, wh, ls, rs = acc in
+  {
+    jobs = Array.length results;
+    total_welfare = w;
+    total_lp_objective = o;
+    lp_iterations = it;
+    warm_hits = wh;
+    lp_seconds = ls;
+    round_seconds = rs;
+    wall_seconds = wall;
+    topology_hits = eng.topology_hits;
+    topology_misses = eng.topology_misses;
+    basis_entries = Hashtbl.length eng.bases;
+  }
+
+let run_batch ?(domains = 1) t jobs =
+  let arr = Array.of_list jobs in
+  let results, wall =
+    Timing.time (fun () -> Parallel.map_array ~domains (run_job t) arr)
+  in
+  (results, summarize t results ~wall)
+
+let summary_to_json s =
+  Printf.sprintf
+    "{\"jobs\":%d,\"total_welfare\":%.6f,\"total_lp_objective\":%.6f,\
+     \"lp_iterations\":%d,\"warm_hits\":%d,\"lp_seconds\":%.6f,\
+     \"round_seconds\":%.6f,\"wall_seconds\":%.6f,\"topology_hits\":%d,\
+     \"topology_misses\":%d,\"basis_entries\":%d}"
+    s.jobs s.total_welfare s.total_lp_objective s.lp_iterations s.warm_hits
+    s.lp_seconds s.round_seconds s.wall_seconds s.topology_hits s.topology_misses
+    s.basis_entries
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "jobs %d  welfare %.3f  lp-ub %.3f  pivots %d  warm-hits %d/%d@\n\
+     lp %.3fs  round %.3fs  wall %.3fs  topo-cache %d hit / %d miss  bases %d"
+    s.jobs s.total_welfare s.total_lp_objective s.lp_iterations s.warm_hits s.jobs
+    s.lp_seconds s.round_seconds s.wall_seconds s.topology_hits s.topology_misses
+    s.basis_entries

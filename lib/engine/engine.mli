@@ -1,0 +1,121 @@
+(** Batch auction engine: a queue of auction jobs sharded across OCaml 5
+    domains, with cross-job caching of the expensive shared work.
+
+    The repeated short-term license auctions of Hoefer–Kesselheim (arXiv
+    1110.5753) re-solve near-identical instances: the conflict graph and
+    ordering persist across rounds while bids change.  The engine exploits
+    that structure twice:
+
+    - {b topology cache} — keyed by {!Sa_core.Serialize.conflict_fingerprint},
+      stores the inductive-independence ordering π, the measured ρ estimate,
+      and the per-vertex backward neighbourhoods, so repeat-topology
+      instances skip the NP-hard ρ computation ({!prepare});
+    - {b basis cache} — keyed by {!Sa_core.Serialize.shape_fingerprint},
+      stores the last optimal basis of the revised simplex, so repeat-shape
+      LPs warm-start ({!Sa_lp.Revised.solve_warm}) instead of solving from
+      scratch.
+
+    Determinism: with [warm_start:false] every job's result depends only on
+    the job itself, so batch results are byte-identical across any domain
+    count and to sequential single-job runs.  With [warm_start:true] the LP
+    objective is unchanged (the warm solve is certified optimal for the
+    same LP) but degenerate instances may report a different optimal vertex
+    depending on cache interleaving, and rounding then sees that vertex. *)
+
+type algorithm = Lp_round | Adaptive | Greedy_lp | Derand_seq
+
+val algorithm_name : algorithm -> string
+val algorithm_of_name : string -> algorithm option
+
+type job = private {
+  id : int;
+  instance : Sa_core.Instance.t;
+  algorithm : algorithm;
+  seed : int;
+  trials : int;
+  shape_key : string option;
+}
+
+val job :
+  ?algorithm:algorithm ->
+  ?seed:int ->
+  ?trials:int ->
+  ?shape_key:string ->
+  id:int ->
+  Sa_core.Instance.t ->
+  job
+(** Defaults: [Adaptive], seed 0, 4 trials.  [shape_key] must be the
+    instance's {!Sa_core.Serialize.shape_fingerprint} when supplied; batch
+    producers that know their jobs repeat a topology (e.g.
+    {!Workload.expand}) pass it to amortise the fingerprint across the
+    batch. *)
+
+type job_timings = { lp_s : float; round_s : float; total_s : float }
+
+type result = {
+  job_id : int;
+  allocation : Sa_core.Allocation.t;
+  welfare : float;
+  lp_objective : float;
+  lp_iterations : int;  (** simplex pivots this job paid for *)
+  warm_start : bool;  (** LP was warm-started from a cached basis *)
+  timings : job_timings;
+}
+
+type t
+(** An engine instance: configuration plus mutable caches.  Safe to share
+    across domains (cache access is mutex-protected). *)
+
+val create : ?warm_start:bool -> unit -> t
+(** [warm_start] (default true) enables the LP basis cache. *)
+
+val warm_start_enabled : t -> bool
+
+type topology = {
+  ordering : Sa_graph.Ordering.t;
+  rho : float;
+  backward : int list array;
+}
+
+val topology_of_conflict : t -> Sa_core.Instance.conflict -> topology
+(** Cached (ordering π, ρ, backward neighbourhoods) for a conflict
+    structure: degeneracy ordering + measured ρ for unweighted graphs,
+    identity ordering + weighted ρ for edge-weighted ones, and the natural
+    per-channel generalisations. *)
+
+val prepare :
+  t -> conflict:Sa_core.Instance.conflict -> k:int -> Sa_val.Valuation.t array ->
+  Sa_core.Instance.t
+(** Build an instance for fresh bidders over a (possibly already seen)
+    conflict structure, reusing the cached topology when available — the
+    repeated-auction entry point. *)
+
+val run_job : t -> job -> result
+(** Solve one job: LP (revised simplex, warm-started when the cache has a
+    same-shape basis) then the chosen allocation algorithm, seeded from
+    [job.seed] only. *)
+
+type summary = {
+  jobs : int;
+  total_welfare : float;
+  total_lp_objective : float;
+  lp_iterations : int;
+  warm_hits : int;
+  lp_seconds : float;
+  round_seconds : float;
+  wall_seconds : float;
+  topology_hits : int;
+  topology_misses : int;
+  basis_entries : int;
+}
+
+val run_batch : ?domains:int -> t -> job list -> result array * summary
+(** Run every job (default sequentially; [domains > 1] shards via
+    {!Sa_core.Parallel.map_array}).  [results.(i)] corresponds to the i-th
+    job of the input list regardless of sharding. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val summary_to_json : summary -> string
+(** One JSON object (no external deps) — embedded in [BENCH_engine.json]
+    and [auction serve --json]. *)

@@ -53,7 +53,13 @@ type solution = {
 
 type engine = Dense_tableau | Revised_sparse
 
-let solve ?(engine = Dense_tableau) ?eps ?max_iters t =
+type warm_solution = {
+  solution : solution;
+  basis : Revised.basis option;
+  stats : Revised.stats;
+}
+
+let to_problem t =
   let c = Array.of_list (List.rev t.objs) in
   let dense_row data =
     let a = Array.make t.nvars 0.0 in
@@ -61,12 +67,9 @@ let solve ?(engine = Dense_tableau) ?eps ?max_iters t =
     (a, data.relation, data.rhs)
   in
   let rows = Array.of_list (List.rev_map dense_row t.rows) in
-  let problem = { Simplex.direction = t.direction; c; rows } in
-  let sol =
-    match engine with
-    | Dense_tableau -> Simplex.solve ?eps ?max_iters problem
-    | Revised_sparse -> Revised.solve ?eps ?max_iters problem
-  in
+  { Simplex.direction = t.direction; c; rows }
+
+let wrap t sol =
   {
     status = sol.Simplex.status;
     objective = sol.Simplex.objective;
@@ -79,3 +82,21 @@ let solve ?(engine = Dense_tableau) ?eps ?max_iters t =
         if r < 0 || r >= t.nrows then invalid_arg "Model: row out of range";
         sol.Simplex.duals.(r));
   }
+
+let solve_with_basis ?(engine = Dense_tableau) ?eps ?max_iters ?warm_start t =
+  let problem = to_problem t in
+  match engine with
+  | Dense_tableau ->
+      (* the dense tableau has no warm-start path; pivot count unknown *)
+      let sol = Simplex.solve ?eps ?max_iters problem in
+      {
+        solution = wrap t sol;
+        basis = None;
+        stats = { Revised.iterations = 0; warm_used = false };
+      }
+  | Revised_sparse ->
+      let sol, basis, stats = Revised.solve_warm ?eps ?max_iters ?warm_start problem in
+      { solution = wrap t sol; basis; stats }
+
+let solve ?engine ?eps ?max_iters t =
+  (solve_with_basis ?engine ?eps ?max_iters t).solution

@@ -40,3 +40,27 @@ val solve : ?engine:engine -> ?eps:float -> ?max_iters:int -> t -> solution
     {!Revised}) on the current model.  The model remains usable (more
     variables/rows may be added and [solve] called again — each call solves
     from scratch). *)
+
+type warm_solution = {
+  solution : solution;
+  basis : Revised.basis option;
+      (** optimal basis to reuse as a warm start for a same-shape model
+          (always [None] for [Dense_tableau] or non-optimal solves) *)
+  stats : Revised.stats;
+}
+
+val solve_with_basis :
+  ?engine:engine ->
+  ?eps:float ->
+  ?max_iters:int ->
+  ?warm_start:Revised.basis ->
+  t ->
+  warm_solution
+(** {!solve}, exposing the warm-start machinery of {!Revised.solve_warm}:
+    pass the basis returned by a previous solve of a same-shape model to
+    skip the cold start.  Only [Revised_sparse] honours [warm_start]; an
+    invalid basis degrades silently to a cold solve.
+
+    [to_problem]-level certification: the basis token is tied to the
+    model's variable/row layout, so callers must key caches on a
+    fingerprint of that layout (see {!Sa_core.Serialize}). *)

@@ -4,9 +4,19 @@
    - structural + slack/surplus + artificial columns, stored sparsely;
    - B_inv (m x m, dense) updated by eta pivots;
    - x_B maintained incrementally;
-   - two phases, artificials blocked in phase 2. *)
+   - two phases, artificials blocked in phase 2.
+
+   [solve_warm] additionally accepts a starting basis (typically the
+   optimal basis of a previous solve on a same-shape problem) and, when
+   that basis is still primal feasible for the new data, refactorises
+   B_inv once and jumps straight to phase 2 — the warm-start path used by
+   the batch engine's basis cache. *)
 
 type sparse_col = (int * float) array (* (row, coeff), rows strictly increasing *)
+
+type basis = int array
+
+type stats = { iterations : int; warm_used : bool }
 
 let feas_eps = 1e-7
 
@@ -16,9 +26,9 @@ type core = {
   cols : sparse_col array;
   artificial : bool array;
   b : float array;
-  b_inv : float array array;
+  mutable b_inv : float array array;
   basis : int array;
-  x_b : float array;
+  mutable x_b : float array;
   in_basis : bool array;
 }
 
@@ -126,9 +136,72 @@ let run_phase t ~costs ~eps ~max_iters ~allowed =
       end
     end
   done;
-  match !result with Some r -> r | None -> assert false
+  let status = match !result with Some r -> r | None -> assert false in
+  (status, !iter)
 
-let solve ?(eps = 1e-9) ?max_iters { Simplex.direction; c; rows } =
+(* Try to install [wb] as the starting basis by pivoting its missing
+   columns into the initial (slack/artificial) basis — a "crash" start.
+   The initial B_inv is the identity and a cached optimal basis is mostly
+   slack columns, so this costs one O(m²) pivot per *structural* basic
+   column instead of an O(m³) refactorisation.  Accept only if the basis
+   assembles with stable pivots and the implied x_B is (tolerably)
+   non-negative, i.e. still primal feasible for the new b; otherwise roll
+   the core back to its pristine cold-start state. *)
+let try_warm_basis t wb =
+  let valid =
+    Array.length wb = t.m
+    && Array.for_all (fun j -> j >= 0 && j < t.ncols && not t.artificial.(j)) wb
+    &&
+    let seen = Array.make t.ncols false in
+    Array.for_all
+      (fun j ->
+        if seen.(j) then false
+        else begin
+          seen.(j) <- true;
+          true
+        end)
+      wb
+  in
+  if not valid then false
+  else begin
+    let init_basis = Array.copy t.basis in
+    let in_target = Array.make t.ncols false in
+    Array.iter (fun j -> in_target.(j) <- true) wb;
+    let reset () =
+      Array.blit init_basis 0 t.basis 0 t.m;
+      Array.fill t.in_basis 0 t.ncols false;
+      Array.iter (fun j -> t.in_basis.(j) <- true) init_basis;
+      t.b_inv <-
+        Array.init t.m (fun i -> Array.init t.m (fun l -> if i = l then 1.0 else 0.0));
+      t.x_b <- Array.copy t.b;
+      false
+    in
+    let ok = ref true in
+    Array.iter
+      (fun j ->
+        if !ok && not t.in_basis.(j) then begin
+          let w = ftran t t.cols.(j) in
+          let row = ref (-1) in
+          for i = 0 to t.m - 1 do
+            if
+              (not in_target.(t.basis.(i)))
+              && Float.abs w.(i) > 1e-7
+              && (!row < 0 || Float.abs w.(i) > Float.abs w.(!row))
+            then row := i
+          done;
+          if !row < 0 then ok := false else pivot t ~row:!row ~col:j ~w
+        end)
+      wb;
+    if (not !ok) || Array.exists (fun x -> x < -.feas_eps) t.x_b then reset ()
+    else begin
+      for i = 0 to t.m - 1 do
+        if t.x_b.(i) < 0.0 then t.x_b.(i) <- 0.0
+      done;
+      true
+    end
+  end
+
+let solve_warm ?(eps = 1e-9) ?max_iters ?warm_start { Simplex.direction; c; rows } =
   let nstruct = Array.length c in
   let m = Array.length rows in
   Array.iter
@@ -229,14 +302,20 @@ let solve ?(eps = 1e-9) ?max_iters { Simplex.direction; c; rows } =
   for j = 0 to nstruct - 1 do
     c2.(j) <- sign *. c.(j)
   done;
+  let iterations = ref 0 in
+  let warm_used =
+    match warm_start with None -> false | Some wb -> try_warm_basis t wb
+  in
   let phase1 =
-    if n_art = 0 then `Optimal
+    if warm_used || n_art = 0 then `Optimal
     else begin
       let c1 = Array.make ncols 0.0 in
       for j = 0 to ncols - 1 do
         if artificial.(j) then c1.(j) <- -1.0
       done;
-      match run_phase t ~costs:c1 ~eps ~max_iters ~allowed:(fun _ -> true) with
+      let status, iters = run_phase t ~costs:c1 ~eps ~max_iters ~allowed:(fun _ -> true) in
+      iterations := !iterations + iters;
+      match status with
       | `Optimal ->
           let z =
             Array.to_list (Array.mapi (fun i col -> (i, col)) t.basis)
@@ -268,14 +347,19 @@ let solve ?(eps = 1e-9) ?max_iters { Simplex.direction; c; rows } =
       | `Iteration_limit -> `Iteration_limit
     end
   in
+  let finish solution final_basis =
+    (solution, final_basis, { iterations = !iterations; warm_used })
+  in
   match phase1 with
-  | `Infeasible -> infeasible_solution Simplex.Infeasible
-  | `Iteration_limit -> infeasible_solution Simplex.Iteration_limit
+  | `Infeasible -> finish (infeasible_solution Simplex.Infeasible) None
+  | `Iteration_limit -> finish (infeasible_solution Simplex.Iteration_limit) None
   | `Optimal -> (
       let allowed j = not artificial.(j) in
-      match run_phase t ~costs:c2 ~eps ~max_iters ~allowed with
-      | `Unbounded -> infeasible_solution Simplex.Unbounded
-      | `Iteration_limit -> infeasible_solution Simplex.Iteration_limit
+      let status, iters = run_phase t ~costs:c2 ~eps ~max_iters ~allowed in
+      iterations := !iterations + iters;
+      match status with
+      | `Unbounded -> finish (infeasible_solution Simplex.Unbounded) None
+      | `Iteration_limit -> finish (infeasible_solution Simplex.Iteration_limit) None
       | `Optimal ->
           let x = Array.make nstruct 0.0 in
           Array.iteri
@@ -295,4 +379,10 @@ let solve ?(eps = 1e-9) ?max_iters { Simplex.direction; c; rows } =
             Array.iteri (fun i col -> acc := !acc +. (c2.(col) *. t.x_b.(i))) t.basis;
             sign *. !acc
           in
-          { Simplex.status = Simplex.Optimal; x; objective; duals })
+          finish
+            { Simplex.status = Simplex.Optimal; x; objective; duals }
+            (Some (Array.copy t.basis)))
+
+let solve ?eps ?max_iters problem =
+  let solution, _, _ = solve_warm ?eps ?max_iters problem in
+  solution

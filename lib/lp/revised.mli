@@ -12,5 +12,39 @@
     objectives between the two engines and certifies both with
     {!Certify}. *)
 
+type basis = int array
+(** A simplex basis: one internal column index per row.  Opaque to callers
+    except as a warm-start token — valid only for a problem of the same
+    shape (same row count, same column layout) as the solve that produced
+    it.  {!solve_warm} validates before use and falls back to a cold start
+    when the token does not fit. *)
+
+type stats = {
+  iterations : int;  (** total simplex pivots across both phases *)
+  warm_used : bool;  (** the supplied warm basis passed validation *)
+}
+
 val solve : ?eps:float -> ?max_iters:int -> Simplex.problem -> Simplex.solution
 (** Drop-in replacement for {!Simplex.solve}. *)
+
+val solve_warm :
+  ?eps:float ->
+  ?max_iters:int ->
+  ?warm_start:basis ->
+  Simplex.problem ->
+  Simplex.solution * basis option * stats
+(** Like {!solve} but optionally starting from a previously returned basis:
+    the target columns are pivoted into the initial slack basis (one O(m²)
+    pivot per structural basic variable — cached auction bases are mostly
+    slack, so this is far cheaper than a full O(m³) refactorisation) and,
+    if the result is still primal feasible for the new right-hand side,
+    phase 1 and the all-slack start are skipped entirely — on
+    repeat-topology auction LPs that differ only in objective coefficients
+    this reduces pivots to the few needed to re-optimise.  An unusable warm
+    basis (wrong size, stale indices, singular, infeasible) silently
+    degrades to a cold solve.
+
+    Returns the solution, the optimal basis to cache for the next warm
+    start ([None] unless the status is [Optimal]), and pivot statistics.
+    The warm-started objective equals the cold one (same LP), but in the
+    presence of multiple optima the reported vertex may differ. *)

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Repo health check: full build, test suite, and an engine bench smoke run
+# that validates BENCH_engine.json.  Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+echo "== bench smoke (engine group, quick mode)"
+out="BENCH_engine.json"
+rm -f "$out"
+dune exec bench/main.exe -- --quick --engine-out "$out" >/dev/null
+
+test -s "$out" || { echo "check: $out missing or empty" >&2; exit 1; }
+for key in '"benchmark":"engine-batch"' '"cold":' '"warm":' '"warm_hit_rate":' \
+           '"lp_speedup_warm_over_cold":' '"pivot_ratio_cold_over_warm":'; do
+  grep -q -- "$key" "$out" || { echo "check: $out lacks $key" >&2; exit 1; }
+done
+
+echo "check: OK ($out well-formed)"

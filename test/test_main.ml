@@ -18,4 +18,6 @@ let () =
       ("online", Suite_online.suite);
       ("parallel", Suite_parallel.suite);
       ("metrics", Suite_metrics.suite);
+      ("properties", Suite_properties.suite);
+      ("engine", Suite_engine.suite);
     ]
