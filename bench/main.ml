@@ -187,6 +187,23 @@ let tests =
 
 module Engine = Sa_engine.Engine
 module Workload = Sa_engine.Workload
+module Metrics = Sa_telemetry.Metrics
+module Export = Sa_telemetry.Export
+
+(* Per-phase counter deltas: snapshot the registry around a run so the cold
+   and warm passes each report the hot-path counters they paid for. *)
+let counter_delta before after =
+  List.filter_map
+    (fun (name, v) ->
+      let prev = Option.value ~default:0 (List.assoc_opt name before) in
+      if v - prev > 0 then Some (name, v - prev) else None)
+    after
+
+let with_counter_delta f =
+  let before = (Metrics.snapshot ()).Metrics.counters in
+  let result = f () in
+  let after = (Metrics.snapshot ()).Metrics.counters in
+  (result, counter_delta before after)
 
 let engine_workload ~quick =
   if quick then Workload.demo
@@ -208,14 +225,15 @@ let engine_bench ~quick ~out =
   let jobs = Workload.expand expander specs in
   let njobs = List.length jobs in
   let run ~warm_start ~domains =
-    snd (Engine.run_batch ~domains (Engine.create ~warm_start ()) jobs)
+    with_counter_delta (fun () ->
+        snd (Engine.run_batch ~domains (Engine.create ~warm_start ()) jobs))
   in
   (* one throwaway pass so both measured passes see warmed-up code/caches *)
   ignore (run ~warm_start:false ~domains:1);
-  let cold = run ~warm_start:false ~domains:1 in
-  let warm = run ~warm_start:true ~domains:1 in
+  let cold, cold_ctr = run ~warm_start:false ~domains:1 in
+  let warm, warm_ctr = run ~warm_start:true ~domains:1 in
   let domains = Sa_core.Parallel.default_domains in
-  let warm_par = run ~warm_start:true ~domains in
+  let warm_par, warm_par_ctr = run ~warm_start:true ~domains in
   let ratio a b = if b > 0.0 then a /. b else Float.nan in
   let lp_speedup = ratio cold.Engine.lp_seconds warm.Engine.lp_seconds in
   let pivot_ratio =
@@ -232,18 +250,22 @@ let engine_bench ~quick ~out =
     (throughput warm_par) warm_par.Engine.wall_seconds;
   Printf.printf "  lp speedup warm/cold: %.2fx   pivot ratio: %.2fx\n" lp_speedup
     pivot_ratio;
+  let with_counters ctr s =
+    Engine.summary_to_json ~extra:[ ("counters", Export.counters_to_json ctr) ] s
+  in
   let json =
     Printf.sprintf
       "{\"benchmark\":\"engine-batch\",\"quick\":%b,\"jobs\":%d,\
        \"parallel_domains\":%d,\"cold\":%s,\"warm\":%s,\"warm_parallel\":%s,\
        \"warm_hit_rate\":%.4f,\"lp_speedup_warm_over_cold\":%.4f,\
-       \"pivot_ratio_cold_over_warm\":%.4f}\n"
+       \"pivot_ratio_cold_over_warm\":%.4f,\"telemetry\":%s}\n"
       quick njobs domains
-      (Engine.summary_to_json cold)
-      (Engine.summary_to_json warm)
-      (Engine.summary_to_json warm_par)
+      (with_counters cold_ctr cold)
+      (with_counters warm_ctr warm)
+      (with_counters warm_par_ctr warm_par)
       (ratio (float_of_int warm.Engine.warm_hits) (float_of_int warm.Engine.jobs))
       lp_speedup pivot_ratio
+      (Export.counters_to_json (Metrics.snapshot ()).Metrics.counters)
   in
   let oc = open_out out in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);

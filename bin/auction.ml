@@ -46,7 +46,7 @@ let model_name = function
   | Clique -> "clique (plain combinatorial auction)"
   | Asymmetric -> "asymmetric channels (Thm 14 gadget)"
 
-let run_auction model algorithm n k seed trials mechanism save load =
+let run_auction () model algorithm n k seed trials mechanism save load =
   let inst =
     match load with
     | Some path -> Sa_core.Serialize.load_instance path
@@ -140,8 +140,8 @@ let load_arg =
                (--model/-n/-k/--seed are then ignored).")
 
 let run_term =
-  Term.(const run_auction $ model_arg $ algorithm_arg $ n_arg $ k_arg $ seed_arg
-        $ trials_arg $ mechanism_arg $ save_arg $ load_arg)
+  Term.(const run_auction $ Log_cli.term $ model_arg $ algorithm_arg $ n_arg
+        $ k_arg $ seed_arg $ trials_arg $ mechanism_arg $ save_arg $ load_arg)
 
 let run_cmd =
   let doc = "Run one synthetic secondary spectrum auction" in
@@ -151,8 +151,27 @@ let run_cmd =
 
 module Engine = Sa_engine.Engine
 module Workload = Sa_engine.Workload
+module Metrics = Sa_telemetry.Metrics
+module Trace = Sa_telemetry.Trace
+module Export = Sa_telemetry.Export
 
-let run_serve workload demo domains no_warm verbose json_out =
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+(* One-line digest of the hot-path counters, printed after every batch. *)
+let print_telemetry_summary (snap : Metrics.view) =
+  let c name = Option.value ~default:0 (Metrics.find_counter snap name) in
+  Printf.printf
+    "telemetry: pivots %d revised / %d dense  colgen %d calls / %d cols  \
+     rounding %d trials  rho-est %d  topo %d/%d hit  basis %d/%d hit\n"
+    (c "lp.revised.pivots") (c "lp.simplex.pivots") (c "core.colgen.oracle_calls")
+    (c "core.colgen.columns") (c "core.rounding.trials") (c "graph.rho.estimates")
+    (c "engine.topology.hits")
+    (c "engine.topology.hits" + c "engine.topology.misses")
+    (c "engine.basis.hits") (c "engine.basis.lookups")
+
+let run_serve () workload demo domains no_warm json_out metrics_out prom_out =
   let specs =
     match (workload, demo) with
     | Some path, _ -> Workload.load path
@@ -168,7 +187,12 @@ let run_serve workload demo domains no_warm verbose json_out =
     (if domains = 1 then "" else "s")
     (if no_warm then "off" else "on");
   let results, summary = Engine.run_batch ~domains engine jobs in
-  if verbose then begin
+  let per_job =
+    match Logs.level () with
+    | Some (Logs.Info | Logs.Debug) -> true
+    | Some (Logs.App | Logs.Error | Logs.Warning) | None -> false
+  in
+  if per_job then begin
     Printf.printf "%5s %9s %9s %7s %6s %9s %9s\n" "job" "welfare" "lp-ub" "pivots"
       "warm" "lp-ms" "round-ms";
     Array.iter
@@ -181,13 +205,24 @@ let run_serve workload demo domains no_warm verbose json_out =
       results
   end;
   Format.printf "%a@." Engine.pp_summary summary;
+  let snap = Metrics.snapshot () in
+  print_telemetry_summary snap;
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+      write_file path (Export.snapshot_to_json ~spans:(Trace.recent ()) snap);
+      Printf.printf "metrics snapshot written to %s\n" path);
+  (match prom_out with
+  | None -> ()
+  | Some path ->
+      write_file path (Export.to_prometheus snap);
+      Printf.printf "prometheus exposition written to %s\n" path);
   match json_out with
   | None -> ()
   | Some path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (Engine.summary_to_json summary ^ "\n"));
+      let telemetry = Export.snapshot_to_json snap in
+      write_file path
+        (Engine.summary_to_json ~extra:[ ("telemetry", telemetry) ] summary ^ "\n");
       Printf.printf "summary written to %s\n" path
 
 let workload_arg =
@@ -207,21 +242,63 @@ let no_warm_arg =
          ~doc:"Disable the LP warm-start basis cache (results are then \
                byte-identical across any --domains value).")
 
-let verbose_arg =
-  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print one line per job.")
-
 let json_arg =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
-         ~doc:"Write the batch summary as JSON to $(docv).")
+         ~doc:"Write the batch summary as JSON to $(docv) (includes the \
+               telemetry snapshot under the \"telemetry\" key).")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Write the full telemetry snapshot (counters, gauges, \
+               histograms, recent trace spans) as JSON to $(docv).")
+
+let prom_out_arg =
+  Arg.(value & opt (some string) None & info [ "prometheus-out" ] ~docv:"FILE"
+         ~doc:"Write the telemetry snapshot in Prometheus text exposition \
+               format to $(docv).")
 
 let serve_cmd =
   let doc = "Replay a workload file through the batch auction engine" in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run_serve $ workload_arg $ demo_arg $ domains_arg $ no_warm_arg
-          $ verbose_arg $ json_arg)
+    Term.(const run_serve $ Log_cli.term $ workload_arg $ demo_arg $ domains_arg
+          $ no_warm_arg $ json_arg $ metrics_out_arg $ prom_out_arg)
+
+(* ------------------------------- metrics --------------------------------- *)
+
+(* Validate and summarise a snapshot file written by [serve --metrics-out]
+   (used by scripts/check.sh as a parse check). *)
+let run_metrics path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Export.snapshot_of_json contents with
+  | exception Export.Parse_error msg ->
+      Printf.eprintf "metrics: %s: invalid snapshot: %s\n" path msg;
+      exit 1
+  | view, spans ->
+      let nonzero = List.filter (fun (_, v) -> v > 0) view.Metrics.counters in
+      Printf.printf "snapshot ok: %d counters (%d nonzero), %d gauges, %d histograms, %d spans\n"
+        (List.length view.Metrics.counters)
+        (List.length nonzero)
+        (List.length view.Metrics.gauges)
+        (List.length view.Metrics.histograms)
+        (List.length spans);
+      List.iter (fun (name, v) -> Printf.printf "  %s = %d\n" name v) nonzero
+
+let metrics_path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Snapshot file written by serve --metrics-out.")
+
+let metrics_cmd =
+  let doc = "Validate and summarise a telemetry snapshot file" in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const run_metrics $ metrics_path_arg)
 
 let cmd =
   let doc = "Secondary spectrum auctions: single runs and batch serving" in
-  Cmd.group ~default:run_term (Cmd.info "auction" ~doc) [ run_cmd; serve_cmd ]
+  Cmd.group ~default:run_term (Cmd.info "auction" ~doc)
+    [ run_cmd; serve_cmd; metrics_cmd ]
 
 let () = exit (Cmd.eval cmd)

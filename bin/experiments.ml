@@ -39,19 +39,22 @@ let run_one (run : ?seeds:int -> ?quick:bool -> unit -> unit) seeds quick =
   print_newline ()
 
 let cmd_of (name, doc, run) =
-  let term = Term.(const (run_one run) $ seeds_arg $ quick_arg) in
+  let term =
+    Term.(const (fun () -> run_one run) $ Log_cli.term $ seeds_arg $ quick_arg)
+  in
   Cmd.v (Cmd.info name ~doc) term
 
 let all_cmd =
   let doc = "Run every experiment in sequence." in
-  let run_all seeds quick =
+  let run_all () seeds quick =
     List.iter
       (fun (name, _, run) ->
         Printf.printf ">>> %s\n%!" name;
         run_one run seeds quick)
       experiments
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run_all $ seeds_arg $ quick_arg)
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const run_all $ Log_cli.term $ seeds_arg $ quick_arg)
 
 let () =
   let doc = "Experiment suite for the secondary spectrum auction reproduction" in

@@ -1,0 +1,6 @@
+(* Shared cmdliner term for log verbosity.  [Logs_cli.level ()] provides
+   -v / -vv (info / debug), -q / --quiet and --verbosity LEVEL; evaluating
+   the term installs the stderr reporter before the command body runs. *)
+
+let setup level = Sa_telemetry.Log_setup.install ~level ()
+let term = Cmdliner.Term.(const setup $ Logs_cli.level ())

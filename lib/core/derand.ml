@@ -1,5 +1,7 @@
 let prime = 101
 
+let m_candidates = Sa_telemetry.Metrics.counter "core.derand.candidates"
+
 (* h_{a,b}(v) = ((a*v + b) mod p) / p — a pairwise-independent [0,1) family. *)
 let uniforms_of_seed ~n a b =
   Array.init n (fun v -> float_of_int (((a * v) + b) mod prime) /. float_of_int prime)
@@ -11,6 +13,7 @@ let enumerate inst round_pass =
   let best = ref (Allocation.empty n) in
   for a = 0 to prime - 1 do
     for b = 0 to prime - 1 do
+      Sa_telemetry.Metrics.incr m_candidates;
       let alloc = round_pass (uniforms_of_seed ~n a b) in
       best := better inst !best alloc
     done

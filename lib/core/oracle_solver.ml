@@ -3,6 +3,15 @@ module Valuation = Sa_val.Valuation
 module Ordering = Sa_graph.Ordering
 module Model = Sa_lp.Model
 module Simplex = Sa_lp.Simplex
+module Tel = Sa_telemetry.Metrics
+
+let m_solves = Tel.counter "core.colgen.solves"
+let m_rounds = Tel.counter "core.colgen.rounds"
+let m_oracle_calls = Tel.counter "core.colgen.oracle_calls"
+let m_columns = Tel.counter "core.colgen.columns"
+let h_solve = Tel.histogram "core.colgen.solve.seconds"
+let log_src = Logs.Src.create "sa.core.colgen" ~doc:"Column generation"
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type stats = {
   iterations : int;
@@ -35,6 +44,8 @@ let prices_for inst ~y ~bidder =
     prices
 
 let solve ?(max_rounds = 200) ?(eps = 1e-7) inst =
+  Sa_telemetry.Trace.with_span ~hist:h_solve "core.colgen.solve" @@ fun () ->
+  Tel.incr m_solves;
   let n = Instance.n inst in
   let k = inst.Instance.k in
   let pi = inst.Instance.ordering in
@@ -70,6 +81,7 @@ let solve ?(max_rounds = 200) ?(eps = 1e-7) inst =
             bundle
       done;
       columns := (v, bundle, var) :: !columns;
+      Tel.incr m_columns;
       true
     end
   in
@@ -77,6 +89,7 @@ let solve ?(max_rounds = 200) ?(eps = 1e-7) inst =
      still carry their deterrent price). *)
   for v = 0 to n - 1 do
     let prices = prices_for inst ~y:(fun _ _ -> 0.0) ~bidder:v in
+    Tel.incr m_oracle_calls;
     let bundle, util = Valuation.demand inst.Instance.bidders.(v) ~prices in
     if util > 0.0 && not (Bundle.is_empty bundle) then ignore (add_column v bundle)
   done;
@@ -100,6 +113,7 @@ let solve ?(max_rounds = 200) ?(eps = 1e-7) inst =
     let added = ref false in
     for v = 0 to n - 1 do
       let prices = prices_for inst ~y ~bidder:v in
+      Tel.incr m_oracle_calls;
       let bundle, util = Valuation.demand inst.Instance.bidders.(v) ~prices in
       if not (Bundle.is_empty bundle) then begin
         let z_v = sol.Model.dual unit_row.(v) in
@@ -107,11 +121,15 @@ let solve ?(max_rounds = 200) ?(eps = 1e-7) inst =
       end
     done;
     if !added then begin
+      Log.debug (fun m ->
+          m "colgen round %d: new columns, re-solving master (cols=%d)" !rounds
+            (Hashtbl.length present));
       last_sol := solve_master ();
       incr rounds
     end
     else finished := true
   done;
+  Tel.add m_rounds !rounds;
   let sol = !last_sol in
   let cols =
     List.rev !columns

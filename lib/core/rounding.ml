@@ -4,6 +4,10 @@ module Graph = Sa_graph.Graph
 module Weighted = Sa_graph.Weighted
 module Prng = Sa_util.Prng
 module Floats = Sa_util.Floats
+module Tel = Sa_telemetry.Metrics
+
+let m_trials = Tel.counter "core.rounding.trials"
+let m_improvements = Tel.counter "core.rounding.improvements"
 
 (* Rounding stage shared by all variants: every bidder independently picks
    bundle T with probability x_{v,T} / scale_down, and the empty bundle with
@@ -329,9 +333,15 @@ let solve ?(trials = 8) g_rng inst frac =
     | Instance.Per_channel_weighted _ ->
         algorithm3_asymmetric inst (algorithm_asymmetric_weighted g_rng inst frac)
   in
+  Tel.incr m_trials;
   let best = ref (one ()) in
   for _ = 2 to trials do
-    best := better inst !best (one ())
+    Tel.incr m_trials;
+    let cand = one () in
+    if Allocation.value inst cand > Allocation.value inst !best then begin
+      Tel.incr m_improvements;
+      best := cand
+    end
   done;
   !best
 
@@ -414,7 +424,12 @@ let solve_adaptive ?(trials = 4) g_rng inst frac =
   List.iter
     (fun scale_down ->
       for _ = 1 to trials do
-        best := better inst !best (one scale_down)
+        Tel.incr m_trials;
+        let cand = one scale_down in
+        if Allocation.value inst cand > Allocation.value inst !best then begin
+          Tel.incr m_improvements;
+          best := cand
+        end
       done)
     (scale_ladder canonical);
   !best

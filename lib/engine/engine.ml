@@ -12,6 +12,20 @@ module Ordering = Sa_graph.Ordering
 module Inductive = Sa_graph.Inductive
 module Prng = Sa_util.Prng
 module Timing = Sa_util.Timing
+module Tel = Sa_telemetry.Metrics
+
+let m_jobs = Tel.counter "engine.jobs"
+let m_warm_used = Tel.counter "engine.warm_used"
+let m_topo_hits = Tel.counter "engine.topology.hits"
+let m_topo_misses = Tel.counter "engine.topology.misses"
+let m_basis_lookups = Tel.counter "engine.basis.lookups"
+let m_basis_hits = Tel.counter "engine.basis.hits"
+let g_topo_entries = Tel.gauge "engine.topology.entries"
+let g_basis_entries = Tel.gauge "engine.basis.entries"
+let h_lp = Tel.histogram "engine.job.lp.seconds"
+let h_round = Tel.histogram "engine.job.round.seconds"
+let log_src = Logs.Src.create "sa.engine" ~doc:"Batch auction engine"
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 (* ------------------------------- job types ------------------------------ *)
 
@@ -71,10 +85,12 @@ type t = {
   lock : Mutex.t;
   topologies : (string, topology) Hashtbl.t;
   bases : (string, Sa_lp.Revised.basis) Hashtbl.t;
-  mutable topology_hits : int;
-  mutable topology_misses : int;
-  mutable basis_lookups : int;
-  mutable basis_found : int;
+  (* per-engine counters mirror the global telemetry registry; atomics make
+     them safe to bump outside [lock] from any domain *)
+  topology_hits : int Atomic.t;
+  topology_misses : int Atomic.t;
+  basis_lookups : int Atomic.t;
+  basis_found : int Atomic.t;
 }
 
 let create ?(warm_start = true) () =
@@ -83,10 +99,10 @@ let create ?(warm_start = true) () =
     lock = Mutex.create ();
     topologies = Hashtbl.create 16;
     bases = Hashtbl.create 64;
-    topology_hits = 0;
-    topology_misses = 0;
-    basis_lookups = 0;
-    basis_found = 0;
+    topology_hits = Atomic.make 0;
+    topology_misses = Atomic.make 0;
+    basis_lookups = Atomic.make 0;
+    basis_found = Atomic.make 0;
   }
 
 let warm_start_enabled t = t.warm_start
@@ -158,14 +174,16 @@ let topology_of_conflict t conflict =
   let key = Serialize.conflict_fingerprint conflict in
   match locked t (fun () -> Hashtbl.find_opt t.topologies key) with
   | Some topo ->
-      locked t (fun () -> t.topology_hits <- t.topology_hits + 1);
+      Atomic.incr t.topology_hits;
+      Tel.incr m_topo_hits;
       topo
   | None ->
       (* computed outside the lock: ρ estimation is the expensive part and
          must not serialise the other domains *)
       let topo = compute_topology conflict in
+      Atomic.incr t.topology_misses;
+      Tel.incr m_topo_misses;
       locked t (fun () ->
-          t.topology_misses <- t.topology_misses + 1;
           if not (Hashtbl.mem t.topologies key) then Hashtbl.add t.topologies key topo);
       topo
 
@@ -190,7 +208,8 @@ let run_algorithm job inst frac =
 
 let run_job t job =
   let inst = job.instance in
-  let started = Unix.gettimeofday () in
+  let started = Timing.now () in
+  Tel.incr m_jobs;
   let warm =
     if not t.warm_start then None
     else begin
@@ -199,13 +218,13 @@ let run_job t job =
         | Some k -> k
         | None -> Serialize.shape_fingerprint inst
       in
-      let cached =
-        locked t (fun () ->
-            t.basis_lookups <- t.basis_lookups + 1;
-            let b = Hashtbl.find_opt t.bases key in
-            if b <> None then t.basis_found <- t.basis_found + 1;
-            b)
-      in
+      Atomic.incr t.basis_lookups;
+      Tel.incr m_basis_lookups;
+      let cached = locked t (fun () -> Hashtbl.find_opt t.bases key) in
+      if cached <> None then begin
+        Atomic.incr t.basis_found;
+        Tel.incr m_basis_hits
+      end;
       Some (key, cached)
     end
   in
@@ -219,7 +238,16 @@ let run_job t job =
   | Some (key, _), Some basis ->
       locked t (fun () -> Hashtbl.replace t.bases key basis)
   | _ -> ());
+  if stats.Lp.warm_start_used then Tel.incr m_warm_used;
   let alloc, round_s = Timing.time (fun () -> run_algorithm job inst frac) in
+  Tel.observe h_lp lp_s;
+  Tel.observe h_round round_s;
+  Log.debug (fun m ->
+      m "job %d (%s): lp %.4fs (%d pivots%s), round %.4fs" job.id
+        (algorithm_name job.algorithm)
+        lp_s stats.Lp.iterations
+        (if stats.Lp.warm_start_used then ", warm" else "")
+        round_s);
   {
     job_id = job.id;
     allocation = alloc;
@@ -227,7 +255,7 @@ let run_job t job =
     lp_objective = frac.Lp.objective;
     lp_iterations = stats.Lp.iterations;
     warm_start = stats.Lp.warm_start_used;
-    timings = { lp_s; round_s; total_s = Unix.gettimeofday () -. started };
+    timings = { lp_s; round_s; total_s = Timing.now () -. started };
   }
 
 (* ------------------------------- batch runs ------------------------------ *)
@@ -268,27 +296,44 @@ let summarize (eng : t) results ~wall =
     lp_seconds = ls;
     round_seconds = rs;
     wall_seconds = wall;
-    topology_hits = eng.topology_hits;
-    topology_misses = eng.topology_misses;
+    topology_hits = Atomic.get eng.topology_hits;
+    topology_misses = Atomic.get eng.topology_misses;
     basis_entries = Hashtbl.length eng.bases;
   }
+
+let publish_cache_gauges t =
+  let topo, bases =
+    locked t (fun () -> (Hashtbl.length t.topologies, Hashtbl.length t.bases))
+  in
+  Tel.set_gauge g_topo_entries (float_of_int topo);
+  Tel.set_gauge g_basis_entries (float_of_int bases)
 
 let run_batch ?(domains = 1) t jobs =
   let arr = Array.of_list jobs in
   let results, wall =
     Timing.time (fun () -> Parallel.map_array ~domains (run_job t) arr)
   in
-  (results, summarize t results ~wall)
+  publish_cache_gauges t;
+  let summary = summarize t results ~wall in
+  Log.info (fun m ->
+      m "batch: %d jobs in %.3fs (lp %.3fs, round %.3fs, warm %d/%d)"
+        summary.jobs summary.wall_seconds summary.lp_seconds
+        summary.round_seconds summary.warm_hits summary.jobs);
+  (results, summary)
 
-let summary_to_json s =
+let summary_to_json ?(extra = []) s =
+  let extra_fields =
+    String.concat ""
+      (List.map (fun (key, json) -> Printf.sprintf ",\"%s\":%s" key json) extra)
+  in
   Printf.sprintf
     "{\"jobs\":%d,\"total_welfare\":%.6f,\"total_lp_objective\":%.6f,\
      \"lp_iterations\":%d,\"warm_hits\":%d,\"lp_seconds\":%.6f,\
      \"round_seconds\":%.6f,\"wall_seconds\":%.6f,\"topology_hits\":%d,\
-     \"topology_misses\":%d,\"basis_entries\":%d}"
+     \"topology_misses\":%d,\"basis_entries\":%d%s}"
     s.jobs s.total_welfare s.total_lp_objective s.lp_iterations s.warm_hits
     s.lp_seconds s.round_seconds s.wall_seconds s.topology_hits s.topology_misses
-    s.basis_entries
+    s.basis_entries extra_fields
 
 let pp_summary fmt s =
   Format.fprintf fmt

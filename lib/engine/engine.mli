@@ -116,6 +116,9 @@ val run_batch : ?domains:int -> t -> job list -> result array * summary
 
 val pp_summary : Format.formatter -> summary -> unit
 
-val summary_to_json : summary -> string
+val summary_to_json : ?extra:(string * string) list -> summary -> string
 (** One JSON object (no external deps) — embedded in [BENCH_engine.json]
-    and [auction serve --json]. *)
+    and [auction serve --json].  [extra] appends [(key, json_value)] pairs
+    verbatim after the summary fields (e.g. an embedded telemetry
+    snapshot); keys must be plain identifiers, values already-valid
+    JSON. *)

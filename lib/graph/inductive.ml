@@ -1,6 +1,13 @@
 type estimate = { rho : float; exact : bool; witness_vertex : int }
 
+module Tel = Sa_telemetry.Metrics
+
+let m_estimates = Tel.counter "graph.rho.estimates"
+let h_rho = Tel.histogram "graph.rho.seconds"
+
 let rho_unweighted ?node_limit g pi =
+  Sa_telemetry.Trace.with_span ~hist:h_rho "graph.rho" @@ fun () ->
+  Tel.incr m_estimates;
   let best = ref 0.0 and witness = ref (-1) and all_exact = ref true in
   for v = 0 to Graph.n g - 1 do
     let backward = Array.of_list (Ordering.backward_neighbors pi g v) in
@@ -18,6 +25,8 @@ let rho_unweighted ?node_limit g pi =
   { rho = !best; exact = !all_exact; witness_vertex = !witness }
 
 let rho_weighted ?node_limit wg pi =
+  Sa_telemetry.Trace.with_span ~hist:h_rho "graph.rho" @@ fun () ->
+  Tel.incr m_estimates;
   let best = ref 0.0 and witness = ref (-1) and all_exact = ref true in
   for v = 0 to Weighted.n wg - 1 do
     let candidates =

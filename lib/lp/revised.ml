@@ -12,6 +12,18 @@
    B_inv once and jumps straight to phase 2 — the warm-start path used by
    the batch engine's basis cache. *)
 
+module Tel = Sa_telemetry.Metrics
+
+let m_solves = Tel.counter "lp.revised.solves"
+let m_pivots = Tel.counter "lp.revised.pivots"
+let m_warm_attempts = Tel.counter "lp.revised.warm_attempts"
+let m_warm_installs = Tel.counter "lp.revised.warm_installs"
+let m_warm_rollbacks = Tel.counter "lp.revised.warm_rollbacks"
+let h_solve = Tel.histogram "lp.revised.solve.seconds"
+let log_src = Logs.Src.create "sa.lp.revised" ~doc:"Revised sparse simplex"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type sparse_col = (int * float) array (* (row, coeff), rows strictly increasing *)
 
 type basis = int array
@@ -137,6 +149,7 @@ let run_phase t ~costs ~eps ~max_iters ~allowed =
     end
   done;
   let status = match !result with Some r -> r | None -> assert false in
+  Tel.add m_pivots !iter;
   (status, !iter)
 
 (* Try to install [wb] as the starting basis by pivoting its missing
@@ -148,6 +161,7 @@ let run_phase t ~costs ~eps ~max_iters ~allowed =
    non-negative, i.e. still primal feasible for the new b; otherwise roll
    the core back to its pristine cold-start state. *)
 let try_warm_basis t wb =
+  Tel.incr m_warm_attempts;
   let valid =
     Array.length wb = t.m
     && Array.for_all (fun j -> j >= 0 && j < t.ncols && not t.artificial.(j)) wb
@@ -168,6 +182,9 @@ let try_warm_basis t wb =
     let in_target = Array.make t.ncols false in
     Array.iter (fun j -> in_target.(j) <- true) wb;
     let reset () =
+      Tel.incr m_warm_rollbacks;
+      Log.debug (fun m ->
+          m "warm basis rejected (stale for new data); cold start (m=%d)" t.m);
       Array.blit init_basis 0 t.basis 0 t.m;
       Array.fill t.in_basis 0 t.ncols false;
       Array.iter (fun j -> t.in_basis.(j) <- true) init_basis;
@@ -197,11 +214,12 @@ let try_warm_basis t wb =
       for i = 0 to t.m - 1 do
         if t.x_b.(i) < 0.0 then t.x_b.(i) <- 0.0
       done;
+      Tel.incr m_warm_installs;
       true
     end
   end
 
-let solve_warm ?(eps = 1e-9) ?max_iters ?warm_start { Simplex.direction; c; rows } =
+let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start { Simplex.direction; c; rows } =
   let nstruct = Array.length c in
   let m = Array.length rows in
   Array.iter
@@ -382,6 +400,11 @@ let solve_warm ?(eps = 1e-9) ?max_iters ?warm_start { Simplex.direction; c; rows
           finish
             { Simplex.status = Simplex.Optimal; x; objective; duals }
             (Some (Array.copy t.basis)))
+
+let solve_warm ?eps ?max_iters ?warm_start problem =
+  Sa_telemetry.Trace.with_span ~hist:h_solve "lp.revised.solve" (fun () ->
+      Tel.incr m_solves;
+      solve_warm_impl ?eps ?max_iters ?warm_start problem)
 
 let solve ?eps ?max_iters problem =
   let solution, _, _ = solve_warm ?eps ?max_iters problem in

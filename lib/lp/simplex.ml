@@ -1,6 +1,11 @@
 type relation = Le | Ge | Eq
 type direction = Maximize | Minimize
 
+module Tel = Sa_telemetry.Metrics
+
+let m_solves = Tel.counter "lp.simplex.solves"
+let m_pivots = Tel.counter "lp.simplex.pivots"
+
 type problem = {
   direction : direction;
   c : float array;
@@ -132,9 +137,11 @@ let run_phase t ~eps ~max_iters ~allowed =
       end
     end
   done;
+  Tel.add m_pivots !iter;
   match !result with Some r -> r | None -> assert false
 
 let solve ?(eps = 1e-9) ?max_iters { direction; c; rows } =
+  Tel.incr m_solves;
   let nstruct = Array.length c in
   let m = Array.length rows in
   Array.iter

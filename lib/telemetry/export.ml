@@ -1,0 +1,401 @@
+(* Snapshot exporters: JSON (with a matching minimal parser, so snapshots
+   round-trip without external deps) and Prometheus text format.
+
+   JSON layout — one metric per line, names sorted, so counter blocks of
+   two runs can be diffed textually:
+
+   {
+     "version": 1,
+     "counters": {
+       "engine.jobs": 19,
+       ...
+     },
+     "gauges": { ... },
+     "histograms": {
+       "lp.revised.solve.seconds": {"le": [...], "counts": [...],
+                                    "sum": 0.012, "count": 19},
+       ...
+     },
+     "spans": [
+       {"name": "lp.revised.solve", "start_s": 12.3, "dur_s": 0.001,
+        "domain": 0},
+       ...
+     ]
+   } *)
+
+let version = 1
+
+(* ------------------------------ float text ------------------------------ *)
+
+(* Shortest decimal that round-trips; non-finite values become null (JSON
+   has no nan/inf) and parse back as nan. *)
+let float_str v =
+  if not (Float.is_finite v) then "null"
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* -------------------------------- writer -------------------------------- *)
+
+let add_kv_block b ~label ~last items emit =
+  Buffer.add_string b (Printf.sprintf "  \"%s\": {\n" label);
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string b "    \"";
+      escape b name;
+      Buffer.add_string b "\": ";
+      emit b v;
+      if i < List.length items - 1 then Buffer.add_char b ',';
+      Buffer.add_char b '\n')
+    items;
+  Buffer.add_string b (if last then "  }\n" else "  },\n")
+
+let add_float_array b arr =
+  Buffer.add_char b '[';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (float_str v))
+    arr;
+  Buffer.add_char b ']'
+
+let add_int_array b arr =
+  Buffer.add_char b '[';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (string_of_int v))
+    arr;
+  Buffer.add_char b ']'
+
+let add_hist b (h : Metrics.hist_view) =
+  Buffer.add_string b "{\"le\": ";
+  add_float_array b h.Metrics.le;
+  Buffer.add_string b ", \"counts\": ";
+  add_int_array b h.Metrics.counts;
+  Buffer.add_string b (Printf.sprintf ", \"sum\": %s" (float_str h.Metrics.sum));
+  Buffer.add_string b (Printf.sprintf ", \"count\": %d}" h.Metrics.count)
+
+let add_span b (sp : Trace.span) =
+  Buffer.add_string b "    {\"name\": \"";
+  escape b sp.Trace.name;
+  Buffer.add_string b
+    (Printf.sprintf "\", \"start_s\": %s, \"dur_s\": %s, \"domain\": %d}"
+       (float_str sp.Trace.start_s) (float_str sp.Trace.dur_s) sp.Trace.domain)
+
+let snapshot_to_json ?(spans = []) (v : Metrics.view) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"version\": %d,\n" version);
+  add_kv_block b ~label:"counters" ~last:false v.Metrics.counters (fun b n ->
+      Buffer.add_string b (string_of_int n));
+  add_kv_block b ~label:"gauges" ~last:false v.Metrics.gauges (fun b x ->
+      Buffer.add_string b (float_str x));
+  add_kv_block b ~label:"histograms" ~last:false v.Metrics.histograms add_hist;
+  Buffer.add_string b "  \"spans\": [\n";
+  List.iteri
+    (fun i sp ->
+      add_span b sp;
+      if i < List.length spans - 1 then Buffer.add_char b ',';
+      Buffer.add_char b '\n')
+    spans;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let counters_to_json counters =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, n) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      escape b name;
+      Buffer.add_string b (Printf.sprintf "\":%d" n))
+    counters;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* -------------------------------- parser -------------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos >= n || s.[!pos] <> c then
+      parse_error "expected %c at offset %d" c !pos;
+    advance ()
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else parse_error "bad literal at offset %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then parse_error "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          if !pos >= n then parse_error "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 >= n then parse_error "bad \\u escape";
+              let hex = String.sub s (!pos + 1) 4 in
+              let code =
+                match int_of_string_opt ("0x" ^ hex) with
+                | Some c -> c
+                | None -> parse_error "bad \\u escape"
+              in
+              (* ASCII only — snapshot strings are metric names *)
+              if code < 128 then Buffer.add_char b (Char.chr code)
+              else Buffer.add_char b '?';
+              pos := !pos + 4
+          | c -> parse_error "bad escape \\%c" c);
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> Num v
+    | None -> parse_error "bad number at offset %d" start
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> parse_error "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (key, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> parse_error "expected , or } at offset %d" !pos
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> parse_error "expected , or ] at offset %d" !pos
+          in
+          elements ();
+          Arr (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then parse_error "trailing garbage at offset %d" !pos;
+  v
+
+let num = function
+  | Num v -> v
+  | Null -> Float.nan (* non-finite floats are serialized as null *)
+  | _ -> parse_error "expected number"
+
+let as_int j =
+  let v = num j in
+  if Float.is_integer v then int_of_float v else parse_error "expected integer"
+
+let obj_field fields name =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> parse_error "missing field %s" name
+
+let snapshot_of_json text : Metrics.view * Trace.span list =
+  let fields =
+    match parse_json text with
+    | Obj fields -> fields
+    | _ -> parse_error "snapshot must be a JSON object"
+  in
+  (match obj_field fields "version" with
+  | Num v when int_of_float v = version -> ()
+  | _ -> parse_error "unsupported snapshot version");
+  let kv label of_json =
+    match obj_field fields label with
+    | Obj entries -> List.map (fun (name, v) -> (name, of_json v)) entries
+    | _ -> parse_error "%s must be an object" label
+  in
+  let hist = function
+    | Obj h ->
+        let floats = function
+          | Arr items -> Array.of_list (List.map num items)
+          | _ -> parse_error "le must be an array"
+        in
+        let ints = function
+          | Arr items -> Array.of_list (List.map as_int items)
+          | _ -> parse_error "counts must be an array"
+        in
+        {
+          Metrics.le = floats (obj_field h "le");
+          counts = ints (obj_field h "counts");
+          sum = num (obj_field h "sum");
+          count = as_int (obj_field h "count");
+        }
+    | _ -> parse_error "histogram must be an object"
+  in
+  let spans =
+    match obj_field fields "spans" with
+    | Arr items ->
+        List.map
+          (function
+            | Obj sp ->
+                {
+                  Trace.name =
+                    (match obj_field sp "name" with
+                    | Str s -> s
+                    | _ -> parse_error "span name must be a string");
+                  start_s = num (obj_field sp "start_s");
+                  dur_s = num (obj_field sp "dur_s");
+                  domain = as_int (obj_field sp "domain");
+                }
+            | _ -> parse_error "span must be an object")
+          items
+    | _ -> parse_error "spans must be an array"
+  in
+  ( {
+      Metrics.counters = kv "counters" as_int;
+      gauges = kv "gauges" num;
+      histograms = kv "histograms" hist;
+    },
+    spans )
+
+(* ------------------------------ prometheus ------------------------------ *)
+
+let prom_name prefix name =
+  prefix ^ String.map (fun c -> if c = '.' then '_' else c) name
+
+let to_prometheus ?(prefix = "specauction_") (v : Metrics.view) =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, n) ->
+      let nm = prom_name prefix name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" nm nm n))
+    v.Metrics.counters;
+  List.iter
+    (fun (name, x) ->
+      let nm = prom_name prefix name in
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s gauge\n%s %s\n" nm nm (float_str x)))
+    v.Metrics.gauges;
+  List.iter
+    (fun (name, h) ->
+      let nm = prom_name prefix name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" nm);
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cum := !cum + c;
+          let le =
+            if i < Array.length h.Metrics.le then float_str h.Metrics.le.(i)
+            else "+Inf"
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" nm le !cum))
+        h.Metrics.counts;
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum %s\n%s_count %d\n" nm
+           (float_str h.Metrics.sum)
+           nm h.Metrics.count))
+    v.Metrics.histograms;
+  Buffer.contents b

@@ -1,0 +1,25 @@
+(** Snapshot exporters: JSON (with a matching parser — snapshots
+    round-trip with no external deps) and Prometheus text format. *)
+
+val version : int
+(** Snapshot format version, embedded in the JSON. *)
+
+val snapshot_to_json : ?spans:Trace.span list -> Metrics.view -> string
+(** Pretty JSON, one metric per line, names sorted — the counter block of
+    two snapshots can be diffed textually.  Non-finite floats are written
+    as [null] and parse back as [nan]. *)
+
+val counters_to_json : (string * int) list -> string
+(** One-line JSON object for a counter list (e.g. per-phase deltas in
+    bench output). *)
+
+val snapshot_of_json : string -> Metrics.view * Trace.span list
+(** Inverse of {!snapshot_to_json}.  @raise Parse_error on malformed
+    input. *)
+
+exception Parse_error of string
+
+val to_prometheus : ?prefix:string -> Metrics.view -> string
+(** Prometheus text exposition (counters, gauges, histograms with
+    cumulative buckets).  Metric names have ['.'] mapped to ['_'] and are
+    prefixed with [prefix] (default ["specauction_"]). *)

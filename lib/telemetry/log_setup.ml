@@ -1,0 +1,12 @@
+(* Logs reporter for the binaries: human-readable lines on stderr (stdout
+   stays machine-parseable), serialised across domains with a mutex. *)
+
+let reporter_mutex = Mutex.create ()
+
+let install ?(level = Some Logs.Warning) () =
+  Logs.set_reporter_mutex
+    ~lock:(fun () -> Mutex.lock reporter_mutex)
+    ~unlock:(fun () -> Mutex.unlock reporter_mutex);
+  Logs.set_level ~all:true level;
+  Logs.set_reporter
+    (Logs_fmt.reporter ~app:Format.err_formatter ~dst:Format.err_formatter ())

@@ -1,0 +1,7 @@
+(** Default [Logs] reporter for the binaries. *)
+
+val install : ?level:Logs.level option -> unit -> unit
+(** [install ~level ()] sets the global log level (default
+    [Some Logs.Warning]; [None] silences everything — the [--quiet] flag)
+    and installs a reporter that prints to stderr, serialised across
+    domains.  Pass the value of [Logs_cli.level ()] straight through. *)

@@ -1,0 +1,58 @@
+(* Lightweight tracing spans.
+
+   A span is one timed region (an LP solve, a rho estimation) with a
+   monotonic start timestamp (Sa_util.Timing.now, origin arbitrary).
+   Completed spans land in a fixed-capacity global ring buffer — recent
+   history only, old spans are overwritten — and their duration is also
+   recorded in a histogram of the default metrics registry, so aggregate
+   latency survives ring eviction. *)
+
+type span = { name : string; start_s : float; dur_s : float; domain : int }
+
+let capacity = 512
+let lock = Mutex.create ()
+let buf : span option array = Array.make capacity None
+let next = ref 0
+let enabled = Atomic.make true
+
+let set_enabled b = Atomic.set enabled b
+
+let record sp =
+  if Atomic.get enabled then begin
+    Mutex.lock lock;
+    buf.(!next) <- Some sp;
+    next := (!next + 1) mod capacity;
+    Mutex.unlock lock
+  end
+
+let recent () =
+  Mutex.lock lock;
+  let out = ref [] in
+  for i = 0 to capacity - 1 do
+    (* starting at [next] visits surviving spans oldest-first *)
+    match buf.((!next + i) mod capacity) with
+    | Some sp -> out := sp :: !out
+    | None -> ()
+  done;
+  Mutex.unlock lock;
+  List.rev !out
+
+let clear () =
+  Mutex.lock lock;
+  Array.fill buf 0 capacity None;
+  next := 0;
+  Mutex.unlock lock
+
+let with_span ?hist name f =
+  let start_s = Sa_util.Timing.now () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dur_s = Sa_util.Timing.now () -. start_s in
+      let h =
+        match hist with
+        | Some h -> h
+        | None -> Metrics.histogram (name ^ ".seconds")
+      in
+      Metrics.observe h dur_s;
+      record { name; start_s; dur_s; domain = (Domain.self () :> int) })
+    f

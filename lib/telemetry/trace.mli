@@ -1,0 +1,31 @@
+(** Lightweight tracing spans with monotonic timestamps.
+
+    Spans are kept in a global fixed-capacity ring buffer (most recent
+    {!capacity} spans) and their durations feed a histogram in
+    {!Metrics.default}, so aggregate latency is never lost to ring
+    eviction.  Timestamps come from {!Sa_util.Timing.now} — monotonic,
+    arbitrary origin, comparable only within a process. *)
+
+type span = {
+  name : string;
+  start_s : float;  (** monotonic start, seconds *)
+  dur_s : float;  (** duration, seconds *)
+  domain : int;  (** domain that ran the region *)
+}
+
+val capacity : int
+
+val with_span : ?hist:Metrics.histogram -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f ()], records a span named [name] (also on
+    exception), and observes the duration in [hist] (default: histogram
+    [name ^ ".seconds"] in {!Metrics.default}).  Pass a pre-created [hist]
+    on hot paths to skip the registry lookup. *)
+
+val recent : unit -> span list
+(** Surviving spans, oldest first. *)
+
+val clear : unit -> unit
+
+val set_enabled : bool -> unit
+(** Disable/enable ring recording (histograms still update).  On by
+    default. *)

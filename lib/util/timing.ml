@@ -1,7 +1,28 @@
+(* Monotonic timing.
+
+   [Unix.gettimeofday] jumps under NTP/manual clock adjustment, which can
+   make measured spans negative.  OCaml's unix library exposes no
+   CLOCK_MONOTONIC, so we use the tiny linux clock_gettime(MONOTONIC) stub
+   shipped with bechamel (no Mtime dependency), falling back to
+   gettimeofday if the stub ever fails at runtime. *)
+
+let monotonic_available =
+  match Monotonic_clock.now () with
+  | (_ : int64) -> true
+  | exception _ -> false
+
+let now_ns () =
+  if monotonic_available then Monotonic_clock.now ()
+  else Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let now () =
+  if monotonic_available then Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+  else Unix.gettimeofday ()
+
 let time f =
-  let start = Unix.gettimeofday () in
+  let start = now () in
   let result = f () in
-  (result, Unix.gettimeofday () -. start)
+  (result, now () -. start)
 
 let time_only f = snd (time f)
 

@@ -1,7 +1,20 @@
-(** Wall-clock timing helpers for the experiment driver.
+(** Monotonic timing helpers.
 
     Bechamel handles micro-benchmarks in [bench/]; this module covers the
-    coarse per-run timings reported in experiment tables. *)
+    coarse per-run timings reported in experiment tables and the telemetry
+    spans.  All elapsed times use a monotonic clock (never negative under
+    wall-clock adjustment), with a [gettimeofday] fallback if the clock
+    stub is unavailable. *)
+
+val monotonic_available : bool
+(** Whether the monotonic clock stub works on this platform. *)
+
+val now : unit -> float
+(** Monotonic timestamp in seconds.  Arbitrary origin: only differences
+    are meaningful, and only within one process. *)
+
+val now_ns : unit -> int64
+(** Same clock, nanoseconds. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result with elapsed seconds. *)

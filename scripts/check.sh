@@ -1,6 +1,8 @@
 #!/bin/sh
-# Repo health check: full build, test suite, and an engine bench smoke run
-# that validates BENCH_engine.json.  Run from anywhere inside the repo.
+# Repo health check: full build, test suite, an engine bench smoke run that
+# validates BENCH_engine.json, and a telemetry smoke run that validates the
+# serve --metrics-out snapshot (parses, hot-path counters nonzero, counter
+# totals identical across domain counts).  Run from anywhere inside the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,4 +24,37 @@ for key in '"benchmark":"engine-batch"' '"cold":' '"warm":' '"warm_hit_rate":' \
   grep -q -- "$key" "$out" || { echo "check: $out lacks $key" >&2; exit 1; }
 done
 
-echo "check: OK ($out well-formed)"
+echo "== telemetry smoke (serve --demo --metrics-out)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+snap="$tmpdir/metrics.json"
+dune exec bin/auction.exe -- serve --demo --metrics-out "$snap" >/dev/null
+
+# the snapshot must parse back (auction metrics re-reads it with the
+# in-tree JSON parser and exits nonzero on any malformation)
+dune exec bin/auction.exe -- metrics "$snap" >/dev/null
+
+# hot-path counters the demo workload must have exercised
+for counter in '"lp.revised.pivots": *[1-9]' \
+               '"engine.basis.lookups": *[1-9]' \
+               '"engine.topology.hits": *[1-9]' \
+               '"core.rounding.trials": *[1-9]'; do
+  grep -Eq -- "$counter" "$snap" \
+    || { echo "check: $snap lacks nonzero $counter" >&2; exit 1; }
+done
+# schema completeness: pre-registered even when the path never ran
+grep -q '"core.colgen.oracle_calls":' "$snap" \
+  || { echo "check: $snap lacks core.colgen.oracle_calls" >&2; exit 1; }
+
+echo "== telemetry determinism (counters identical across --domains 1/4)"
+dune exec bin/auction.exe -- serve --demo --no-warm --domains 1 \
+  --metrics-out "$tmpdir/d1.json" >/dev/null
+dune exec bin/auction.exe -- serve --demo --no-warm --domains 4 \
+  --metrics-out "$tmpdir/d4.json" >/dev/null
+sed -n '/"counters": {/,/^  },/p' "$tmpdir/d1.json" > "$tmpdir/c1"
+sed -n '/"counters": {/,/^  },/p' "$tmpdir/d4.json" > "$tmpdir/c4"
+test -s "$tmpdir/c1" || { echo "check: counter block extraction failed" >&2; exit 1; }
+cmp "$tmpdir/c1" "$tmpdir/c4" \
+  || { echo "check: counters differ between --domains 1 and 4" >&2; exit 1; }
+
+echo "check: OK ($out and telemetry snapshot well-formed)"

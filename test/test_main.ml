@@ -18,6 +18,7 @@ let () =
       ("online", Suite_online.suite);
       ("parallel", Suite_parallel.suite);
       ("metrics", Suite_metrics.suite);
+      ("telemetry", Suite_telemetry.suite);
       ("properties", Suite_properties.suite);
       ("engine", Suite_engine.suite);
     ]
