@@ -12,7 +12,14 @@
    Run with: dune exec bench/main.exe
    Flags: --quick       engine smoke run only (small workload, no bechamel)
           --engine-out  output path for the JSON summary (default
-                        BENCH_engine.json) *)
+                        BENCH_engine.json)
+
+   A second group, `bench kernels` (dune exec bench/main.exe -- kernels),
+   compares the sparse hot-path kernels against their dense references:
+   bitset-vs-matrix graph queries, eta-file-vs-tableau LP solves, and the
+   full colgen+rounding pipeline dense/sparse and 1-vs-N domains, writing
+   BENCH_kernels.json.  Flags: --quick (small instance), --domains N,
+   --kernels-out PATH. *)
 
 open Bechamel
 
@@ -271,6 +278,229 @@ let engine_bench ~quick ~out =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
   Printf.printf "  summary written to %s\n" out
 
+(* ---- kernels: sparse hot paths vs dense references ----------------------- *)
+
+module Simplex = Sa_lp.Simplex
+
+(* Naive dense adjacency reference (the pre-bitset representation), kept
+   here so the micro-benchmark always compares against the same baseline
+   regardless of how lib/graph evolves. *)
+let dense_matrix g =
+  let n = Graph.n g in
+  let m = Array.make_matrix n n false in
+  Graph.iter_edges g (fun u v ->
+      m.(u).(v) <- true;
+      m.(v).(u) <- true);
+  m
+
+let dense_is_independent m set =
+  List.for_all
+    (fun u -> List.for_all (fun v -> u = v || not m.(u).(v)) set)
+    set
+
+(* Greedy max-weight independent set, the conflict-scan kernel of
+   [Indep.greedy_weight]: every *accepted* vertex must be checked against
+   the whole chosen set, so there is no early exit and the scan cost is
+   what the representations differ on.  The dense reference keeps the
+   chosen set as a list over a bool matrix (the pre-bitset code shape). *)
+let dense_greedy m weights =
+  let n = Array.length weights in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare weights.(b) weights.(a)) order;
+  let chosen = ref [] in
+  Array.iter
+    (fun v ->
+      if weights.(v) > 0.0 && List.for_all (fun u -> not m.(u).(v)) !chosen then
+        chosen := v :: !chosen)
+    order;
+  !chosen
+
+let bitset_greedy graph weights =
+  let n = Array.length weights in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare weights.(b) weights.(a)) order;
+  let chosen = ref [] in
+  let mask = Graph.mask_create graph in
+  Array.iter
+    (fun v ->
+      if weights.(v) > 0.0 && not (Graph.row_intersects graph v mask) then begin
+        Sa_graph.Bitset.add mask v;
+        chosen := v :: !chosen
+      end)
+    order;
+  !chosen
+
+let kernels_graph_micro ~quick =
+  let n = if quick then 200 else 400 in
+  let g_rng = Prng.create ~seed:11 in
+  let graph = Sa_graph.Generators.random_bounded_degree g_rng ~n ~d:10 in
+  let m = dense_matrix graph in
+  let reps = if quick then 300 else 600 in
+  let weight_sets =
+    Array.init reps (fun _ -> Array.init n (fun _ -> Prng.float g_rng 10.0))
+  in
+  let dense_out = Array.make reps [] in
+  let (), dense_s =
+    Sa_util.Timing.time (fun () ->
+        Array.iteri (fun i w -> dense_out.(i) <- dense_greedy m w) weight_sets)
+  in
+  let bitset_out = Array.make reps [] in
+  let (), bitset_s =
+    Sa_util.Timing.time (fun () ->
+        Array.iteri (fun i w -> bitset_out.(i) <- bitset_greedy graph w) weight_sets)
+  in
+  (* Batch feasibility certification on the greedy outputs: checking a set
+     that IS independent admits no early exit, so the dense reference pays
+     the full O(|S|^2) scan — the shape of certifying rounded allocations. *)
+  let subsets = Array.map (fun s -> s) bitset_out in
+  let dense_ind = Array.make reps false in
+  let (), dense_ind_s =
+    Sa_util.Timing.time (fun () ->
+        Array.iteri (fun i s -> dense_ind.(i) <- dense_is_independent m s) subsets)
+  in
+  let bitset_ind = Array.make reps false in
+  let (), bitset_ind_s =
+    Sa_util.Timing.time (fun () ->
+        Array.iteri (fun i s -> bitset_ind.(i) <- Graph.is_independent graph s) subsets)
+  in
+  let agree = dense_out = bitset_out && dense_ind = bitset_ind in
+  Printf.printf
+    "  graph  greedy-MIS x%d (n=%d): dense %.4fs  bitset %.4fs  (%.1fx)\n" reps n
+    dense_s bitset_s (dense_s /. bitset_s);
+  Printf.printf
+    "  graph  is_independent x%d:    dense %.4fs  bitset %.4fs  (%.1fx, agree=%b)\n"
+    reps dense_ind_s bitset_ind_s (dense_ind_s /. bitset_ind_s) agree;
+  Printf.sprintf
+    "{\"n\":%d,\"reps\":%d,\"greedy\":{\"dense_seconds\":%.6f,\
+     \"bitset_seconds\":%.6f,\"speedup\":%.3f},\"is_independent\":\
+     {\"dense_seconds\":%.6f,\"bitset_seconds\":%.6f,\"speedup\":%.3f},\
+     \"agree\":%b}"
+    n reps dense_s bitset_s (dense_s /. bitset_s) dense_ind_s bitset_ind_s
+    (dense_ind_s /. bitset_ind_s) agree
+
+let kernels_lp_micro ~quick =
+  (* LP(1)-shaped packing problem: unit rows + interference rows. *)
+  let g = Prng.create ~seed:13 in
+  let nb = if quick then 60 else 200 in
+  let k = if quick then 4 else 5 in
+  let ncols = nb * (if quick then 4 else 5) in
+  let owner = Array.init ncols (fun c -> c mod nb) in
+  let c = Array.init ncols (fun _ -> Prng.float g 10.0) in
+  let unit_rows =
+    Array.init nb (fun v ->
+        ( Array.init ncols (fun cix -> if owner.(cix) = v then 1.0 else 0.0),
+          Simplex.Le,
+          1.0 ))
+  in
+  let intf_rows =
+    Array.init (nb * k) (fun _ ->
+        ( Array.init ncols (fun _ ->
+              if Prng.bernoulli g 0.08 then Prng.float g 1.0 else 0.0),
+          Simplex.Le,
+          2.5 ))
+  in
+  let p =
+    { Simplex.direction = Simplex.Maximize; c; rows = Array.append unit_rows intf_rows }
+  in
+  let rows = Array.length p.Simplex.rows in
+  let dense_sol, dense_s = Sa_util.Timing.time (fun () -> Simplex.solve p) in
+  let (eta_sol, eta_ctr), eta_s =
+    Sa_util.Timing.time (fun () ->
+        with_counter_delta (fun () -> Sa_lp.Revised.solve p))
+  in
+  let certified s = (Sa_lp.Certify.check p s).Sa_lp.Certify.certified in
+  let both_certified = certified dense_sol && certified eta_sol in
+  Printf.printf
+    "  lp     %dx%d packing: dense %.4fs  eta %.4fs  (%.1fx, certified=%b)\n" rows
+    ncols dense_s eta_s (dense_s /. eta_s) both_certified;
+  Printf.sprintf
+    "{\"rows\":%d,\"cols\":%d,\"dense_seconds\":%.6f,\"eta_seconds\":%.6f,\
+     \"speedup\":%.3f,\"dense_objective\":%.6f,\"eta_objective\":%.6f,\
+     \"both_certified\":%b,\"eta_counters\":%s}"
+    rows ncols dense_s eta_s (dense_s /. eta_s) dense_sol.Simplex.objective
+    eta_sol.Simplex.objective both_certified
+    (Export.counters_to_json eta_ctr)
+
+let kernels_pipeline ~quick ~domains =
+  let n, k, max_rounds = if quick then (200, 2, 8) else (400, 8, 8) in
+  Printf.printf "  building protocol instance n=%d k=%d...\n%!" n k;
+  (* Xor_heavy: bidders re-demand different bundles as prices rise, so the
+     column generation actually iterates (several master re-solves with
+     warm starts) instead of converging in one round. *)
+  let inst =
+    Workloads.protocol_instance ~seed:17 ~n ~k ~profile:Workloads.Xor_heavy ()
+  in
+  let run name ~engine ~pricing ~dom =
+    let alloc0 = Gc.allocated_bytes () in
+    let ((frac, stats, alloc), ctr), seconds =
+      Sa_util.Timing.time (fun () ->
+          with_counter_delta (fun () ->
+              let frac, stats =
+                Oracle.solve ~max_rounds ~engine ~pricing ~domains:dom inst
+              in
+              let alloc = Rounding.solve_par ~domains:dom ~trials:8 ~seed:23 inst frac in
+              (frac, stats, alloc)))
+    in
+    let alloc_bytes = Gc.allocated_bytes () -. alloc0 in
+    Printf.printf
+      "  %-22s %8.3fs  lp-obj %10.4f  welfare %10.4f  cols %4d  rounds %2d\n%!"
+      name seconds frac.Lp.objective
+      (Sa_core.Allocation.value inst alloc)
+      stats.Oracle.columns_generated stats.Oracle.iterations;
+    let json =
+      Printf.sprintf
+        "{\"seconds\":%.6f,\"objective\":%.6f,\"welfare\":%.6f,\"columns\":%d,\
+         \"rounds\":%d,\"alloc_bytes\":%.0f,\"counters\":%s}"
+        seconds frac.Lp.objective
+        (Sa_core.Allocation.value inst alloc)
+        stats.Oracle.columns_generated stats.Oracle.iterations alloc_bytes
+        (Export.counters_to_json ctr)
+    in
+    (json, seconds, frac.Lp.objective, stats.Oracle.columns_generated)
+  in
+  let d_json, d_s, d_obj, d_cols =
+    run "dense+naive d=1"
+      ~engine:Sa_lp.Model.Dense_tableau ~pricing:Oracle.Naive ~dom:1
+  in
+  let s1_json, s1_s, s1_obj, s1_cols =
+    run "sparse+incremental d=1"
+      ~engine:Sa_lp.Model.Revised_sparse ~pricing:Oracle.Incremental ~dom:1
+  in
+  let sN_json, sN_s, _, _ =
+    run
+      (Printf.sprintf "sparse+incremental d=%d" domains)
+      ~engine:Sa_lp.Model.Revised_sparse ~pricing:Oracle.Incremental ~dom:domains
+  in
+  let speedup = d_s /. s1_s in
+  let scaling = s1_s /. sN_s in
+  Printf.printf
+    "  pipeline speedup sparse/dense: %.2fx   scaling d%d/d1: %.2fx\n" speedup
+    domains scaling;
+  Printf.sprintf
+    "{\"n\":%d,\"k\":%d,\"max_rounds\":%d,\"dense\":%s,\"sparse_d1\":%s,\
+     \"sparse_dN\":%s,\"speedup_sparse_over_dense\":%.3f,\
+     \"scaling_dN_over_d1\":%.3f,\"parity\":{\"columns_equal\":%b,\
+     \"objective_delta\":%.9f}}"
+    n k max_rounds d_json s1_json sN_json speedup scaling (d_cols = s1_cols)
+    (Float.abs (d_obj -. s1_obj))
+
+let kernels_bench ~quick ~out ~domains =
+  Printf.printf "kernels (%s, domains=%d):\n%!"
+    (if quick then "quick" else "full")
+    domains;
+  let graph_json = kernels_graph_micro ~quick in
+  let lp_json = kernels_lp_micro ~quick in
+  let pipeline_json = kernels_pipeline ~quick ~domains in
+  let json =
+    Printf.sprintf
+      "{\"benchmark\":\"kernels\",\"quick\":%b,\"domains\":%d,\"graph\":%s,\
+       \"lp\":%s,\"pipeline\":%s}\n"
+      quick domains graph_json lp_json pipeline_json
+  in
+  let oc = open_out out in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  Printf.printf "  summary written to %s\n" out
+
 (* ---- runner + textual report --------------------------------------------- *)
 
 let benchmark () =
@@ -311,13 +541,20 @@ let micro_benchmarks () =
 let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
-  let out =
+  let find_flag flag default =
     let rec find = function
-      | "--engine-out" :: path :: _ -> path
+      | f :: v :: _ when f = flag -> v
       | _ :: rest -> find rest
-      | [] -> "BENCH_engine.json"
+      | [] -> default
     in
     find argv
   in
-  if not quick then micro_benchmarks ();
-  engine_bench ~quick ~out
+  if List.mem "kernels" argv then
+    let out = find_flag "--kernels-out" "BENCH_kernels.json" in
+    let domains = int_of_string (find_flag "--domains" "4") in
+    kernels_bench ~quick ~out ~domains
+  else begin
+    let out = find_flag "--engine-out" "BENCH_engine.json" in
+    if not quick then micro_benchmarks ();
+    engine_bench ~quick ~out
+  end

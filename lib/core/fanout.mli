@@ -1,0 +1,13 @@
+(** Domain fan-out primitive.
+
+    [map_array f arr] behaves exactly like [Array.map f arr]; with more
+    than one domain the work is strided across OCaml 5 domains and results
+    land in their original slots, so the output is independent of the
+    domain count (provided [f] is pure up to {!Sa_telemetry} updates, which
+    are atomic and hence exact under sharding). *)
+
+val default_domains : int
+(** [recommended_domain_count () - 1], at least 1. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Rejects [domains < 1].  Defaults to {!default_domains}. *)

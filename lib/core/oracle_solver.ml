@@ -9,6 +9,7 @@ let m_solves = Tel.counter "core.colgen.solves"
 let m_rounds = Tel.counter "core.colgen.rounds"
 let m_oracle_calls = Tel.counter "core.colgen.oracle_calls"
 let m_columns = Tel.counter "core.colgen.columns"
+let m_price_recomputes = Tel.counter "core.colgen.price_recomputes"
 let h_solve = Tel.histogram "core.colgen.solve.seconds"
 let log_src = Logs.Src.create "sa.core.colgen" ~doc:"Column generation"
 module Log = (val Logs.src_log log_src : Logs.LOG)
@@ -19,33 +20,103 @@ type stats = {
   lp_solves_time : float;
 }
 
+type pricing = Naive | Incremental
+
+(* Raw Section-3.1 price sums, before clamping and availability deterrents:
+   p_raw(v,j) = Σ_{u ≻ v} w̄_j(u,v) · y(u,j), accumulated with u ascending.
+   The incremental path recomputes stale entries with this exact function,
+   so its results are bitwise identical to a full naive recompute. *)
+let raw_price inst ~y ~bidder ~channel =
+  let pi = inst.Instance.ordering in
+  let acc = ref 0.0 in
+  for u = 0 to Instance.n inst - 1 do
+    if u <> bidder && Ordering.precedes pi bidder u then begin
+      let w = Instance.wbar inst ~channel u bidder in
+      if w > 0.0 then acc := !acc +. (w *. y u channel)
+    end
+  done;
+  !acc
+
+(* Clamp numerical noise and price unavailable channels prohibitively.  The
+   deterrent needs [Valuation.max_value] — a scan of the whole valuation —
+   so it is only computed when this bidder actually has a blocked channel
+   ([deterrent] is called lazily, letting callers cache per bidder). *)
+let finish_prices inst ~bidder ~deterrent prices =
+  let prices = Array.map (fun p -> Float.max 0.0 p) prices in
+  let avail = inst.Instance.available.(bidder) in
+  if Bundle.card avail = inst.Instance.k then prices
+  else begin
+    let d = deterrent () in
+    Array.mapi (fun j p -> if Bundle.mem j avail then p else d) prices
+  end
+
+let default_deterrent inst ~bidder () =
+  (2.0 *. Valuation.max_value inst.Instance.bidders.(bidder) ~k:inst.Instance.k)
+  +. 1.0
+
 let prices_for inst ~y ~bidder =
   let k = inst.Instance.k in
-  let pi = inst.Instance.ordering in
-  let prices = Array.make k 0.0 in
-  for u = 0 to Instance.n inst - 1 do
-    if u <> bidder && Ordering.precedes pi bidder u then
-      for j = 0 to k - 1 do
-        let w = Instance.wbar inst ~channel:j u bidder in
-        if w > 0.0 then prices.(j) <- prices.(j) +. (w *. y u j)
-      done
-  done;
-  (* Numerical noise in duals can leave tiny negatives; demand oracles
-     require non-negative prices. *)
-  let prices = Array.map (fun p -> Float.max 0.0 p) prices in
-  (* Channels unavailable to this bidder are priced prohibitively, so an
-     exact demand oracle never proposes them. *)
-  let deterrent =
-    (2.0 *. Valuation.max_value inst.Instance.bidders.(bidder) ~k) +. 1.0
+  let prices =
+    Array.init k (fun channel -> raw_price inst ~y ~bidder ~channel)
   in
-  Array.mapi
-    (fun j p ->
-      if Instance.channel_available inst ~bidder ~channel:j then p else deterrent)
-    prices
+  finish_prices inst ~bidder ~deterrent:(default_deterrent inst ~bidder) prices
 
-let solve ?(max_rounds = 200) ?(eps = 1e-7) inst =
+(* Incremental dual-price state: the n×k table of raw sums plus the duals
+   it was computed from.  After a master re-solve, only the (v,j) entries
+   whose contributing duals y(u,j) actually changed are recomputed. *)
+type price_state = {
+  raw : float array array; (* n×k raw sums *)
+  y_prev : float array array; (* n×k duals the sums were computed from *)
+  dirty : bool array array;
+}
+
+let price_state_create n k =
+  {
+    raw = Array.make_matrix n k 0.0;
+    y_prev = Array.make_matrix n k 0.0;
+    dirty = Array.make_matrix n k false;
+  }
+
+let price_state_update inst st ~y =
+  let n = Instance.n inst in
+  let k = inst.Instance.k in
+  let pi = inst.Instance.ordering in
+  (* mark (v,j) dirty for every v preceding a u whose y(u,j) changed *)
+  for u = 0 to n - 1 do
+    for j = 0 to k - 1 do
+      let yu = y u j in
+      if yu <> st.y_prev.(u).(j) then begin
+        st.y_prev.(u).(j) <- yu;
+        for v = 0 to n - 1 do
+          if
+            v <> u
+            && Ordering.precedes pi v u
+            && (not st.dirty.(v).(j))
+            && Instance.wbar inst ~channel:j u v > 0.0
+          then st.dirty.(v).(j) <- true
+        done
+      end
+    done
+  done;
+  let yv u j = st.y_prev.(u).(j) in
+  let recomputed = ref 0 in
+  for v = 0 to n - 1 do
+    for j = 0 to k - 1 do
+      if st.dirty.(v).(j) then begin
+        st.dirty.(v).(j) <- false;
+        st.raw.(v).(j) <- raw_price inst ~y:yv ~bidder:v ~channel:j;
+        incr recomputed
+      end
+    done
+  done;
+  Tel.add m_price_recomputes !recomputed
+
+let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
+    ?(engine = Model.Revised_sparse) ?(pricing = Incremental) ?(domains = 1)
+    inst =
   Sa_telemetry.Trace.with_span ~hist:h_solve "core.colgen.solve" @@ fun () ->
   Tel.incr m_solves;
+  if domains < 1 then invalid_arg "Oracle_solver.solve: domains must be >= 1";
   let n = Instance.n inst in
   let k = inst.Instance.k in
   let pi = inst.Instance.ordering in
@@ -85,23 +156,72 @@ let solve ?(max_rounds = 200) ?(eps = 1e-7) inst =
       true
     end
   in
+  (* Per-bidder deterrent cache (satisfies the laziness contract of
+     [finish_prices] across rounds). *)
+  let deterrent_cache = Array.make n nan in
+  let deterrent v () =
+    if Float.is_nan deterrent_cache.(v) then
+      deterrent_cache.(v) <- default_deterrent inst ~bidder:v ();
+    deterrent_cache.(v)
+  in
+  let price_st =
+    match pricing with Naive -> None | Incremental -> Some (price_state_create n k)
+  in
+  (* Priced channel vectors for every bidder under duals [y]. *)
+  let all_prices y =
+    (match price_st with
+    | None -> ()
+    | Some st -> price_state_update inst st ~y);
+    Array.init n (fun v ->
+        let raw =
+          match price_st with
+          | Some st -> Array.copy st.raw.(v)
+          | None -> Array.init k (fun channel -> raw_price inst ~y ~bidder:v ~channel)
+        in
+        finish_prices inst ~bidder:v ~deterrent:(deterrent v) raw)
+  in
+  (* Demand oracles fan across domains; answers merge in bidder order, so
+     the generated column sequence is independent of [domains]. *)
+  let all_demands prices =
+    Tel.add m_oracle_calls n;
+    Fanout.map_array ~domains
+      (fun v -> Valuation.demand inst.Instance.bidders.(v) ~prices:prices.(v))
+      (Array.init n Fun.id)
+  in
   (* Seed: every bidder's favourite bundle at zero prices (blocked channels
      still carry their deterrent price). *)
-  for v = 0 to n - 1 do
-    let prices = prices_for inst ~y:(fun _ _ -> 0.0) ~bidder:v in
-    Tel.incr m_oracle_calls;
-    let bundle, util = Valuation.demand inst.Instance.bidders.(v) ~prices in
-    if util > 0.0 && not (Bundle.is_empty bundle) then ignore (add_column v bundle)
-  done;
+  let seed_demands = all_demands (all_prices (fun _ _ -> 0.0)) in
+  Array.iteri
+    (fun v (bundle, util) ->
+      if util > 0.0 && not (Bundle.is_empty bundle) then ignore (add_column v bundle))
+    seed_demands;
   let lp_time = ref 0.0 in
+  (* Warm-start bookkeeping for the sparse engine: the previous optimal
+     basis stays primal feasible when columns are appended, but slack
+     indices shift by the number of new structural columns — remap before
+     reuse. *)
+  let warm_basis = ref None in
+  let basis_nstruct = ref 0 in
   let solve_master () =
-    let sol, dt = Sa_util.Timing.time (fun () -> Model.solve m) in
+    let nstruct = Model.num_vars m in
+    let warm_start =
+      match !warm_basis with
+      | Some b when engine = Model.Revised_sparse ->
+          let shift = nstruct - !basis_nstruct in
+          Some (Array.map (fun j -> if j < !basis_nstruct then j else j + shift) b)
+      | _ -> None
+    in
+    let r, dt =
+      Sa_util.Timing.time (fun () -> Model.solve_with_basis ~engine ?warm_start m)
+    in
     lp_time := !lp_time +. dt;
-    (match sol.Model.status with
+    warm_basis := r.Model.basis;
+    basis_nstruct := nstruct;
+    (match r.Model.solution.Model.status with
     | Simplex.Optimal -> ()
     | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit ->
         failwith "Oracle_solver: master LP failed");
-    sol
+    r.Model.solution
   in
   let rounds = ref 0 in
   let finished = ref false in
@@ -110,16 +230,15 @@ let solve ?(max_rounds = 200) ?(eps = 1e-7) inst =
   while (not !finished) && !rounds < max_rounds do
     let sol = !last_sol in
     let y u j = sol.Model.dual intf_row.(u).(j) in
+    let demands = all_demands (all_prices y) in
     let added = ref false in
-    for v = 0 to n - 1 do
-      let prices = prices_for inst ~y ~bidder:v in
-      Tel.incr m_oracle_calls;
-      let bundle, util = Valuation.demand inst.Instance.bidders.(v) ~prices in
-      if not (Bundle.is_empty bundle) then begin
-        let z_v = sol.Model.dual unit_row.(v) in
-        if util -. z_v > eps then if add_column v bundle then added := true
-      end
-    done;
+    Array.iteri
+      (fun v (bundle, util) ->
+        if not (Bundle.is_empty bundle) then begin
+          let z_v = sol.Model.dual unit_row.(v) in
+          if util -. z_v > eps then if add_column v bundle then added := true
+        end)
+      demands;
     if !added then begin
       Log.debug (fun m ->
           m "colgen round %d: new columns, re-solving master (cols=%d)" !rounds

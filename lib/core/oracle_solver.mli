@@ -20,13 +20,31 @@ type stats = {
   lp_solves_time : float;  (** seconds in the simplex *)
 }
 
+type pricing =
+  | Naive  (** recompute every (bidder, channel) price from scratch *)
+  | Incremental
+      (** recompute only entries whose contributing interference duals
+          changed since the previous master solve; bitwise identical to
+          [Naive] (same summation order per entry) *)
+
 val solve :
   ?max_rounds:int ->
   ?eps:float ->
+  ?engine:Sa_lp.Model.engine ->
+  ?pricing:pricing ->
+  ?domains:int ->
   Instance.t ->
   Lp_relaxation.fractional * stats
 (** [max_rounds] caps master iterations (default 200).  Raises [Failure] on
-    simplex breakdown. *)
+    simplex breakdown.
+
+    [engine] selects the master-LP solver (default [Revised_sparse]; the
+    sparse engine is warm-started across rounds from the previous optimal
+    basis, with slack indices remapped as columns are appended).
+    [pricing] defaults to [Incremental].  [domains] (default 1) fans the
+    per-round demand-oracle calls across OCaml 5 domains; answers merge in
+    bidder order, so the generated column sequence — and every telemetry
+    counter — is independent of the domain count. *)
 
 val prices_for :
   Instance.t -> y:(int -> int -> float) -> bidder:int -> float array

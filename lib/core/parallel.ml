@@ -1,31 +1,10 @@
 module Prng = Sa_util.Prng
 
-let default_domains = max 1 (Domain.recommended_domain_count () - 1)
+let default_domains = Fanout.default_domains
 
 let map_array ?(domains = default_domains) f arr =
   if domains < 1 then invalid_arg "Parallel.map_array: domains must be >= 1";
-  let n = Array.length arr in
-  if n = 0 then [||]
-  else begin
-    let d = min domains n in
-    if d = 1 then Array.map f arr
-    else begin
-      let results = Array.make n None in
-      let worker i () =
-        (* strided assignment: domain i owns indices i, i+d, i+2d, … so
-           heterogeneous job costs spread evenly; slots are disjoint, so no
-           synchronisation is needed on [results] *)
-        let j = ref i in
-        while !j < n do
-          results.(!j) <- Some (f arr.(!j));
-          j := !j + d
-        done
-      in
-      let handles = List.init d (fun i -> Domain.spawn (worker i)) in
-      List.iter Domain.join handles;
-      Array.map (function Some v -> v | None -> assert false) results
-    end
-  end
+  Fanout.map_array ~domains f arr
 
 let better inst a b = if Allocation.value inst a >= Allocation.value inst b then a else b
 

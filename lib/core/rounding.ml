@@ -1,6 +1,7 @@
 module Bundle = Sa_val.Bundle
 module Ordering = Sa_graph.Ordering
 module Graph = Sa_graph.Graph
+module Bitset = Sa_graph.Bitset
 module Weighted = Sa_graph.Weighted
 module Prng = Sa_util.Prng
 module Floats = Sa_util.Floats
@@ -55,12 +56,18 @@ let resolve_unweighted inst g tentative_alloc =
   let n = Instance.n inst in
   let pi = inst.Instance.ordering in
   let final = Array.copy tentative_alloc in
+  (* bidders with a non-empty tentative bundle, as a word-packed mask: the
+     per-vertex conflict check scans only the set bits of row ∧ mask *)
+  let active = Graph.mask_create g in
+  for v = 0 to n - 1 do
+    if not (Bundle.is_empty tentative_alloc.(v)) then Bitset.add active v
+  done;
   for v = 0 to n - 1 do
     if not (Bundle.is_empty tentative_alloc.(v)) then begin
       let conflicted =
-        List.exists
-          (fun u -> Bundle.intersects tentative_alloc.(u) tentative_alloc.(v))
-          (Ordering.backward_neighbors pi g v)
+        Graph.exists_row_inter g v active (fun u ->
+            Ordering.precedes pi u v
+            && Bundle.intersects tentative_alloc.(u) tentative_alloc.(v))
       in
       if conflicted then final.(v) <- Bundle.empty
     end
@@ -195,17 +202,23 @@ let algorithm3 inst alloc =
 
 let resolve_asymmetric inst graphs t =
   let n = Instance.n inst in
+  let k = inst.Instance.k in
   let pi = inst.Instance.ordering in
   let final = Array.copy t in
+  (* per-channel masks of tentative holders: "some earlier neighbour holds
+     channel j" becomes one row ∧ mask scan in G_j *)
+  let holders = Array.init k (fun j -> Graph.mask_create graphs.(j)) in
+  for u = 0 to n - 1 do
+    Bundle.iter (fun j -> Bitset.add holders.(j) u) t.(u)
+  done;
   for v = 0 to n - 1 do
     if not (Bundle.is_empty t.(v)) then begin
       let conflicted =
         Bundle.fold
           (fun j acc ->
             acc
-            || List.exists
-                 (fun u -> Ordering.precedes pi u v && Bundle.mem j t.(u))
-                 (Graph.neighbors graphs.(j) v))
+            || Graph.exists_row_inter graphs.(j) v holders.(j) (fun u ->
+                   Ordering.precedes pi u v))
           t.(v) false
       in
       if conflicted then final.(v) <- Bundle.empty
@@ -341,6 +354,32 @@ let solve ?(trials = 8) g_rng inst frac =
     if Allocation.value inst cand > Allocation.value inst !best then begin
       Tel.incr m_improvements;
       best := cand
+    end
+  done;
+  !best
+
+(* Parallel best-of-[trials]: one independent PRNG stream per *trial*
+   (never per domain), merged in fixed index order, so the result is a
+   deterministic function of [seed] alone — running with 1 or N domains
+   returns byte-identical allocations. *)
+let solve_par ?(domains = Fanout.default_domains) ?(trials = 8) ~seed inst frac =
+  if trials < 1 then invalid_arg "Rounding.solve_par: trials must be >= 1";
+  let one t =
+    let g_rng = Prng.create ~seed:(seed + (7919 * (t + 1))) in
+    Tel.incr m_trials;
+    match inst.Instance.conflict with
+    | Instance.Unweighted _ -> algorithm1 g_rng inst frac
+    | Instance.Edge_weighted _ -> algorithm3 inst (algorithm2 g_rng inst frac)
+    | Instance.Per_channel _ -> algorithm_asymmetric g_rng inst frac
+    | Instance.Per_channel_weighted _ ->
+        algorithm3_asymmetric inst (algorithm_asymmetric_weighted g_rng inst frac)
+  in
+  let cands = Fanout.map_array ~domains one (Array.init trials Fun.id) in
+  let best = ref cands.(0) in
+  for t = 1 to trials - 1 do
+    if Allocation.value inst cands.(t) > Allocation.value inst !best then begin
+      Tel.incr m_improvements;
+      best := cands.(t)
     end
   done;
   !best

@@ -92,6 +92,19 @@ val solve :
     allocation over [trials] independent runs (default 8) — the
     "derandomization by repetition" used throughout the experiments. *)
 
+val solve_par :
+  ?domains:int ->
+  ?trials:int ->
+  seed:int ->
+  Instance.t ->
+  Lp_relaxation.fractional ->
+  Allocation.t
+(** {!solve} with the trials fanned across OCaml 5 domains
+    ({!Fanout.map_array}).  Each trial runs on its own PRNG stream derived
+    from [seed] and trial index — never from the domain assignment — and
+    the best allocation is chosen in fixed index order, so the result is
+    byte-identical across domain counts. *)
+
 val round_with_uniforms :
   Instance.t ->
   Lp_relaxation.fractional ->

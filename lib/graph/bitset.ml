@@ -1,0 +1,94 @@
+(* Word-packed bitsets over [0, n) used by the graph hot kernels.
+
+   A set is a bare [int array]; bit [i] of word [i / word_bits] encodes
+   membership of element [i].  Words are native OCaml ints (63 usable bits
+   on 64-bit platforms), so intersection tests and cardinalities run
+   word-parallel: one AND + one popcount per 63 vertices instead of one
+   probe per vertex. *)
+
+let word_bits = Sys.int_size
+
+let words_for n =
+  if n < 0 then invalid_arg "Bitset.words_for: negative size";
+  (n + word_bits - 1) / word_bits
+
+let create n = Array.make (words_for n) 0
+
+let clear s = Array.fill s 0 (Array.length s) 0
+
+let add s i = s.(i / word_bits) <- s.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+let remove s i =
+  s.(i / word_bits) <- s.(i / word_bits) land lnot (1 lsl (i mod word_bits))
+
+let mem s i = s.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let of_list n l =
+  let s = create n in
+  List.iter (fun i -> add s i) l;
+  s
+
+(* 16-bit-chunk popcount: a 65536-entry table beats SWAR here because OCaml
+   ints are 63-bit, which rules out the usual 64-bit magic constants. *)
+let pop16 =
+  lazy
+    (let t = Bytes.create 65536 in
+     for i = 0 to 65535 do
+       let rec count x acc = if x = 0 then acc else count (x lsr 1) (acc + (x land 1)) in
+       Bytes.unsafe_set t i (Char.chr (count i 0))
+     done;
+     t)
+
+let popcount w =
+  let t = Lazy.force pop16 in
+  let c i = Char.code (Bytes.unsafe_get t i) in
+  c (w land 0xffff)
+  + c ((w lsr 16) land 0xffff)
+  + c ((w lsr 32) land 0xffff)
+  + c ((w lsr 48) land 0xffff)
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s
+
+let inter_nonempty a b =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i = i < n && (a.(i) land b.(i) <> 0 || go (i + 1)) in
+  go 0
+
+let inter_cardinal a b =
+  let n = min (Array.length a) (Array.length b) in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    let w = a.(i) land b.(i) in
+    if w <> 0 then acc := !acc + popcount w
+  done;
+  !acc
+
+(* Index of the lowest set bit of [w] (w <> 0): isolate it, then popcount
+   the run of ones below it. *)
+let lowest_bit_index w =
+  let b = w land -w in
+  popcount (b - 1)
+
+let iter_word f base w =
+  let w = ref w in
+  while !w <> 0 do
+    f (base + lowest_bit_index !w);
+    w := !w land (!w - 1)
+  done
+
+let iter f s =
+  Array.iteri (fun wi w -> if w <> 0 then iter_word f (wi * word_bits) w) s
+
+let exists_bit p s =
+  let n = Array.length s in
+  let found = ref false in
+  let wi = ref 0 in
+  while (not !found) && !wi < n do
+    let w = ref s.(!wi) in
+    let base = !wi * word_bits in
+    while (not !found) && !w <> 0 do
+      if p (base + lowest_bit_index !w) then found := true else w := !w land (!w - 1)
+    done;
+    incr wi
+  done;
+  !found

@@ -1,0 +1,48 @@
+(** Word-packed bitsets over [0, n).
+
+    The representation is a bare [int array] (bit [i] of word
+    [i / word_bits]), shared with {!Graph}'s packed adjacency rows so that
+    set-vs-neighbourhood tests run word-parallel (AND + popcount) instead of
+    one probe per vertex. *)
+
+val word_bits : int
+(** Usable bits per word ([Sys.int_size], 63 on 64-bit platforms). *)
+
+val words_for : int -> int
+(** Number of words needed for a ground set of the given size. *)
+
+val create : int -> int array
+(** [create n] is the empty set over [0, n). *)
+
+val clear : int array -> unit
+
+val add : int array -> int -> unit
+
+val remove : int array -> int -> unit
+
+val mem : int array -> int -> bool
+
+val of_list : int -> int list -> int array
+
+val popcount : int -> int
+(** Set bits in one word. *)
+
+val cardinal : int array -> int
+
+val inter_nonempty : int array -> int array -> bool
+(** Whether the two sets share an element (word-wise AND, early exit). *)
+
+val inter_cardinal : int array -> int array -> int
+
+val lowest_bit_index : int -> int
+(** Index of the least-significant set bit ([w <> 0]). *)
+
+val iter_word : (int -> unit) -> int -> int -> unit
+(** [iter_word f base w] calls [f (base + i)] for every set bit [i] of [w],
+    ascending. *)
+
+val iter : (int -> unit) -> int array -> unit
+(** Ascending iteration over members. *)
+
+val exists_bit : (int -> bool) -> int array -> bool
+(** Early-exit existential over members (ascending). *)

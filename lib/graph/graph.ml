@@ -1,27 +1,53 @@
+(* Packed-bitset conflict graphs.
+
+   Adjacency is stored as one bitset row per vertex in a single flat
+   [int array] ([wpr] words per row), so [mem_edge] is a bit test and
+   set-vs-neighbourhood queries ([is_independent], the rounding and rho
+   kernels) are word-parallel AND/popcount over rows.  Neighbour
+   enumeration goes through a CSR (offsets + targets) form that is frozen
+   lazily from the bitset rows and invalidated by [add_edge], keeping the
+   historical mutable-builder API intact. *)
+
+type csr = { offsets : int array; targets : int array }
+
 type t = {
   size : int;
-  adj : bool array array;
+  wpr : int; (* words per adjacency row *)
+  bits : int array; (* row v occupies bits.[v*wpr .. v*wpr+wpr-1] *)
   mutable m : int;
+  mutable csr : csr option; (* frozen neighbour arrays; None after mutation *)
 }
+
+let word_bits = Bitset.word_bits
 
 let create size =
   if size < 0 then invalid_arg "Graph.create: negative size";
-  { size; adj = Array.make_matrix size size false; m = 0 }
+  let wpr = Bitset.words_for size in
+  { size; wpr; bits = Array.make (size * wpr) 0; m = 0; csr = None }
 
 let n g = g.size
 let num_edges g = g.m
+let words_per_row g = g.wpr
 
 let check_vertex g v =
   if v < 0 || v >= g.size then invalid_arg "Graph: vertex out of range"
+
+let set_bit g u v =
+  let idx = (u * g.wpr) + (v / word_bits) in
+  g.bits.(idx) <- g.bits.(idx) lor (1 lsl (v mod word_bits))
+
+let test_bit g u v =
+  g.bits.((u * g.wpr) + (v / word_bits)) land (1 lsl (v mod word_bits)) <> 0
 
 let add_edge g u v =
   check_vertex g u;
   check_vertex g v;
   if u = v then invalid_arg "Graph.add_edge: self-loop";
-  if not g.adj.(u).(v) then begin
-    g.adj.(u).(v) <- true;
-    g.adj.(v).(u) <- true;
-    g.m <- g.m + 1
+  if not (test_bit g u v) then begin
+    set_bit g u v;
+    set_bit g v u;
+    g.m <- g.m + 1;
+    g.csr <- None
   end
 
 let of_edges size edges =
@@ -32,21 +58,79 @@ let of_edges size edges =
 let mem_edge g u v =
   check_vertex g u;
   check_vertex g v;
-  g.adj.(u).(v)
+  test_bit g u v
 
-let neighbors g v =
+(* ---- frozen CSR form ----------------------------------------------------- *)
+
+let freeze g =
+  match g.csr with
+  | Some c -> c
+  | None ->
+      let offsets = Array.make (g.size + 1) 0 in
+      for v = 0 to g.size - 1 do
+        let base = v * g.wpr in
+        let d = ref 0 in
+        for wi = 0 to g.wpr - 1 do
+          let w = g.bits.(base + wi) in
+          if w <> 0 then d := !d + Bitset.popcount w
+        done;
+        offsets.(v + 1) <- offsets.(v) + !d
+      done;
+      let targets = Array.make offsets.(g.size) 0 in
+      for v = 0 to g.size - 1 do
+        let base = v * g.wpr in
+        let pos = ref offsets.(v) in
+        for wi = 0 to g.wpr - 1 do
+          let w = g.bits.(base + wi) in
+          if w <> 0 then
+            Bitset.iter_word
+              (fun u ->
+                targets.(!pos) <- u;
+                incr pos)
+              (wi * word_bits) w
+        done
+      done;
+      let c = { offsets; targets } in
+      g.csr <- Some c;
+      c
+
+let iter_neighbors g v f =
   check_vertex g v;
-  let rec collect u acc =
-    if u < 0 then acc
-    else collect (u - 1) (if g.adj.(v).(u) then u :: acc else acc)
-  in
-  collect (g.size - 1) []
+  let c = freeze g in
+  for i = c.offsets.(v) to c.offsets.(v + 1) - 1 do
+    f c.targets.(i)
+  done
+
+let fold_neighbors g v f acc =
+  check_vertex g v;
+  let c = freeze g in
+  let acc = ref acc in
+  for i = c.offsets.(v) to c.offsets.(v + 1) - 1 do
+    acc := f !acc c.targets.(i)
+  done;
+  !acc
+
+let exists_neighbor g v p =
+  check_vertex g v;
+  let c = freeze g in
+  let i = ref c.offsets.(v) in
+  let hi = c.offsets.(v + 1) in
+  let found = ref false in
+  while (not !found) && !i < hi do
+    if p c.targets.(!i) then found := true;
+    incr i
+  done;
+  !found
+
+let neighbors g v = List.rev (fold_neighbors g v (fun acc u -> u :: acc) [])
 
 let degree g v =
   check_vertex g v;
+  let base = v * g.wpr in
   let d = ref 0 in
-  for u = 0 to g.size - 1 do
-    if g.adj.(v).(u) then incr d
+  for wi = 0 to g.wpr - 1 do
+    let w = g.bits.(base + wi) in
+    if w <> 0 then d := !d + Bitset.popcount w
   done;
   !d
 
@@ -61,9 +145,11 @@ let avg_degree g =
   if g.size = 0 then 0.0 else 2.0 *. float_of_int g.m /. float_of_int g.size
 
 let iter_edges g f =
+  let c = freeze g in
   for u = 0 to g.size - 1 do
-    for v = u + 1 to g.size - 1 do
-      if g.adj.(u).(v) then f u v
+    for i = c.offsets.(u) to c.offsets.(u + 1) - 1 do
+      let v = c.targets.(i) in
+      if v > u then f u v
     done
   done
 
@@ -76,15 +162,17 @@ let complement g =
   let c = create g.size in
   for u = 0 to g.size - 1 do
     for v = u + 1 to g.size - 1 do
-      if not g.adj.(u).(v) then add_edge c u v
+      if not (test_bit g u v) then add_edge c u v
     done
   done;
   c
 
 let induced g vs =
   let sub = create (Array.length vs) in
-  Array.iteri (fun i u ->
-      Array.iteri (fun j v -> if j > i && g.adj.(u).(v) then add_edge sub i j) vs)
+  Array.iteri
+    (fun i u ->
+      check_vertex g u;
+      Array.iteri (fun j v -> if j > i && test_bit g u v then add_edge sub i j) vs)
     vs;
   sub
 
@@ -97,13 +185,63 @@ let clique size =
   done;
   g
 
-let is_independent g set =
-  let rec check = function
-    | [] -> true
-    | v :: rest -> List.for_all (fun u -> not (mem_edge g u v)) rest && check rest
-  in
-  check set
+(* ---- word-parallel set queries ------------------------------------------- *)
 
-let copy g = { size = g.size; adj = Array.map Array.copy g.adj; m = g.m }
+let mask_create g = Bitset.create g.size
+
+let mask_of_list g l =
+  let s = Bitset.create g.size in
+  List.iter
+    (fun v ->
+      check_vertex g v;
+      Bitset.add s v)
+    l;
+  s
+
+let row_intersects g v mask =
+  check_vertex g v;
+  let base = v * g.wpr in
+  let rec go wi = wi < g.wpr && (g.bits.(base + wi) land mask.(wi) <> 0 || go (wi + 1)) in
+  go 0
+
+let row_inter_card g v mask =
+  check_vertex g v;
+  let base = v * g.wpr in
+  let acc = ref 0 in
+  for wi = 0 to g.wpr - 1 do
+    let w = g.bits.(base + wi) land mask.(wi) in
+    if w <> 0 then acc := !acc + Bitset.popcount w
+  done;
+  !acc
+
+let exists_row_inter g v mask p =
+  check_vertex g v;
+  let base = v * g.wpr in
+  let found = ref false in
+  let wi = ref 0 in
+  while (not !found) && !wi < g.wpr do
+    let w = ref (g.bits.(base + !wi) land mask.(!wi)) in
+    let wbase = !wi * word_bits in
+    while (not !found) && !w <> 0 do
+      if p (wbase + Bitset.lowest_bit_index !w) then found := true
+      else w := !w land (!w - 1)
+    done;
+    incr wi
+  done;
+  !found
+
+let is_independent g set =
+  match set with
+  | [] -> true
+  | [ v ] ->
+      check_vertex g v;
+      true
+  | _ ->
+      let mask = mask_of_list g set in
+      (* no self-loops, so v's own bit never appears in row v *)
+      List.for_all (fun v -> not (row_intersects g v mask)) set
+
+let copy g =
+  { size = g.size; wpr = g.wpr; bits = Array.copy g.bits; m = g.m; csr = g.csr }
 
 let pp fmt g = Format.fprintf fmt "graph(n=%d, m=%d)" g.size g.m

@@ -2,7 +2,12 @@
 
     Vertices are bidders [0 .. n-1]; an edge means the two bidders may never
     share a channel.  Feasible channel allocations are exactly the
-    independent sets (Problem 1). *)
+    independent sets (Problem 1).
+
+    Adjacency is stored as packed bitset rows (word-parallel AND/popcount
+    queries) plus a lazily frozen CSR neighbour form; the mutable builder
+    API ([create] / [add_edge]) is unchanged, and mutation invalidates the
+    frozen form. *)
 
 type t
 
@@ -27,6 +32,15 @@ val mem_edge : t -> int -> int -> bool
 val neighbors : t -> int -> int list
 (** Sorted list of neighbours. *)
 
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Ascending neighbour iteration over the frozen CSR form — no per-call
+    allocation, unlike {!neighbors}. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val exists_neighbor : t -> int -> (int -> bool) -> bool
+(** Early-exit existential over neighbours (ascending). *)
+
 val degree : t -> int -> int
 
 val max_degree : t -> int
@@ -50,7 +64,28 @@ val clique : int -> t
     bidders conflicts). *)
 
 val is_independent : t -> int list -> bool
-(** No edge inside the set. *)
+(** No edge inside the set (word-wise row/set intersection). *)
+
+val words_per_row : t -> int
+(** Words per packed adjacency row; masks from {!mask_create} /
+    {!mask_of_list} have exactly this length. *)
+
+val mask_create : t -> int array
+(** Empty {!Bitset} mask over this graph's vertices. *)
+
+val mask_of_list : t -> int list -> int array
+
+val row_intersects : t -> int -> int array -> bool
+(** [row_intersects g v mask] — does [v] have a neighbour inside [mask]?
+    One AND per word, early exit. *)
+
+val row_inter_card : t -> int -> int array -> int
+(** Number of neighbours of [v] inside [mask] (AND + popcount). *)
+
+val exists_row_inter : t -> int -> int array -> (int -> bool) -> bool
+(** [exists_row_inter g v mask p] — is there a neighbour [u] of [v] with
+    [mask] membership and [p u]?  Scans only the set bits of the word-wise
+    intersection. *)
 
 val copy : t -> t
 

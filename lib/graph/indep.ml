@@ -9,10 +9,13 @@ let greedy_weight g ~weights =
   let order = Array.init size (fun i -> i) in
   Array.sort (fun a b -> compare weights.(b) weights.(a)) order;
   let chosen = ref [] in
+  let chosen_mask = Graph.mask_create g in
   Array.iter
     (fun v ->
-      if weights.(v) > 0.0 && List.for_all (fun u -> not (Graph.mem_edge g u v)) !chosen
-      then chosen := v :: !chosen)
+      if weights.(v) > 0.0 && not (Graph.row_intersects g v chosen_mask) then begin
+        Bitset.add chosen_mask v;
+        chosen := v :: !chosen
+      end)
     order;
   let total = List.fold_left (fun acc v -> acc +. weights.(v)) 0.0 !chosen in
   (!chosen, total)

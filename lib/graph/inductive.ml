@@ -61,9 +61,7 @@ let degeneracy_ordering g =
     degeneracy := max !degeneracy deg.(v);
     removed.(v) <- true;
     order_rev := v :: !order_rev;
-    List.iter
-      (fun u -> if not removed.(u) then deg.(u) <- deg.(u) - 1)
-      (Graph.neighbors g v)
+    Graph.iter_neighbors g v (fun u -> if not removed.(u) then deg.(u) <- deg.(u) - 1)
   done;
   (* Vertices removed first have the fewest surviving neighbours; placing
      them *last* ensures each vertex sees at most [degeneracy] backward

@@ -41,7 +41,10 @@ let reverse t =
   of_order (Array.init size (fun pos -> t.order.(size - 1 - pos)))
 
 let backward_neighbors t g v =
-  List.filter (fun u -> precedes t u v) (Graph.neighbors g v)
+  (* CSR fold instead of materialising the full neighbour list *)
+  let rv = t.ranks.(v) in
+  List.rev
+    (Graph.fold_neighbors g v (fun acc u -> if t.ranks.(u) < rv then u :: acc else acc) [])
 
 let to_order t = Array.copy t.order
 

@@ -1,21 +1,32 @@
-(* Sparse revised simplex with an explicitly maintained basis inverse.
+(* Sparse revised simplex with a product-form-inverse eta file.
 
    Shares the external types with [Simplex].  Internally:
    - structural + slack/surplus + artificial columns, stored sparsely;
-   - B_inv (m x m, dense) updated by eta pivots;
-   - x_B maintained incrementally;
+   - the basis inverse is kept as an eta file: B = E_1 E_2 ... E_K, each
+     E_k identity except for one (sparse) column, so ftran/btran cost
+     O(nnz) per eta instead of O(m^2) dense updates;
+   - the eta file is rebuilt from the current basis every
+     [Tol.default_refactor_interval] pivots (sparsest-column-first greedy
+     elimination), with a drift check of the maintained basic solution
+     against the recomputed one;
+   - entering columns are chosen by Dantzig rule over a small candidate
+     list (partial pricing); a full cyclic scan only runs to replenish the
+     list or prove optimality, with Bland's rule as the anti-cycling
+     fallback;
    - two phases, artificials blocked in phase 2.
 
    [solve_warm] additionally accepts a starting basis (typically the
    optimal basis of a previous solve on a same-shape problem) and, when
-   that basis is still primal feasible for the new data, refactorises
-   B_inv once and jumps straight to phase 2 — the warm-start path used by
-   the batch engine's basis cache. *)
+   that basis is still primal feasible for the new data, crash-pivots it
+   into the eta representation and jumps straight to phase 2 — the
+   warm-start path used by the batch engine's basis cache. *)
 
 module Tel = Sa_telemetry.Metrics
 
 let m_solves = Tel.counter "lp.revised.solves"
 let m_pivots = Tel.counter "lp.revised.pivots"
+let m_refactor = Tel.counter "lp.revised.refactorizations"
+let m_pricing_scans = Tel.counter "lp.revised.pricing_scans"
 let m_warm_attempts = Tel.counter "lp.revised.warm_attempts"
 let m_warm_installs = Tel.counter "lp.revised.warm_installs"
 let m_warm_rollbacks = Tel.counter "lp.revised.warm_rollbacks"
@@ -30,7 +41,11 @@ type basis = int array
 
 type stats = { iterations : int; warm_used : bool }
 
-let feas_eps = 1e-7
+let feas_eps = Tol.feas_eps
+
+(* One elementary eta matrix: identity except column [row], whose diagonal
+   is [pivot] and whose off-diagonal nonzeros are [(idx.(i), vals.(i))]. *)
+type eta = { row : int; pivot : float; idx : int array; vals : float array }
 
 type core = {
   m : int;
@@ -38,66 +53,171 @@ type core = {
   cols : sparse_col array;
   artificial : bool array;
   b : float array;
-  mutable b_inv : float array array;
+  mutable etas : eta array; (* applied 0 .. n_etas-1 in ftran order *)
+  mutable n_etas : int;
+  mutable pivots_since_refactor : int;
+      (* the rebuilt file itself holds one eta per basis column, so the
+         refactorization trigger must count pivots, not file length *)
   basis : int array;
   mutable x_b : float array;
   in_basis : bool array;
+  refactor_interval : int;
 }
 
 let col_dot col v = Array.fold_left (fun acc (r, x) -> acc +. (x *. v.(r))) 0.0 col
 
+let push_eta t e =
+  let cap = Array.length t.etas in
+  if t.n_etas = cap then begin
+    let etas = Array.make (max 8 (2 * cap)) e in
+    Array.blit t.etas 0 etas 0 cap;
+    t.etas <- etas
+  end;
+  t.etas.(t.n_etas) <- e;
+  t.n_etas <- t.n_etas + 1
+
+(* In-place w := B^{-1} w, applying eta inverses oldest-to-newest.  An eta
+   whose pivot-row entry is zero leaves the vector untouched, so sparse
+   inputs stay cheap. *)
+let apply_etas t w =
+  for k = 0 to t.n_etas - 1 do
+    let e = t.etas.(k) in
+    let xr = w.(e.row) in
+    if xr <> 0.0 then begin
+      let zr = xr /. e.pivot in
+      w.(e.row) <- zr;
+      let idx = e.idx and vals = e.vals in
+      for i = 0 to Array.length idx - 1 do
+        w.(idx.(i)) <- w.(idx.(i)) -. (vals.(i) *. zr)
+      done
+    end
+  done
+
 (* w = B^{-1} A_j *)
 let ftran t col =
   let w = Array.make t.m 0.0 in
-  Array.iter
-    (fun (r, x) ->
-      for i = 0 to t.m - 1 do
-        w.(i) <- w.(i) +. (t.b_inv.(i).(r) *. x)
-      done)
-    col;
+  Array.iter (fun (r, x) -> w.(r) <- x) col;
+  apply_etas t w;
   w
 
-(* y^T = c_B^T B^{-1} *)
+(* y^T = c_B^T B^{-1}, applying eta inverses newest-to-oldest. *)
 let btran t costs =
   let y = Array.make t.m 0.0 in
   for i = 0 to t.m - 1 do
-    let cb = costs.(t.basis.(i)) in
-    if cb <> 0.0 then begin
-      let row = t.b_inv.(i) in
-      for j = 0 to t.m - 1 do
-        y.(j) <- y.(j) +. (cb *. row.(j))
-      done
-    end
+    y.(i) <- costs.(t.basis.(i))
+  done;
+  for k = t.n_etas - 1 downto 0 do
+    let e = t.etas.(k) in
+    let idx = e.idx and vals = e.vals in
+    let s = ref 0.0 in
+    for i = 0 to Array.length idx - 1 do
+      s := !s +. (y.(idx.(i)) *. vals.(i))
+    done;
+    y.(e.row) <- (y.(e.row) -. !s) /. e.pivot
   done;
   y
 
-let pivot t ~row ~col ~w =
-  let wr = w.(row) in
-  let inv = 1.0 /. wr in
-  let brow = t.b_inv.(row) in
-  for j = 0 to t.m - 1 do
-    brow.(j) <- brow.(j) *. inv
+let eta_of_column ~row w =
+  let m = Array.length w in
+  let nnz = ref 0 in
+  for i = 0 to m - 1 do
+    if i <> row && Float.abs w.(i) > 1e-13 then incr nnz
   done;
-  t.x_b.(row) <- t.x_b.(row) *. inv;
+  let idx = Array.make !nnz 0 and vals = Array.make !nnz 0.0 in
+  let p = ref 0 in
+  for i = 0 to m - 1 do
+    if i <> row && Float.abs w.(i) > 1e-13 then begin
+      idx.(!p) <- i;
+      vals.(!p) <- w.(i);
+      incr p
+    end
+  done;
+  { row; pivot = w.(row); idx; vals }
+
+(* Rebuild the eta file from the current basis: greedy elimination,
+   sparsest original column first, pivot row chosen by largest magnitude
+   among the rows not yet assigned.  Rows may end up reassigned to
+   different basis positions — harmless, since solution and duals depend
+   only on the (column, row) pairing recorded in [t.basis].  Finishes by
+   recomputing x_B from scratch and checking drift of the incrementally
+   maintained values. *)
+let refactorize t =
+  Tel.incr m_refactor;
+  let old_basis = Array.copy t.basis in
+  let old_xb = t.x_b in
+  t.n_etas <- 0;
+  t.pivots_since_refactor <- 0;
+  let order = Array.copy old_basis in
+  Array.sort
+    (fun a b -> compare (Array.length t.cols.(a)) (Array.length t.cols.(b)))
+    order;
+  let assigned = Array.make t.m false in
+  Array.iter
+    (fun j ->
+      let w = ftran t t.cols.(j) in
+      let r = ref (-1) in
+      for i = 0 to t.m - 1 do
+        if (not assigned.(i)) && (!r < 0 || Float.abs w.(i) > Float.abs w.(!r)) then
+          r := i
+      done;
+      let r = !r in
+      if Float.abs w.(r) <= Tol.pivot_eps then begin
+        (* Numerically singular basis column: fall back to a unit eta so the
+           factorization stays invertible; the drift check below reports the
+           damage. *)
+        Log.warn (fun f ->
+            f "refactorization: near-singular pivot %.3e for column %d" w.(r) j);
+        push_eta t { row = r; pivot = 1.0; idx = [||]; vals = [||] }
+      end
+      else push_eta t (eta_of_column ~row:r w);
+      assigned.(r) <- true;
+      t.basis.(r) <- j)
+    order;
+  let xb = Array.copy t.b in
+  apply_etas t xb;
+  (* drift check: compare per-column values across the row reassignment *)
+  let old_val = Hashtbl.create t.m in
+  Array.iteri (fun i j -> Hashtbl.replace old_val j old_xb.(i)) old_basis;
+  let drift = ref 0.0 in
+  Array.iteri
+    (fun i j ->
+      match Hashtbl.find_opt old_val j with
+      | Some v -> drift := Float.max !drift (Float.abs (xb.(i) -. v))
+      | None -> ())
+    t.basis;
+  if !drift > Tol.drift_eps then
+    Log.warn (fun f ->
+        f "refactorization drift %.3e exceeds %.1e (m=%d, pivots since last=%d)"
+          !drift Tol.drift_eps t.m t.refactor_interval);
+  t.x_b <- xb
+
+let pivot t ~row ~col ~w =
+  push_eta t (eta_of_column ~row w);
+  let xr = t.x_b.(row) /. w.(row) in
+  t.x_b.(row) <- xr;
   for i = 0 to t.m - 1 do
     if i <> row then begin
       let f = w.(i) in
-      if Float.abs f > 1e-13 then begin
-        let bi = t.b_inv.(i) in
-        for j = 0 to t.m - 1 do
-          bi.(j) <- bi.(j) -. (f *. brow.(j))
-        done;
-        t.x_b.(i) <- t.x_b.(i) -. (f *. t.x_b.(row))
-      end
+      if Float.abs f > 1e-13 then t.x_b.(i) <- t.x_b.(i) -. (f *. xr)
     end
   done;
   t.in_basis.(t.basis.(row)) <- false;
   t.in_basis.(col) <- true;
-  t.basis.(row) <- col
+  t.basis.(row) <- col;
+  t.pivots_since_refactor <- t.pivots_since_refactor + 1;
+  if t.pivots_since_refactor >= t.refactor_interval then refactorize t
 
 let run_phase t ~costs ~eps ~max_iters ~allowed =
   let iter = ref 0 in
   let bland_threshold = max 2000 (10 * (t.m + t.ncols)) in
+  (* Dantzig partial pricing: reduced costs are evaluated only over a small
+     candidate list; a full (cyclic) scan runs just to replenish the list or
+     to certify optimality. *)
+  let cap = max 16 (t.ncols / 16) in
+  let cand = Array.make cap (-1) in
+  let n_cand = ref 0 in
+  let scan_start = ref 0 in
+  let reduced y j = costs.(j) -. col_dot t.cols.(j) y in
   let result = ref None in
   while !result = None do
     incr iter;
@@ -106,23 +226,59 @@ let run_phase t ~costs ~eps ~max_iters ~allowed =
       let y = btran t costs in
       let use_bland = !iter > bland_threshold in
       let enter = ref (-1) in
-      let best = ref (-.eps) in
-      (try
-         for j = 0 to t.ncols - 1 do
-           if allowed j && not t.in_basis.(j) then begin
-             let d = costs.(j) -. col_dot t.cols.(j) y in
-             if d > eps then
-               if use_bland then begin
-                 enter := j;
-                 raise Exit
-               end
-               else if d > !best then begin
-                 best := d;
-                 enter := j
-               end
-           end
-         done
-       with Exit -> ());
+      if use_bland then (
+        (* Bland: lowest eligible index, full scan — anti-cycling. *)
+        try
+          for j = 0 to t.ncols - 1 do
+            if allowed j && (not t.in_basis.(j)) && reduced y j > eps then begin
+              enter := j;
+              raise Exit
+            end
+          done
+        with Exit -> ())
+      else begin
+        let best = ref eps in
+        let keep = ref 0 in
+        for k = 0 to !n_cand - 1 do
+          let j = cand.(k) in
+          if allowed j && not t.in_basis.(j) then begin
+            let d = reduced y j in
+            if d > eps then begin
+              cand.(!keep) <- j;
+              incr keep;
+              if d > !best then begin
+                best := d;
+                enter := j
+              end
+            end
+          end
+        done;
+        n_cand := !keep;
+        if !enter < 0 then begin
+          (* candidate list exhausted: cyclic full scan to refill *)
+          Tel.incr m_pricing_scans;
+          n_cand := 0;
+          let scanned = ref 0 in
+          let j = ref !scan_start in
+          while !scanned < t.ncols && !n_cand < cap do
+            let jj = !j in
+            if allowed jj && not t.in_basis.(jj) then begin
+              let d = reduced y jj in
+              if d > eps then begin
+                cand.(!n_cand) <- jj;
+                incr n_cand;
+                if d > !best then begin
+                  best := d;
+                  enter := jj
+                end
+              end
+            end;
+            incr scanned;
+            j := if jj + 1 >= t.ncols then 0 else jj + 1
+          done;
+          scan_start := !j
+        end
+      end;
       if !enter < 0 then result := Some `Optimal
       else begin
         let col = !enter in
@@ -154,12 +310,12 @@ let run_phase t ~costs ~eps ~max_iters ~allowed =
 
 (* Try to install [wb] as the starting basis by pivoting its missing
    columns into the initial (slack/artificial) basis — a "crash" start.
-   The initial B_inv is the identity and a cached optimal basis is mostly
-   slack columns, so this costs one O(m²) pivot per *structural* basic
-   column instead of an O(m³) refactorisation.  Accept only if the basis
-   assembles with stable pivots and the implied x_B is (tolerably)
-   non-negative, i.e. still primal feasible for the new b; otherwise roll
-   the core back to its pristine cold-start state. *)
+   The initial eta file is empty (identity) and a cached optimal basis is
+   mostly slack columns, so this costs one eta per *structural* basic
+   column.  Accept only if the basis assembles with stable pivots and the
+   implied x_B is (tolerably) non-negative, i.e. still primal feasible for
+   the new b; otherwise roll the core back to its pristine cold-start
+   state. *)
 let try_warm_basis t wb =
   Tel.incr m_warm_attempts;
   let valid =
@@ -188,8 +344,8 @@ let try_warm_basis t wb =
       Array.blit init_basis 0 t.basis 0 t.m;
       Array.fill t.in_basis 0 t.ncols false;
       Array.iter (fun j -> t.in_basis.(j) <- true) init_basis;
-      t.b_inv <-
-        Array.init t.m (fun i -> Array.init t.m (fun l -> if i = l then 1.0 else 0.0));
+      t.n_etas <- 0;
+      t.pivots_since_refactor <- 0;
       t.x_b <- Array.copy t.b;
       false
     in
@@ -299,10 +455,16 @@ let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start { Simplex.direction; c;
       cols;
       artificial;
       b;
-      b_inv = Array.init m (fun i -> Array.init m (fun j -> if i = j then 1.0 else 0.0));
+      etas = [||];
+      n_etas = 0;
+      pivots_since_refactor = 0;
       basis;
       x_b = Array.copy b;
       in_basis;
+      (* Rebuilding the file costs O(m * file nnz) and one m-vector per
+         basis column, so the interval must grow with m or tall problems
+         spend their time refactorizing. *)
+      refactor_interval = max Tol.default_refactor_interval (m / 4);
     }
   in
   let max_iters =

@@ -1,11 +1,16 @@
 (** Sparse revised simplex — an alternative engine to {!Simplex}.
 
     Same problem/solution types, different machinery: columns are stored
-    sparsely and the basis inverse is maintained explicitly (product-form
-    updates), so per-iteration cost is O(m² + m·nnz) instead of the dense
-    tableau's O(m·ncols).  This wins when the LP has many more columns than
-    rows — exactly the shape of the explicit channel-allocation LPs, whose
-    column count is Σ|support| while rows are only n(k+1).
+    sparsely and the basis inverse is kept as a product-form eta file
+    (one sparse eta column per pivot), so ftran/btran cost O(nnz) per eta
+    rather than O(m²) dense updates.  The file is rebuilt from the basis
+    every {!Tol.default_refactor_interval} pivots with a drift check of
+    the maintained basic solution.  Entering variables are priced by
+    Dantzig rule over a small candidate list (partial pricing); full scans
+    run only to replenish the list or certify optimality.  This wins when
+    the LP has many more columns than rows — exactly the shape of the
+    explicit channel-allocation LPs, whose column count is Σ|support|
+    while rows are only n(k+1).
 
     Numerical behaviour can differ from the tableau in degenerate cases
     (both use Dantzig-with-Bland-fallback); the test suite cross-validates

@@ -33,7 +33,7 @@ type tableau = {
   artificial : bool array; (* per column *)
 }
 
-let feas_eps = 1e-7
+let feas_eps = Tol.feas_eps
 
 let pivot t ~row ~col ~eps =
   let piv = t.tab.(row).(col) in

@@ -1,0 +1,19 @@
+(** Shared numerical tolerances for the LP layer. *)
+
+val feas_eps : float
+(** Feasibility / optimality tolerance: reduced costs above [-feas_eps] are
+    treated as non-negative, residuals below [feas_eps] as satisfied.  Also
+    the default [eps] for certification and for the pricing oracle. *)
+
+val pivot_eps : float
+(** Minimum acceptable pivot magnitude in the ratio test and during
+    refactorization; smaller pivots are treated as zero. *)
+
+val drift_eps : float
+(** Allowed drift between the incrementally maintained basic solution and
+    the one recomputed from scratch at refactorization time.  Exceeding it
+    logs a warning and adopts the recomputed values. *)
+
+val default_refactor_interval : int
+(** Number of eta columns accumulated before the product-form inverse is
+    rebuilt from the current basis. *)

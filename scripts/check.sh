@@ -24,9 +24,47 @@ for key in '"benchmark":"engine-batch"' '"cold":' '"warm":' '"warm_hit_rate":' \
   grep -q -- "$key" "$out" || { echo "check: $out lacks $key" >&2; exit 1; }
 done
 
-echo "== telemetry smoke (serve --demo --metrics-out)"
+echo "== kernels smoke (bench kernels, quick mode)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
+kout="$tmpdir/kernels.json"
+dune exec bench/main.exe -- kernels --quick --domains 4 \
+  --kernels-out "$kout" >/dev/null
+
+test -s "$kout" || { echo "check: $kout missing or empty" >&2; exit 1; }
+for key in '"benchmark":"kernels"' '"graph":' '"is_independent":' '"lp":' \
+           '"pipeline":' '"sparse_d1":' '"sparse_dN":' '"alloc_bytes":' \
+           '"speedup_sparse_over_dense":' '"scaling_dN_over_d1":'; do
+  grep -q -- "$key" "$kout" || { echo "check: $kout lacks $key" >&2; exit 1; }
+done
+
+# the sparse bitset kernel must not be slower than the dense reference on
+# the n>=200 graph case, and it must agree with it
+gspeed="$(grep -o '"is_independent":{[^}]*}' "$kout" \
+  | sed -n 's/.*"speedup":\([0-9.]*\).*/\1/p')"
+test -n "$gspeed" || { echo "check: $kout lacks graph speedup" >&2; exit 1; }
+awk "BEGIN{exit !($gspeed >= 1.0)}" \
+  || { echo "check: bitset kernel slower than dense ($gspeed x)" >&2; exit 1; }
+grep -q '"agree":true' "$kout" \
+  || { echo "check: bitset kernel disagrees with dense reference" >&2; exit 1; }
+
+# dense and sparse pipelines must certify the identical LP objective
+# (column counts may differ by degenerate dual ties on the small quick
+# instance; the full-size run in the committed BENCH_kernels.json has
+# exact column parity too)
+grep -q '"columns_equal":' "$kout" \
+  || { echo "check: $kout lacks parity block" >&2; exit 1; }
+grep -q '"objective_delta":0.000000000' "$kout" \
+  || { echo "check: pipeline objectives differ dense vs sparse" >&2; exit 1; }
+
+# allocation telemetry must be reported for both domain counts; diff them
+a1="$(grep -o '"sparse_d1":{[^{]*' "$kout" | grep -o '"alloc_bytes":[0-9]*')"
+aN="$(grep -o '"sparse_dN":{[^{]*' "$kout" | grep -o '"alloc_bytes":[0-9]*')"
+test -n "$a1" && test -n "$aN" \
+  || { echo "check: $kout lacks alloc_bytes for d1/dN" >&2; exit 1; }
+echo "   kernels: graph speedup ${gspeed}x; domains 1 ${a1#*:} B vs domains 4 ${aN#*:} B allocated"
+
+echo "== telemetry smoke (serve --demo --metrics-out)"
 snap="$tmpdir/metrics.json"
 dune exec bin/auction.exe -- serve --demo --metrics-out "$snap" >/dev/null
 

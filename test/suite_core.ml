@@ -235,6 +235,48 @@ let test_oracle_weighted () =
     true
     (Float.abs (oracle.Lp.objective -. explicit.Lp.objective) < 1e-4)
 
+(* Incremental dual pricing recomputes only stale entries but in the same
+   summation order as the naive path, so (for a fixed LP engine) the whole
+   column-generation trajectory — objective, rounds, generated columns —
+   must be bitwise identical; likewise fanning the demand oracles across
+   domains must change nothing. *)
+let test_oracle_pricing_parity () =
+  List.iter
+    (fun inst ->
+      let run ~pricing ~domains =
+        Oracle.solve ~engine:Sa_lp.Model.Revised_sparse ~pricing ~domains inst
+      in
+      let f_naive, s_naive = run ~pricing:Oracle.Naive ~domains:1 in
+      let f_inc, s_inc = run ~pricing:Oracle.Incremental ~domains:1 in
+      let f_par, s_par = run ~pricing:Oracle.Incremental ~domains:4 in
+      Alcotest.(check (float 0.0))
+        "incremental objective bitwise equal" f_naive.Lp.objective
+        f_inc.Lp.objective;
+      Alcotest.(check int) "incremental columns equal" s_naive.Oracle.columns_generated
+        s_inc.Oracle.columns_generated;
+      Alcotest.(check int) "incremental rounds equal" s_naive.Oracle.iterations
+        s_inc.Oracle.iterations;
+      Alcotest.(check (float 0.0))
+        "4-domain objective bitwise equal" f_inc.Lp.objective f_par.Lp.objective;
+      Alcotest.(check int) "4-domain columns equal" s_inc.Oracle.columns_generated
+        s_par.Oracle.columns_generated;
+      Alcotest.(check int) "4-domain rounds equal" s_inc.Oracle.iterations
+        s_par.Oracle.iterations)
+    [
+      random_unweighted_instance ~seed:61 ~n:16 ~k:3 ~d:4;
+      random_weighted_instance ~seed:67 ~n:12 ~k:2;
+    ]
+
+(* Rounding.solve_par: per-trial PRNG streams merged in index order, so the
+   chosen allocation is a function of the seed alone, not the domain count. *)
+let test_rounding_solve_par_deterministic () =
+  let inst = random_unweighted_instance ~seed:71 ~n:18 ~k:3 ~d:4 in
+  let frac = Lp.solve_explicit inst in
+  let a1 = Rounding.solve_par ~domains:1 ~trials:6 ~seed:5 inst frac in
+  let a4 = Rounding.solve_par ~domains:4 ~trials:6 ~seed:5 inst frac in
+  Alcotest.(check bool) "identical allocations" true (a1 = a4);
+  Alcotest.(check bool) "feasible" true (Allocation.is_feasible inst a1)
+
 (* ---------- Exact and greedy --------------------------------------------- *)
 
 let test_exact_beats_greedy () =
@@ -481,6 +523,10 @@ let suite =
     Alcotest.test_case "oracle = explicit (XOR)" `Quick test_oracle_matches_explicit_xor;
     Alcotest.test_case "oracle = explicit (mixed languages)" `Quick test_oracle_matches_explicit_mixed;
     Alcotest.test_case "oracle = explicit (weighted graph)" `Quick test_oracle_weighted;
+    Alcotest.test_case "oracle pricing: naive = incremental = 4 domains" `Quick
+      test_oracle_pricing_parity;
+    Alcotest.test_case "rounding solve_par deterministic across domains" `Quick
+      test_rounding_solve_par_deterministic;
     Alcotest.test_case "exact >= greedy; greedy feasible" `Quick test_exact_beats_greedy;
     Alcotest.test_case "LP-guided greedy feasible" `Quick test_greedy_from_lp;
     Alcotest.test_case "rate-based valuations" `Quick test_rate_based_bidders;

@@ -316,6 +316,62 @@ let prop_rho_witnesses_definition =
       Inductive.check_unweighted_bound graph pi
         ~rho:(int_of_float e.Inductive.rho) m)
 
+(* ---------- packed bitset graph vs naive dense reference ----------------- *)
+
+(* The packed representation (bitset rows + frozen CSR) must be
+   observationally identical to a naive adjacency matrix on every query the
+   rest of the system uses. *)
+let prop_packed_matches_dense =
+  QCheck.Test.make ~name:"packed bitset graph = dense reference" ~count:150
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let g_rng = Prng.create ~seed in
+      let n = 1 + Prng.int g_rng 70 in
+      let dense = Array.make_matrix n n false in
+      let g = Graph.create n in
+      let m = Prng.int g_rng (1 + (n * (n - 1) / 3)) in
+      for _ = 1 to m do
+        let u = Prng.int g_rng n and v = Prng.int g_rng n in
+        if u <> v then begin
+          dense.(u).(v) <- true;
+          dense.(v).(u) <- true;
+          Graph.add_edge g u v
+        end
+      done;
+      let ref_neighbors v =
+        List.filter (fun u -> dense.(v).(u)) (List.init n Fun.id)
+      in
+      let ref_edges = ref 0 in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if dense.(u).(v) then incr ref_edges
+        done
+      done;
+      let subset =
+        List.filter (fun _ -> Prng.bernoulli g_rng 0.3) (List.init n Fun.id)
+      in
+      let ref_independent set =
+        List.for_all
+          (fun u -> List.for_all (fun v -> u = v || not dense.(u).(v)) set)
+          set
+      in
+      let mask = Graph.mask_of_list g subset in
+      Graph.num_edges g = !ref_edges
+      && List.for_all
+           (fun v ->
+             Graph.neighbors g v = ref_neighbors v
+             && Graph.degree g v = List.length (ref_neighbors v)
+             && List.for_all (fun u -> Graph.mem_edge g u v = dense.(u).(v))
+                  (List.init n Fun.id)
+             && Graph.row_inter_card g v mask
+                = List.length (List.filter (fun u -> dense.(v).(u)) subset)
+             && Graph.row_intersects g v mask
+                = List.exists (fun u -> dense.(v).(u)) subset
+             && Graph.exists_row_inter g v mask (fun u -> u mod 2 = 0)
+                = List.exists (fun u -> dense.(v).(u) && u mod 2 = 0) subset)
+           (List.init n Fun.id)
+      && Graph.is_independent g subset = ref_independent subset)
+
 let suite =
   [
     Alcotest.test_case "graph basics" `Quick test_graph_basic;
@@ -352,4 +408,5 @@ let suite =
     Alcotest.test_case "Theorem 14 split: backward degree" `Quick test_split_backward_degree;
     QCheck_alcotest.to_alcotest prop_mis_maximal;
     QCheck_alcotest.to_alcotest prop_rho_witnesses_definition;
+    QCheck_alcotest.to_alcotest prop_packed_matches_dense;
   ]

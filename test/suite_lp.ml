@@ -353,6 +353,56 @@ let prop_revised_matches_dense =
           <= 1e-5 *. Float.max 1.0 (Float.abs a.Simplex.objective)
       | sa, sb -> sa = sb)
 
+(* The eta-file engine must reach the same certified optimum as the dense
+   tableau on LP(1)-shaped packing instances (unit rows + interference rows),
+   both cold and warm-started from its own optimal basis, and do so
+   identically whether the solves run on 1 domain or are fanned across 4. *)
+let prop_eta_warm_matches_dense_across_domains =
+  QCheck.Test.make ~name:"eta revised (cold+warm) = dense across domains" ~count:30
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let nb = 2 + Prng.int g 6 and k = 1 + Prng.int g 3 in
+      let ncols = nb * (1 + Prng.int g 3) in
+      let owner = Array.init ncols (fun c -> c mod nb) in
+      let c = Array.init ncols (fun _ -> Prng.float g 10.0) in
+      let rho = 1.0 +. Prng.float g 2.0 in
+      let unit_rows =
+        Array.init nb (fun v ->
+            ( Array.init ncols (fun cix -> if owner.(cix) = v then 1.0 else 0.0),
+              Simplex.Le,
+              1.0 ))
+      in
+      let intf_rows =
+        Array.init (nb * k) (fun _ ->
+            ( Array.init ncols (fun _ ->
+                  if Prng.bernoulli g 0.3 then Prng.float g 1.0 else 0.0),
+              Simplex.Le,
+              rho ))
+      in
+      let p =
+        {
+          Simplex.direction = Simplex.Maximize;
+          c;
+          rows = Array.append unit_rows intf_rows;
+        }
+      in
+      let dense = Simplex.solve p in
+      let close a = Float.abs (a -. dense.Simplex.objective) <= 1e-6 *. Float.max 1.0 (Float.abs dense.Simplex.objective) in
+      let certified s = (Sa_lp.Certify.check p s).Sa_lp.Certify.certified in
+      let run _ =
+        let s1, b1, _ = Sa_lp.Revised.solve_warm p in
+        let s2, _, st2 = Sa_lp.Revised.solve_warm ?warm_start:b1 p in
+        s1.Simplex.status = Simplex.Optimal
+        && certified s1 && certified s2
+        && close s1.Simplex.objective
+        && close s2.Simplex.objective
+        && st2.Sa_lp.Revised.warm_used
+      in
+      dense.Simplex.status = Simplex.Optimal
+      && Array.for_all Fun.id (Sa_core.Fanout.map_array ~domains:1 run (Array.init 2 Fun.id))
+      && Array.for_all Fun.id (Sa_core.Fanout.map_array ~domains:4 run (Array.init 4 Fun.id)))
+
 let suite =
   [
     Alcotest.test_case "basic max" `Quick test_basic_max;
@@ -377,4 +427,5 @@ let suite =
     Alcotest.test_case "model duplicate coefficients summed" `Quick test_model_duplicate_coeffs;
     QCheck_alcotest.to_alcotest prop_random_packing;
     QCheck_alcotest.to_alcotest prop_dual_feasible;
+    QCheck_alcotest.to_alcotest prop_eta_warm_matches_dense_across_domains;
   ]
