@@ -19,7 +19,14 @@
    bitset-vs-matrix graph queries, eta-file-vs-tableau LP solves, and the
    full colgen+rounding pipeline dense/sparse and 1-vs-N domains, writing
    BENCH_kernels.json.  Flags: --quick (small instance), --domains N,
-   --kernels-out PATH. *)
+   --kernels-out PATH.
+
+   A third group, `bench construction` (dune exec bench/main.exe --
+   construction), compares the grid-based instance constructors against
+   their all-pairs references — disk conflict graphs at several sizes and
+   the sparse thm13 SINR graph with its certified dropped-weight bounds —
+   writing BENCH_construction.json.  Flags: --quick, --construction-out
+   PATH. *)
 
 open Bechamel
 
@@ -263,10 +270,13 @@ let engine_bench ~quick ~out =
   let json =
     Printf.sprintf
       "{\"benchmark\":\"engine-batch\",\"quick\":%b,\"jobs\":%d,\
+       \"recommended_domains\":%d,\
        \"parallel_domains\":%d,\"cold\":%s,\"warm\":%s,\"warm_parallel\":%s,\
        \"warm_hit_rate\":%.4f,\"lp_speedup_warm_over_cold\":%.4f,\
        \"pivot_ratio_cold_over_warm\":%.4f,\"telemetry\":%s}\n"
-      quick njobs domains
+      quick njobs
+      (Domain.recommended_domain_count ())
+      domains
       (with_counters cold_ctr cold)
       (with_counters warm_ctr warm)
       (with_counters warm_par_ctr warm_par)
@@ -493,9 +503,138 @@ let kernels_bench ~quick ~out ~domains =
   let pipeline_json = kernels_pipeline ~quick ~domains in
   let json =
     Printf.sprintf
-      "{\"benchmark\":\"kernels\",\"quick\":%b,\"domains\":%d,\"graph\":%s,\
-       \"lp\":%s,\"pipeline\":%s}\n"
-      quick domains graph_json lp_json pipeline_json
+      "{\"benchmark\":\"kernels\",\"quick\":%b,\"recommended_domains\":%d,\
+       \"domains\":%d,\"graph\":%s,\"lp\":%s,\"pipeline\":%s}\n"
+      quick
+      (Domain.recommended_domain_count ())
+      domains graph_json lp_json pipeline_json
+  in
+  let oc = open_out out in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  Printf.printf "  summary written to %s\n" out
+
+(* ---- construction: grid builders vs naive references ---------------------- *)
+
+module Disk = Sa_wireless.Disk
+module Point = Sa_geom.Point
+
+(* All-pairs references, kept here so the comparison baseline stays fixed
+   regardless of how the library constructors evolve. *)
+let naive_disk_graph disks =
+  let n = Disk.n disks in
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if
+        Point.dist (Disk.point disks i) (Disk.point disks j)
+        < Disk.radius disks i +. Disk.radius disks j
+      then Graph.add_edge g i j
+    done
+  done;
+  g
+
+let construction_disk_case ~n =
+  let g = Prng.create ~seed:31 in
+  let side = 4.0 *. sqrt (float_of_int n) in
+  let disks = Disk.random g ~n ~side ~rmin:0.5 ~rmax:1.5 in
+  let reps = max 1 (4000 / n) in
+  let naive = ref (Graph.create 0) in
+  let (), naive_s =
+    Sa_util.Timing.time (fun () ->
+        for _ = 1 to reps do
+          naive := naive_disk_graph disks
+        done)
+  in
+  let grid = ref (Graph.create 0) in
+  let ((), ctr), grid_s =
+    Sa_util.Timing.time (fun () ->
+        with_counter_delta (fun () ->
+            for _ = 1 to reps do
+              grid := Disk.conflict_graph disks
+            done))
+  in
+  let agree = Graph.edges !naive = Graph.edges !grid in
+  let speedup = naive_s /. grid_s in
+  Printf.printf
+    "  disk   n=%4d x%2d: naive %.4fs  grid %.4fs  (%.1fx, m=%d, agree=%b)\n%!" n
+    reps naive_s grid_s speedup (Graph.num_edges !grid) agree;
+  Printf.sprintf
+    "{\"n\":%d,\"reps\":%d,\"edges\":%d,\"naive_seconds\":%.6f,\
+     \"grid_seconds\":%.6f,\"speedup\":%.3f,\"agree\":%b,\"counters\":%s}"
+    n reps (Graph.num_edges !grid) naive_s grid_s speedup agree
+    (Export.counters_to_json ctr)
+
+let construction_thm13_case ~n =
+  let g = Prng.create ~seed:37 in
+  let side = 8.0 *. sqrt (float_of_int n) in
+  let sys =
+    Link.of_point_pairs (Placement.random_links g ~n ~side ~min_len:0.5 ~max_len:2.0)
+  in
+  let prm = Workloads.sinr_default_params in
+  let w_min = 0.05 in
+  let dense = ref (Weighted.create 0) in
+  let (), dense_s =
+    Sa_util.Timing.time (fun () -> dense := Sinr_graph.thm13_graph sys prm)
+  in
+  let sparse = ref (Weighted.create 0) in
+  let ((), ctr), sparse_s =
+    Sa_util.Timing.time (fun () ->
+        with_counter_delta (fun () ->
+            sparse := Sinr_graph.thm13_graph_sparse ~w_min sys prm))
+  in
+  let dense = !dense and sparse = !sparse in
+  (* parity: every stored sparse entry is bitwise equal to the dense one,
+     nothing at or above the floor was dropped, and each row's missing
+     in-weight stays within its certified bound (fp-summation slack only) *)
+  let agree = ref true in
+  let max_bound = ref 0.0 in
+  for v = 0 to n - 1 do
+    let dense_sum = ref 0.0 in
+    for u = 0 to n - 1 do
+      if u <> v then begin
+        let dw = Weighted.w dense u v and sw = Weighted.w sparse u v in
+        dense_sum := !dense_sum +. dw;
+        if sw > 0.0 && sw <> dw then agree := false;
+        if sw = 0.0 && dw >= w_min then agree := false
+      end
+    done;
+    let bound = Weighted.dropped_in_bound sparse v in
+    if bound > !max_bound then max_bound := bound;
+    let gap = !dense_sum -. Weighted.in_weight sparse v in
+    if gap > bound +. (1e-6 *. (1.0 +. bound)) then agree := false
+  done;
+  let bound_cap = w_min *. float_of_int n in
+  if !max_bound > bound_cap then agree := false;
+  let speedup = dense_s /. sparse_s in
+  let density =
+    float_of_int (Weighted.nnz sparse) /. float_of_int (max 1 (n * (n - 1) / 2))
+  in
+  Printf.printf
+    "  thm13  n=%4d: dense %.4fs  sparse %.4fs  (%.1fx, nnz=%d, %.1f%% of pairs, \
+     max row bound %.3f <= %.1f, agree=%b)\n%!"
+    n dense_s sparse_s speedup (Weighted.nnz sparse) (100.0 *. density) !max_bound
+    bound_cap !agree;
+  Printf.sprintf
+    "{\"n\":%d,\"w_min\":%.6f,\"nnz\":%d,\"dense_seconds\":%.6f,\
+     \"sparse_seconds\":%.6f,\"speedup\":%.3f,\"max_dropped_in_bound\":%.6f,\
+     \"dropped_in_cap\":%.6f,\"agree\":%b,\"counters\":%s}"
+    n w_min (Weighted.nnz sparse) dense_s sparse_s speedup !max_bound bound_cap
+    !agree (Export.counters_to_json ctr)
+
+let construction_bench ~quick ~out =
+  Printf.printf "construction (%s):\n%!" (if quick then "quick" else "full");
+  let disk_sizes = if quick then [ 200; 1000 ] else [ 200; 1000; 4000 ] in
+  let disk_json =
+    String.concat "," (List.map (fun n -> construction_disk_case ~n) disk_sizes)
+  in
+  let thm13_json = construction_thm13_case ~n:(if quick then 300 else 1000) in
+  let json =
+    Printf.sprintf
+      "{\"benchmark\":\"construction\",\"quick\":%b,\"recommended_domains\":%d,\
+       \"disk\":[%s],\"thm13\":%s}\n"
+      quick
+      (Domain.recommended_domain_count ())
+      disk_json thm13_json
   in
   let oc = open_out out in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
@@ -549,7 +688,10 @@ let () =
     in
     find argv
   in
-  if List.mem "kernels" argv then
+  if List.mem "construction" argv then
+    let out = find_flag "--construction-out" "BENCH_construction.json" in
+    construction_bench ~quick ~out
+  else if List.mem "kernels" argv then
     let out = find_flag "--kernels-out" "BENCH_kernels.json" in
     let domains = int_of_string (find_flag "--domains" "4") in
     kernels_bench ~quick ~out ~domains

@@ -170,8 +170,10 @@ let compute_topology conflict =
       in
       { ordering = pi; rho; backward }
 
-let topology_of_conflict t conflict =
-  let key = Serialize.conflict_fingerprint conflict in
+let topology_of_conflict ?key t conflict =
+  let key =
+    match key with Some k -> k | None -> Serialize.conflict_fingerprint conflict
+  in
   match locked t (fun () -> Hashtbl.find_opt t.topologies key) with
   | Some topo ->
       Atomic.incr t.topology_hits;
@@ -187,8 +189,8 @@ let topology_of_conflict t conflict =
           if not (Hashtbl.mem t.topologies key) then Hashtbl.add t.topologies key topo);
       topo
 
-let prepare t ~conflict ~k bidders =
-  let topo = topology_of_conflict t conflict in
+let prepare ?key t ~conflict ~k bidders =
+  let topo = topology_of_conflict ?key t conflict in
   Instance.make ~conflict ~k ~bidders ~ordering:topo.ordering ~rho:topo.rho
 
 (* -------------------------------- solving ------------------------------- *)

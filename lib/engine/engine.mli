@@ -77,18 +77,25 @@ type topology = {
   backward : int list array;
 }
 
-val topology_of_conflict : t -> Sa_core.Instance.conflict -> topology
+val topology_of_conflict : ?key:string -> t -> Sa_core.Instance.conflict -> topology
 (** Cached (ordering π, ρ, backward neighbourhoods) for a conflict
     structure: degeneracy ordering + measured ρ for unweighted graphs,
     identity ordering + weighted ρ for edge-weighted ones, and the natural
-    per-channel generalisations. *)
+    per-channel generalisations.
+
+    [key] overrides the cache key (default:
+    {!Sa_core.Serialize.conflict_fingerprint}, which serialises the whole
+    graph).  Geometric producers pass
+    {!Sa_geom.Spatial.fingerprint} of the placement instead — O(n) and
+    available before the conflict graph is even built.  The caller must
+    guarantee the key determines the conflict structure. *)
 
 val prepare :
-  t -> conflict:Sa_core.Instance.conflict -> k:int -> Sa_val.Valuation.t array ->
-  Sa_core.Instance.t
+  ?key:string -> t -> conflict:Sa_core.Instance.conflict -> k:int ->
+  Sa_val.Valuation.t array -> Sa_core.Instance.t
 (** Build an instance for fresh bidders over a (possibly already seen)
     conflict structure, reusing the cached topology when available — the
-    repeated-auction entry point. *)
+    repeated-auction entry point.  [key] as in {!topology_of_conflict}. *)
 
 val run_job : t -> job -> result
 (** Solve one job: LP (revised simplex, warm-started when the cache has a

@@ -163,8 +163,16 @@ let save path specs =
 
 let base_instance engine s =
   match s.model with
-  | Protocol -> Workloads.protocol_instance ~seed:s.seed ~n:s.n ~k:s.k ()
-  | Disk -> Workloads.disk_instance ~seed:s.seed ~n:s.n ~k:s.k ()
+  | Protocol ->
+      (* geometric models key the engine's topology cache on the O(n)
+         placement fingerprint instead of serialising the conflict graph *)
+      let g, _, conflict, key = Workloads.protocol_conflict ~seed:s.seed ~n:s.n () in
+      let bidders = Workloads.bidders g ~n:s.n ~k:s.k ~profile:Workloads.Xor_small in
+      Engine.prepare engine ~key ~conflict ~k:s.k bidders
+  | Disk ->
+      let g, _, conflict, key = Workloads.disk_conflict ~seed:s.seed ~n:s.n () in
+      let bidders = Workloads.bidders g ~n:s.n ~k:s.k ~profile:Workloads.Xor_small in
+      Engine.prepare engine ~key ~conflict ~k:s.k bidders
   | Sinr ->
       fst
         (Workloads.sinr_fixed_instance ~seed:s.seed ~n:s.n ~k:s.k

@@ -50,24 +50,47 @@ let sinr_default_params = { Sinr.alpha = 3.0; beta = 1.5; noise = 0.0 }
 let measured_rho_unweighted graph pi =
   Float.max 1.0 (Inductive.rho_unweighted ~node_limit:500_000 graph pi).Inductive.rho
 
-let protocol_instance ~seed ~n ~k ?(delta = 1.0) ?(profile = Xor_small) () =
+let protocol_conflict ~seed ~n ?(delta = 1.0) () =
   let g = Prng.create ~seed in
   let pairs = Placement.random_links g ~n ~side:(side_for n) ~min_len:0.5 ~max_len:1.5 in
   let sys = Link.of_point_pairs pairs in
   let graph = Protocol.conflict_graph sys ~delta in
+  let key =
+    let pts =
+      match Sa_geom.Metric.points (Link.metric sys) with Some p -> p | None -> [||]
+    in
+    Sa_geom.Spatial.fingerprint ~tag:"protocol" ~extra:[| delta |] pts
+  in
+  (g, sys, Instance.Unweighted graph, key)
+
+let protocol_instance ~seed ~n ~k ?(delta = 1.0) ?(profile = Xor_small) () =
+  let g, sys, conflict, _ = protocol_conflict ~seed ~n ~delta () in
+  let graph =
+    match conflict with Instance.Unweighted gr -> gr | _ -> assert false
+  in
   let pi = Protocol.ordering sys in
   let rho = measured_rho_unweighted graph pi in
-  Instance.make ~conflict:(Instance.Unweighted graph) ~k
-    ~bidders:(bidders g ~n ~k ~profile) ~ordering:pi ~rho
+  Instance.make ~conflict ~k ~bidders:(bidders g ~n ~k ~profile) ~ordering:pi ~rho
 
-let disk_instance ~seed ~n ~k ?(profile = Xor_small) () =
+let disk_conflict ~seed ~n () =
   let g = Prng.create ~seed in
   let disks = Disk.random g ~n ~side:(side_for n) ~rmin:0.5 ~rmax:1.5 in
   let graph = Disk.conflict_graph disks in
+  let key =
+    let pts = Array.init n (Disk.point disks) in
+    let radii = Array.init n (Disk.radius disks) in
+    Sa_geom.Spatial.fingerprint ~tag:"disk" ~extra:radii pts
+  in
+  (g, disks, Instance.Unweighted graph, key)
+
+let disk_instance ~seed ~n ~k ?(profile = Xor_small) () =
+  let g, disks, conflict, _ = disk_conflict ~seed ~n () in
+  let graph =
+    match conflict with Instance.Unweighted gr -> gr | _ -> assert false
+  in
   let pi = Disk.ordering disks in
   let rho = measured_rho_unweighted graph pi in
-  Instance.make ~conflict:(Instance.Unweighted graph) ~k
-    ~bidders:(bidders g ~n ~k ~profile) ~ordering:pi ~rho
+  Instance.make ~conflict ~k ~bidders:(bidders g ~n ~k ~profile) ~ordering:pi ~rho
 
 let sinr_fixed_instance ~seed ~n ~k ~scheme ?(profile = Xor_small) () =
   let g = Prng.create ~seed in

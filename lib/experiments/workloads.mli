@@ -31,8 +31,22 @@ val protocol_instance :
     [n] grows; protocol-model conflict graph, length ordering, ρ set to the
     *measured* ρ(π) (the LP is tighter and the guarantee still valid). *)
 
+val protocol_conflict :
+  seed:int -> n:int -> ?delta:float -> unit ->
+  Sa_util.Prng.t * Sa_wireless.Link.system * Sa_core.Instance.conflict * string
+(** The conflict structure of {!protocol_instance} plus the generator
+    (positioned to draw the bidders next) and an O(n) placement
+    fingerprint ({!Sa_geom.Spatial.fingerprint} over the node coordinates
+    and δ) for {!Sa_engine.Engine.prepare}'s topology-cache key. *)
+
 val disk_instance :
   seed:int -> n:int -> k:int -> ?profile:bid_profile -> unit -> Sa_core.Instance.t
+
+val disk_conflict :
+  seed:int -> n:int -> unit ->
+  Sa_util.Prng.t * Sa_wireless.Disk.t * Sa_core.Instance.conflict * string
+(** Same contract as {!protocol_conflict} for the disk model; the
+    fingerprint covers centres and radii. *)
 
 val sinr_fixed_instance :
   seed:int ->

@@ -27,7 +27,12 @@ val points : t -> Point.t array option
 (** Underlying points when the metric came from {!of_points}. *)
 
 val check_triangle : t -> bool
-(** Exhaustive O(n^3) triangle-inequality check (tests only). *)
+(** Exhaustive triangle-inequality audit over all ordered triples — Θ(n³)
+    distance evaluations, quadratic memory traffic on matrix metrics.  It
+    is exported (any caller can reach it), but it is meant for validating
+    hand-built matrices and for the test suite; no construction or solve
+    path in this library calls it.  Do not put it on a per-instance hot
+    path at scale — at n = 4000 it is ~6.4e10 comparisons. *)
 
 val star_metric : int -> arm:float -> t
 (** A general (non-fading) metric: [n] leaves at pairwise distance [2*arm],

@@ -1,0 +1,277 @@
+(* Uniform grid over planar points: cell = interaction radius, CSR bucket
+   layout (offsets + point ids), flat floatarray coordinates so the
+   distance kernels run on unboxed floats without per-pair closures. *)
+
+module Tel = Sa_telemetry.Metrics
+
+let m_cells = Tel.counter "geom.grid.cells_scanned"
+let m_candidates = Tel.counter "geom.grid.candidates"
+
+type t = {
+  n : int;
+  xs : floatarray;
+  ys : floatarray;
+  x0 : float;
+  y0 : float;
+  cw : float; (* cell width, possibly grown from the requested one *)
+  ncx : int;
+  ncy : int;
+  offsets : int array; (* ncx*ncy + 1 *)
+  ids : int array; (* point indices grouped by cell *)
+}
+
+let n t = t.n
+let cell_size t = t.cw
+let xs t = t.xs
+let ys t = t.ys
+
+let point t i =
+  if i < 0 || i >= t.n then invalid_arg "Spatial.point: index out of range";
+  Point.make (Float.Array.get t.xs i) (Float.Array.get t.ys i)
+
+(* Same expression as Point.dist: sqrt (dx*dx + dy*dy). *)
+let dist_xy ax ay bx by =
+  let dx = ax -. bx and dy = ay -. by in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let dist t i j =
+  dist_xy (Float.Array.get t.xs i) (Float.Array.get t.ys i)
+    (Float.Array.get t.xs j) (Float.Array.get t.ys j)
+
+let dist_to t i (p : Point.t) =
+  dist_xy (Float.Array.get t.xs i) (Float.Array.get t.ys i) p.Point.x p.Point.y
+
+let clampi lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let cell_x t x = clampi 0 (t.ncx - 1) (int_of_float ((x -. t.x0) /. t.cw))
+let cell_y t y = clampi 0 (t.ncy - 1) (int_of_float ((y -. t.y0) /. t.cw))
+
+let create ?cell pts =
+  let count = Array.length pts in
+  let xs = Float.Array.create count and ys = Float.Array.create count in
+  Array.iteri
+    (fun i (p : Point.t) ->
+      Float.Array.set xs i p.Point.x;
+      Float.Array.set ys i p.Point.y)
+    pts;
+  let x0 = ref infinity and y0 = ref infinity in
+  let x1 = ref neg_infinity and y1 = ref neg_infinity in
+  for i = 0 to count - 1 do
+    let x = Float.Array.get xs i and y = Float.Array.get ys i in
+    if x < !x0 then x0 := x;
+    if x > !x1 then x1 := x;
+    if y < !y0 then y0 := y;
+    if y > !y1 then y1 := y
+  done;
+  let x0 = if count = 0 then 0.0 else !x0 and y0 = if count = 0 then 0.0 else !y0 in
+  let wx = if count = 0 then 0.0 else !x1 -. x0
+  and wy = if count = 0 then 0.0 else !y1 -. y0 in
+  let cw =
+    match cell with
+    | Some c ->
+        if (not (Float.is_finite c)) || c <= 0.0 then
+          invalid_arg "Spatial.create: cell must be positive and finite";
+        c
+    | None ->
+        let diag = sqrt ((wx *. wx) +. (wy *. wy)) in
+        let c = diag /. sqrt (float_of_int (max 1 count)) in
+        if c > 0.0 then c else 1.0
+  in
+  (* Grow the cell when the requested width would allocate far more cells
+     than points (tiny radius in a huge domain): pruning weakens, results
+     do not change. *)
+  let cells_at c =
+    let nx = (int_of_float (wx /. c)) + 1 and ny = (int_of_float (wy /. c)) + 1 in
+    (max 1 nx, max 1 ny)
+  in
+  let target = max 16 (4 * max 1 count) in
+  let cw =
+    let nx, ny = cells_at cw in
+    if nx * ny <= target then cw
+    else cw *. sqrt (float_of_int (nx * ny) /. float_of_int target)
+  in
+  let ncx, ncy = cells_at cw in
+  let t =
+    {
+      n = count;
+      xs;
+      ys;
+      x0;
+      y0;
+      cw;
+      ncx;
+      ncy;
+      offsets = Array.make ((ncx * ncy) + 1) 0;
+      ids = Array.make count 0;
+    }
+  in
+  (* counting sort into cells *)
+  let cell_of i =
+    (cell_y t (Float.Array.get ys i) * ncx) + cell_x t (Float.Array.get xs i)
+  in
+  for i = 0 to count - 1 do
+    let c = cell_of i in
+    t.offsets.(c + 1) <- t.offsets.(c + 1) + 1
+  done;
+  for c = 1 to ncx * ncy do
+    t.offsets.(c) <- t.offsets.(c) + t.offsets.(c - 1)
+  done;
+  let fill = Array.copy t.offsets in
+  for i = 0 to count - 1 do
+    let c = cell_of i in
+    t.ids.(fill.(c)) <- i;
+    fill.(c) <- fill.(c) + 1
+  done;
+  t
+
+(* ---- queries -------------------------------------------------------------- *)
+
+(* Cell ranges covering the axis-aligned box of the r-ball around (px, py). *)
+let box_ranges t px py r =
+  let cx_lo = cell_x t (px -. r) and cx_hi = cell_x t (px +. r) in
+  let cy_lo = cell_y t (py -. r) and cy_hi = cell_y t (py +. r) in
+  (cx_lo, cx_hi, cy_lo, cy_hi)
+
+let iter_box t px py r f =
+  if t.n > 0 then begin
+    let cx_lo, cx_hi, cy_lo, cy_hi = box_ranges t px py r in
+    let cells = ref 0 and cands = ref 0 in
+    for cy = cy_lo to cy_hi do
+      for cx = cx_lo to cx_hi do
+        incr cells;
+        let c = (cy * t.ncx) + cx in
+        for s = t.offsets.(c) to t.offsets.(c + 1) - 1 do
+          incr cands;
+          f t.ids.(s)
+        done
+      done
+    done;
+    Tel.add m_cells !cells;
+    Tel.add m_candidates !cands
+  end
+
+let iter_candidates t (p : Point.t) ~r f =
+  if (not (Float.is_finite r)) || r < 0.0 then
+    invalid_arg "Spatial.iter_candidates: r must be non-negative and finite";
+  iter_box t p.Point.x p.Point.y r f
+
+let iter_candidate_pairs t ~r f =
+  if (not (Float.is_finite r)) || r < 0.0 then
+    invalid_arg "Spatial.iter_candidate_pairs: r must be non-negative and finite";
+  for i = 0 to t.n - 1 do
+    iter_box t (Float.Array.get t.xs i) (Float.Array.get t.ys i) r (fun j ->
+        if j > i then f i j)
+  done
+
+let neighbors_within t i r =
+  if i < 0 || i >= t.n then invalid_arg "Spatial.neighbors_within: index out of range";
+  let xi = Float.Array.get t.xs i and yi = Float.Array.get t.ys i in
+  let acc = ref [] in
+  iter_box t xi yi r (fun j ->
+      if j <> i && dist t i j <= r then acc := j :: !acc);
+  List.sort compare !acc
+
+let pairs_within t r =
+  let acc = ref [] in
+  iter_candidate_pairs t ~r (fun u v -> if dist t u v <= r then acc := (u, v) :: !acc);
+  List.sort compare !acc
+
+(* Minimum / maximum distance from (px,py) to the cell rectangle (cx,cy). *)
+let cell_min_dist t px py cx cy =
+  let rx0 = t.x0 +. (float_of_int cx *. t.cw) in
+  let ry0 = t.y0 +. (float_of_int cy *. t.cw) in
+  let dx = Float.max 0.0 (Float.max (rx0 -. px) (px -. (rx0 +. t.cw))) in
+  let dy = Float.max 0.0 (Float.max (ry0 -. py) (py -. (ry0 +. t.cw))) in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let cell_max_dist t px py cx cy =
+  let rx0 = t.x0 +. (float_of_int cx *. t.cw) in
+  let ry0 = t.y0 +. (float_of_int cy *. t.cw) in
+  let dx = Float.max (Float.abs (px -. rx0)) (Float.abs (px -. (rx0 +. t.cw))) in
+  let dy = Float.max (Float.abs (py -. ry0)) (Float.abs (py -. (ry0 +. t.cw))) in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let iter_annulus t i ~r_lo ~r_hi f =
+  if i < 0 || i >= t.n then invalid_arg "Spatial.iter_annulus: index out of range";
+  if r_lo < 0.0 || r_hi < r_lo then
+    invalid_arg "Spatial.iter_annulus: need 0 <= r_lo <= r_hi";
+  let px = Float.Array.get t.xs i and py = Float.Array.get t.ys i in
+  let cx_lo, cx_hi, cy_lo, cy_hi = box_ranges t px py r_hi in
+  let cells = ref 0 and cands = ref 0 in
+  let acc = ref [] in
+  for cy = cy_lo to cy_hi do
+    for cx = cx_lo to cx_hi do
+      incr cells;
+      (* skip cells entirely inside the inner ball or outside the outer *)
+      if cell_max_dist t px py cx cy >= r_lo && cell_min_dist t px py cx cy <= r_hi
+      then begin
+        let c = (cy * t.ncx) + cx in
+        for s = t.offsets.(c) to t.offsets.(c + 1) - 1 do
+          incr cands;
+          let j = t.ids.(s) in
+          if j <> i then begin
+            let d = dist t i j in
+            if d >= r_lo && d <= r_hi then acc := j :: !acc
+          end
+        done
+      end
+    done
+  done;
+  Tel.add m_cells !cells;
+  Tel.add m_candidates !cands;
+  List.iter f (List.sort compare !acc)
+
+let farthest_from t ?(excluding = -1) (p : Point.t) =
+  if t.n = 0 || (t.n = 1 && excluding = 0) then None
+  else begin
+    let px = p.Point.x and py = p.Point.y in
+    (* upper bound per non-empty cell, visited best-first *)
+    let cells = ref [] in
+    for cy = 0 to t.ncy - 1 do
+      for cx = 0 to t.ncx - 1 do
+        let c = (cy * t.ncx) + cx in
+        if t.offsets.(c + 1) > t.offsets.(c) then
+          cells := (cell_max_dist t px py cx cy, c) :: !cells
+      done
+    done;
+    let sorted = List.sort (fun (a, _) (b, _) -> compare b a) !cells in
+    let best_d = ref neg_infinity and best_i = ref (-1) in
+    let scanned = ref 0 and cands = ref 0 in
+    (try
+       List.iter
+         (fun (ub, c) ->
+           if ub < !best_d then raise Exit;
+           incr scanned;
+           for s = t.offsets.(c) to t.offsets.(c + 1) - 1 do
+             let j = t.ids.(s) in
+             if j <> excluding then begin
+               incr cands;
+               let d = dist_xy (Float.Array.get t.xs j) (Float.Array.get t.ys j) px py in
+               if d > !best_d || (d = !best_d && j < !best_i) then begin
+                 best_d := d;
+                 best_i := j
+               end
+             end
+           done)
+         sorted
+     with Exit -> ());
+    Tel.add m_cells !scanned;
+    Tel.add m_candidates !cands;
+    if !best_i < 0 then None else Some (!best_i, !best_d)
+  end
+
+(* ---- fingerprints ---------------------------------------------------------- *)
+
+let fingerprint ?(tag = "") ?(extra = [||]) pts =
+  let buf = Buffer.create (16 + (16 * Array.length pts)) in
+  Buffer.add_string buf tag;
+  Buffer.add_char buf '\000';
+  Buffer.add_string buf (string_of_int (Array.length pts));
+  Array.iter
+    (fun (p : Point.t) ->
+      Buffer.add_int64_le buf (Int64.bits_of_float p.Point.x);
+      Buffer.add_int64_le buf (Int64.bits_of_float p.Point.y))
+    pts;
+  Buffer.add_char buf '\001';
+  Array.iter (fun x -> Buffer.add_int64_le buf (Int64.bits_of_float x)) extra;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

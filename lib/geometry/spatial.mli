@@ -1,0 +1,93 @@
+(** Uniform-grid spatial index over planar placements.
+
+    Every wireless constructor (disk, protocol, civilized, SINR) is
+    geometrically local: a pair can only conflict when some pair of
+    endpoints is within a known interaction radius.  The grid buckets
+    points into square cells of that radius so candidate enumeration
+    touches only the O(1) cells overlapping a query ball instead of all n
+    points, turning the all-pairs O(n²) construction loops near-linear at
+    constant density.
+
+    Coordinates are stored in flat [floatarray]s ({!xs} / {!ys}); the
+    distance kernels below operate on those directly (one multiply-add
+    pipeline per candidate) rather than calling a per-pair closure.
+    {!dist} evaluates the same float expression as {!Point.dist}, so
+    predicates written against either are bitwise identical — the grid
+    constructors reproduce the naive graphs exactly.
+
+    Candidate queries ([iter_candidates], [iter_candidate_pairs]) prune at
+    cell granularity only and therefore return a {e superset} of the true
+    ball: callers re-apply their exact predicate (strict or non-strict,
+    per-pair radii) on the candidates.  The exact queries
+    ([neighbors_within], [pairs_within], [iter_annulus]) apply an
+    inclusive [dist <= r] filter themselves.
+
+    Telemetry: queries bump [geom.grid.cells_scanned] and
+    [geom.grid.candidates] on the default registry. *)
+
+type t
+
+val create : ?cell:float -> Point.t array -> t
+(** [create ~cell pts] buckets [pts] into square cells of width [cell] —
+    pass the maximum interaction radius of the construction.  Cell width
+    is grown automatically when the requested width would allocate far
+    more cells than points (sparse domains), which only weakens pruning,
+    never correctness.  Default cell: the bounding-box diagonal over
+    [sqrt n] (a density heuristic for generic point sets).  Raises
+    [Invalid_argument] on non-positive or non-finite [cell]. *)
+
+val n : t -> int
+val point : t -> int -> Point.t
+val cell_size : t -> float
+(** The actual (possibly grown) cell width. *)
+
+val xs : t -> floatarray
+val ys : t -> floatarray
+(** The flat coordinate arrays, indexed by point id (not copies — treat as
+    read-only). *)
+
+val dist : t -> int -> int -> float
+(** [dist t i j] from the flat arrays; bitwise equal to
+    [Point.dist (point t i) (point t j)]. *)
+
+val dist_to : t -> int -> Point.t -> float
+(** Distance from point [i] to an arbitrary query point, same kernel. *)
+
+val iter_candidates : t -> Point.t -> r:float -> (int -> unit) -> unit
+(** All points in cells overlapping the axis-aligned bounding box of the
+    [r]-ball around the query point — a superset of the ball, no distance
+    filtering.  The caller applies its exact predicate. *)
+
+val iter_candidate_pairs : t -> r:float -> (int -> int -> unit) -> unit
+(** Candidate pairs [(u, v)], [u < v], from cell-bounding-box pruning at
+    radius [r]; each true pair within distance [r] is emitted at least
+    once, and no pair is emitted twice. *)
+
+val neighbors_within : t -> int -> float -> int list
+(** [neighbors_within t i r]: all [j <> i] with [dist t i j <= r],
+    ascending. *)
+
+val pairs_within : t -> float -> (int * int) list
+(** All pairs [(u, v)], [u < v], with [dist t u v <= r], lexicographic. *)
+
+val iter_annulus : t -> int -> r_lo:float -> r_hi:float -> (int -> unit) -> unit
+(** All [j <> i] with [r_lo <= dist t i j <= r_hi], ascending; cells
+    entirely inside the inner ball or outside the outer ball are skipped
+    without touching their points. *)
+
+val farthest_from : t -> ?excluding:int -> Point.t -> (int * float) option
+(** Farthest indexed point from the query point (optionally ignoring index
+    [excluding]), with its distance.  Grid-bucketed far-field pruning:
+    cells are visited in decreasing order of an upper bound (distance to
+    the farthest cell corner) and the scan stops as soon as the bound
+    drops below the best point found, so typically only the few extremal
+    cells are opened.  [None] when no eligible point exists.  Ties resolve
+    to the lowest index, matching a naive [max] scan with strict [>]. *)
+
+val fingerprint : ?tag:string -> ?extra:float array -> Point.t array -> string
+(** Placement fingerprint: digest of the raw coordinate bytes, plus an
+    optional caller tag (model name, parameters) and auxiliary float array
+    (radii, delta, ...).  Two placements get equal fingerprints iff their
+    coordinate (and extra) bit patterns agree — the cache key the engine
+    uses to recognise a repeated geometric topology without serialising
+    the derived conflict graph. *)

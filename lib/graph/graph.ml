@@ -50,6 +50,27 @@ let add_edge g u v =
     g.csr <- None
   end
 
+(* Bulk loader for grid-based constructors: one validation pass, direct
+   bitset writes, a single CSR invalidation at the end instead of one per
+   edge.  Duplicates (including pairs already present) are merged. *)
+let add_edges_bulk g pairs =
+  let added = ref 0 in
+  Array.iter
+    (fun (u, v) ->
+      check_vertex g u;
+      check_vertex g v;
+      if u = v then invalid_arg "Graph.add_edges_bulk: self-loop";
+      if not (test_bit g u v) then begin
+        set_bit g u v;
+        set_bit g v u;
+        incr added
+      end)
+    pairs;
+  if !added > 0 then begin
+    g.m <- g.m + !added;
+    g.csr <- None
+  end
+
 let of_edges size edges =
   let g = create size in
   List.iter (fun (u, v) -> add_edge g u v) edges;
@@ -175,6 +196,29 @@ let induced g vs =
       Array.iteri (fun j v -> if j > i && test_bit g u v then add_edge sub i j) vs)
     vs;
   sub
+
+(* Distance-2 ("square") graph over the frozen CSR form: edge (i, j) when
+   j is a neighbour or a 2-hop neighbour of i.  A per-source stamp array
+   dedups before buffering, so the work is O(sum of deg^2) instead of the
+   n^2 mem_edge probes of the naive construction. *)
+let square g =
+  let sq = create g.size in
+  let stamp = Array.make g.size (-1) in
+  let buf = ref [] in
+  for i = 0 to g.size - 1 do
+    iter_neighbors g i (fun u ->
+        if u > i && stamp.(u) <> i then begin
+          stamp.(u) <- i;
+          buf := (i, u) :: !buf
+        end;
+        iter_neighbors g u (fun j ->
+            if j > i && stamp.(j) <> i then begin
+              stamp.(j) <- i;
+              buf := (i, j) :: !buf
+            end))
+  done;
+  add_edges_bulk sq (Array.of_list !buf);
+  sq
 
 let clique size =
   let g = create size in

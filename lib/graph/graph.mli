@@ -26,6 +26,13 @@ val num_edges : t -> int
 val add_edge : t -> int -> int -> unit
 (** Idempotent; rejects self-loops and out-of-range vertices. *)
 
+val add_edges_bulk : t -> (int * int) array -> unit
+(** Add every pair in one pass, writing the packed bitset rows directly:
+    no per-edge frozen-form invalidation (the CSR is dropped once at the
+    end).  Duplicate pairs and edges already present are merged, exactly
+    like repeated {!add_edge}.  The bulk entry point for grid-based
+    constructors emitting candidate edge lists. *)
+
 val mem_edge : t -> int -> int -> bool
 (** O(1) adjacency test. *)
 
@@ -58,6 +65,11 @@ val complement : t -> t
 val induced : t -> int array -> t
 (** [induced g vs] is the subgraph induced by [vs]; vertex [i] of the result
     corresponds to [vs.(i)]. *)
+
+val square : t -> t
+(** Distance-2 graph: edge [(i, j)] when [j] is within two hops of [i].
+    Runs over the frozen CSR form in O(Σ deg²) — the shared kernel behind
+    the distance-2 coloring constructions (Prop 17). *)
 
 val clique : int -> t
 (** Complete graph — models a regular combinatorial auction (every pair of

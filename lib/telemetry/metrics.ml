@@ -207,6 +207,10 @@ let well_known_counters =
     "core.rounding.improvements";
     "core.derand.candidates";
     "graph.rho.estimates";
+    "geom.grid.cells_scanned";
+    "geom.grid.candidates";
+    "wireless.construction.edges_kept";
+    "wireless.construction.edges_dropped";
     "engine.jobs";
     "engine.warm_used";
     "engine.topology.hits";

@@ -1,18 +1,25 @@
 module Graph = Sa_graph.Graph
 module Point = Sa_geom.Point
+module Spatial = Sa_geom.Spatial
 module Prng = Sa_util.Prng
+module Tel = Sa_telemetry.Metrics
 
 type t = { points : Point.t array; graph : Graph.t }
+
+let m_kept = Tel.counter "wireless.construction.edges_kept"
+let m_dropped = Tel.counter "wireless.construction.edges_dropped"
 
 let make points ~r ~s g =
   let count = Array.length points in
   if Graph.n g <> count then invalid_arg "Civilized.make: graph size mismatch";
-  for i = 0 to count - 1 do
-    for j = i + 1 to count - 1 do
-      if Point.dist points.(i) points.(j) < s -. 1e-12 then
-        invalid_arg "Civilized.make: points closer than s"
-    done
-  done;
+  if count > 0 then begin
+    (* separation check via the grid: any violating pair is within s, so it
+       appears among the candidates at that radius *)
+    let sp = Spatial.create ~cell:s points in
+    Spatial.iter_candidate_pairs sp ~r:s (fun i j ->
+        if Spatial.dist sp i j < s -. 1e-12 then
+          invalid_arg "Civilized.make: points closer than s")
+  end;
   Graph.iter_edges g (fun u v ->
       if Point.dist points.(u) points.(v) > r +. 1e-12 then
         invalid_arg "Civilized.make: edge longer than r");
@@ -35,33 +42,34 @@ let random g ~n:target ~side ~r ~s ~edge_prob =
   let points = Array.of_list (List.rev !placed) in
   let m = Array.length points in
   let graph = Graph.create m in
-  for i = 0 to m - 1 do
-    for j = i + 1 to m - 1 do
-      if Point.dist points.(i) points.(j) <= r && Prng.bernoulli g edge_prob then
-        Graph.add_edge graph i j
-    done
-  done;
+  if m > 0 then begin
+    (* The all-pairs loop draws one bernoulli per lexicographic pair with
+       d <= r.  [pairs_within] returns exactly those pairs in the same
+       order, so the PRNG stream — and hence the sampled graph — is
+       bit-identical to the naive construction. *)
+    let sp = Spatial.create ~cell:r points in
+    let close = Spatial.pairs_within sp r in
+    let buf = ref [] in
+    let kept = ref 0 and dropped = ref 0 in
+    List.iter
+      (fun (i, j) ->
+        if Prng.bernoulli g edge_prob then begin
+          incr kept;
+          buf := (i, j) :: !buf
+        end
+        else incr dropped)
+      close;
+    Graph.add_edges_bulk graph (Array.of_list !buf);
+    Tel.add m_kept !kept;
+    Tel.add m_dropped !dropped
+  end;
   { points; graph }
 
 let graph t = t.graph
 let points t = Array.copy t.points
 let n t = Array.length t.points
 
-let distance2_coloring_graph t =
-  let base = t.graph in
-  let size = Graph.n base in
-  let g2 = Graph.create size in
-  for i = 0 to size - 1 do
-    for j = i + 1 to size - 1 do
-      let adjacent = Graph.mem_edge base i j in
-      let two_hop =
-        (not adjacent)
-        && List.exists (fun u -> Graph.mem_edge base u j) (Graph.neighbors base i)
-      in
-      if adjacent || two_hop then Graph.add_edge g2 i j
-    done
-  done;
-  g2
+let distance2_coloring_graph t = Graph.square t.graph
 
 let rho_bound ~r ~s =
   let q = (4.0 *. r /. s) +. 2.0 in

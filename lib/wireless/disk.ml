@@ -1,7 +1,12 @@
 module Graph = Sa_graph.Graph
 module Ordering = Sa_graph.Ordering
 module Point = Sa_geom.Point
+module Spatial = Sa_geom.Spatial
 module Prng = Sa_util.Prng
+module Tel = Sa_telemetry.Metrics
+
+let m_kept = Tel.counter "wireless.construction.edges_kept"
+let m_dropped = Tel.counter "wireless.construction.edges_dropped"
 
 type t = { points : Point.t array; radii : float array }
 
@@ -15,56 +20,55 @@ let n t = Array.length t.points
 let point t i = t.points.(i)
 let radius t i = t.radii.(i)
 
+(* Disks of radius r_i, r_j intersect only when the centres are within
+   2 * max radius, so the grid enumerates candidate pairs at that radius
+   and the exact naive predicate decides each one — the resulting graph is
+   identical to the all-pairs construction. *)
 let conflict_graph t =
   let size = n t in
   let g = Graph.create size in
-  for i = 0 to size - 1 do
-    for j = i + 1 to size - 1 do
-      if Point.dist t.points.(i) t.points.(j) < t.radii.(i) +. t.radii.(j) then
-        Graph.add_edge g i j
-    done
-  done;
+  if size > 0 then begin
+    let rmax = Array.fold_left Float.max 0.0 t.radii in
+    let sp = Spatial.create ~cell:(2.0 *. rmax) t.points in
+    let buf = ref [] in
+    let kept = ref 0 and dropped = ref 0 in
+    Spatial.iter_candidate_pairs sp ~r:(2.0 *. rmax) (fun i j ->
+        if Spatial.dist sp i j < t.radii.(i) +. t.radii.(j) then begin
+          incr kept;
+          buf := (i, j) :: !buf
+        end
+        else incr dropped);
+    Graph.add_edges_bulk g (Array.of_list !buf);
+    Tel.add m_kept !kept;
+    Tel.add m_dropped !dropped
+  end;
   g
 
 let ordering t = Ordering.by_key (n t) (fun i -> -.t.radii.(i))
 
 let rho_bound = 5
 
-let distance2_coloring_graph t =
-  let base = conflict_graph t in
-  let size = n t in
-  let g = Graph.create size in
-  for i = 0 to size - 1 do
-    for j = i + 1 to size - 1 do
-      let adjacent = Graph.mem_edge base i j in
-      let two_hop =
-        (not adjacent)
-        && List.exists (fun u -> Graph.mem_edge base u j) (Graph.neighbors base i)
-      in
-      if adjacent || two_hop then Graph.add_edge g i j
-    done
-  done;
-  g
+let distance2_coloring_graph t = Graph.square (conflict_graph t)
 
 let distance2_matching t =
   let base = conflict_graph t in
   let disk_edges = Array.of_list (Graph.edges base) in
   let m = Array.length disk_edges in
   let g = Graph.create m in
-  let touches (a, b) v = a = v || b = v in
-  let share_endpoint (a, b) (c, d) = a = c || a = d || b = c || b = d in
   for e = 0 to m - 1 do
     for f = e + 1 to m - 1 do
       let ea, eb = disk_edges.(e) and fa, fb = disk_edges.(f) in
+      let share_endpoint = ea = fa || ea = fb || eb = fa || eb = fb in
+      (* some disk-graph edge connects an endpoint of e to one of f — four
+         O(1) adjacency probes, not a scan over the whole edge list *)
       let joined =
-        (* some disk-graph edge connects an endpoint of e to one of f *)
-        Array.exists
-          (fun (x, y) ->
-            (touches (ea, eb) x && touches (fa, fb) y)
-            || (touches (ea, eb) y && touches (fa, fb) x))
-          disk_edges
+        share_endpoint
+        || Graph.mem_edge base ea fa
+        || Graph.mem_edge base ea fb
+        || Graph.mem_edge base eb fa
+        || Graph.mem_edge base eb fb
       in
-      if share_endpoint (ea, eb) (fa, fb) || joined then Graph.add_edge g e f
+      if joined then Graph.add_edge g e f
     done
   done;
   let r_of_edge e =

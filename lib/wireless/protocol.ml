@@ -1,45 +1,86 @@
 module Graph = Sa_graph.Graph
 module Metric = Sa_geom.Metric
+module Point = Sa_geom.Point
+module Spatial = Sa_geom.Spatial
+module Tel = Sa_telemetry.Metrics
+
+let m_kept = Tel.counter "wireless.construction.edges_kept"
+let m_dropped = Tel.counter "wireless.construction.edges_dropped"
+
+(* Grid support for Euclidean link systems.  If links i and j conflict
+   under either the protocol or the 802.11 predicate with guard factor
+   (1 + delta), then some endpoint of i is within (1 + delta) * Lmax of
+   some endpoint of j, hence the link midpoints are within
+   (1 + delta) * Lmax + Lmax/2 + Lmax/2 = (2 + delta) * Lmax.  Candidate
+   pairs are enumerated at that radius and the exact predicate — the same
+   Metric.dist expressions as the all-pairs loop — decides each one, so
+   the graph is identical to the naive construction. *)
+let midpoints sys =
+  match Metric.points (Link.metric sys) with
+  | None -> None
+  | Some pts ->
+      let n = Link.n sys in
+      let mids =
+        Array.init n (fun i ->
+            let l = Link.link sys i in
+            let s = pts.(l.Link.sender) and r = pts.(l.Link.receiver) in
+            Point.make ((s.Point.x +. r.Point.x) /. 2.0) ((s.Point.y +. r.Point.y) /. 2.0))
+      in
+      Some mids
+
+let max_length sys =
+  let best = ref 0.0 in
+  for i = 0 to Link.n sys - 1 do
+    best := Float.max !best (Link.length sys i)
+  done;
+  !best
+
+let build_conflicts sys ~delta conflict =
+  let n = Link.n sys in
+  let g = Graph.create n in
+  (match midpoints sys with
+  | Some mids when n > 0 ->
+      let reach = (2.0 +. delta) *. max_length sys in
+      let sp = Spatial.create ~cell:reach mids in
+      let buf = ref [] in
+      let kept = ref 0 and dropped = ref 0 in
+      Spatial.iter_candidate_pairs sp ~r:reach (fun i j ->
+          if conflict i j then begin
+            incr kept;
+            buf := (i, j) :: !buf
+          end
+          else incr dropped);
+      Graph.add_edges_bulk g (Array.of_list !buf);
+      Tel.add m_kept !kept;
+      Tel.add m_dropped !dropped
+  | _ ->
+      (* general metric: no geometry to index, fall back to all pairs *)
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if conflict i j then Graph.add_edge g i j
+        done
+      done);
+  g
 
 let conflict_graph sys ~delta =
   if delta <= 0.0 then invalid_arg "Protocol.conflict_graph: delta must be positive";
-  let n = Link.n sys in
-  let g = Graph.create n in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
+  build_conflicts sys ~delta (fun i j ->
       (* j's sender too close to i's receiver, or vice versa *)
-      let blocks_i =
-        Link.dist_sr sys ~from_sender_of:j ~to_receiver_of:i
-        < (1.0 +. delta) *. Link.length sys i
-      in
-      let blocks_j =
-        Link.dist_sr sys ~from_sender_of:i ~to_receiver_of:j
-        < (1.0 +. delta) *. Link.length sys j
-      in
-      if blocks_i || blocks_j then Graph.add_edge g i j
-    done
-  done;
-  g
+      Link.dist_sr sys ~from_sender_of:j ~to_receiver_of:i
+      < (1.0 +. delta) *. Link.length sys i
+      || Link.dist_sr sys ~from_sender_of:i ~to_receiver_of:j
+         < (1.0 +. delta) *. Link.length sys j)
 
 let conflict_graph_80211 sys ~delta =
   if delta <= 0.0 then invalid_arg "Protocol.conflict_graph_80211: delta must be positive";
-  let n = Link.n sys in
   let m = Link.metric sys in
-  let g = Graph.create n in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
+  build_conflicts sys ~delta (fun i j ->
       let li = Link.link sys i and lj = Link.link sys j in
       let guard = (1.0 +. delta) *. Float.max (Link.length sys i) (Link.length sys j) in
       let endpoints l = [ l.Link.sender; l.Link.receiver ] in
-      let close =
-        List.exists
-          (fun a -> List.exists (fun b -> Metric.dist m a b < guard) (endpoints lj))
-          (endpoints li)
-      in
-      if close then Graph.add_edge g i j
-    done
-  done;
-  g
+      List.exists
+        (fun a -> List.exists (fun b -> Metric.dist m a b < guard) (endpoints lj))
+        (endpoints li))
 
 let ordering sys = Link.ordering_by_length ~decreasing:false sys
 

@@ -13,15 +13,19 @@
       independent sets admit a feasible power assignment computed by
       {!Power_control}.  [weight_scale] overrides [1/τ] for the ablation
       study (the paper's τ is a worst-case constant; the experiments probe
-      how far it can be relaxed before power control starts failing). *)
+      how far it can be relaxed before power control starts failing).
+      {!thm13_graph_sparse} is the same construction with a weight floor
+      and CSR storage for large instances. *)
 
 val prop11_graph :
   Link.system -> Sinr.params -> powers:float array -> Sa_graph.Weighted.t
 
-val prop11_epsilon : Link.system -> Sinr.params -> powers:float array -> float
+val prop11_epsilon : Link.system -> Sinr.params -> float
 (** The ε of Proposition 11:
     [β/2 · min_{ℓ,ℓ'} (d(s,r)^α / d(s',r)^α)] over links [ℓ=(s,r)],
-    [ℓ'=(s',r')], [ℓ ≠ ℓ']. *)
+    [ℓ'=(s',r')], [ℓ ≠ ℓ'].  Depends only on the geometry and [α], [β] —
+    not on the transmit powers.  On Euclidean metrics the inner
+    minimisation is a farthest-sender grid query per receiver. *)
 
 val ordering : Link.system -> Sa_graph.Ordering.t
 (** Decreasing link length — backward neighbours of a link are *longer*
@@ -34,9 +38,24 @@ val thm13_graph :
   ?weight_scale:float -> Link.system -> Sinr.params -> Sa_graph.Weighted.t
 (** Directed weights from longer onto shorter links (zero in the other
     direction):
-    [w(ℓ,ℓ') = scale·(min(1, d(ℓ)^α/d(s,r')^α) + min(1, d(ℓ)^α/d(s',r)^α))]
+    [w(ℓ,ℓ') = scale·(min(1, d(ℓ)^α/d(s,r')^α) + min(1, d(ℓ)^α/d(s',r)^α)]
     where [ℓ=(s,r)] precedes [ℓ'=(s',r')] in decreasing-length order and
-    [scale] defaults to [1/τ]. *)
+    [scale] defaults to [1/τ].  Dense n×n storage. *)
+
+val thm13_graph_sparse :
+  ?weight_scale:float -> w_min:float -> Link.system -> Sinr.params ->
+  Sa_graph.Weighted.t
+(** {!thm13_graph} with a positive weight floor [w_min]: entries below the
+    floor are not stored, and every stored entry is bitwise equal to the
+    dense one.  On Euclidean metrics, candidate pairs come from a midpoint
+    grid with per-link cutoff radius
+    [D_ℓ = d(ℓ) · (2·scale / w_min)^(1/α)] (entries with both cross
+    distances beyond [D_ℓ] are certified [< w_min]); elsewhere every
+    ordered pair is evaluated and floored.  Each row [ℓ'] of the result
+    carries [Weighted.dropped_in_bound] ≤ [w_min ·] (number of links
+    preceding [ℓ']) — the feasibility slack for LP (3): a set independent
+    in the sparse graph violates the true incoming-interference constraint
+    at [ℓ'] by less than that bound. *)
 
 val sinr_iff_independent :
   Link.system -> Sinr.params -> powers:float array -> int list -> bool * bool

@@ -1,14 +1,23 @@
 #!/bin/sh
 # Repo health check: full build, test suite, an engine bench smoke run that
-# validates BENCH_engine.json, and a telemetry smoke run that validates the
-# serve --metrics-out snapshot (parses, hot-path counters nonzero, counter
-# totals identical across domain counts).  Run from anywhere inside the repo.
+# validates BENCH_engine.json, kernels + construction bench smoke runs, and
+# a telemetry smoke run that validates the serve --metrics-out snapshot
+# (parses, hot-path counters nonzero, counter totals identical across
+# domain counts).  Run from anywhere inside the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 echo "== dune build @all"
 dune build @all
+
+echo "== format check (soft)"
+if [ -f .ocamlformat ]; then
+  dune build @fmt >/dev/null 2>&1 \
+    || echo "   warning: dune build @fmt reports drift (non-fatal)"
+else
+  echo "   skipped: no .ocamlformat in repo"
+fi
 
 echo "== dune runtest"
 dune runtest
@@ -63,6 +72,44 @@ aN="$(grep -o '"sparse_dN":{[^{]*' "$kout" | grep -o '"alloc_bytes":[0-9]*')"
 test -n "$a1" && test -n "$aN" \
   || { echo "check: $kout lacks alloc_bytes for d1/dN" >&2; exit 1; }
 echo "   kernels: graph speedup ${gspeed}x; domains 1 ${a1#*:} B vs domains 4 ${aN#*:} B allocated"
+
+# multi-domain oracle pricing must not regress versus one domain — but the
+# comparison is only meaningful when the host actually has cores to scale
+# onto, so skip it when the runtime recommends a single domain
+rdom="$(sed -n 's/.*"recommended_domains":\([0-9]*\).*/\1/p' "$kout" | head -n 1)"
+test -n "$rdom" || { echo "check: $kout lacks recommended_domains" >&2; exit 1; }
+scaling="$(sed -n 's/.*"scaling_dN_over_d1":\([0-9.]*\).*/\1/p' "$kout" | head -n 1)"
+if [ "$rdom" -gt 1 ]; then
+  test -n "$scaling" || { echo "check: $kout lacks scaling ratio" >&2; exit 1; }
+  awk "BEGIN{exit !($scaling >= 1.0)}" \
+    || { echo "check: dN pricing slower than d1 (${scaling}x, $rdom domains)" >&2; exit 1; }
+  echo "   kernels: dN over d1 scaling ${scaling}x with $rdom recommended domains"
+else
+  echo "   scaling assertion skipped (recommended_domains=$rdom)"
+fi
+
+echo "== construction smoke (bench construction, quick mode)"
+cout="$tmpdir/construction.json"
+dune exec bench/main.exe -- construction --quick --construction-out "$cout" >/dev/null
+
+test -s "$cout" || { echo "check: $cout missing or empty" >&2; exit 1; }
+for key in '"benchmark":"construction"' '"recommended_domains":' '"disk":' \
+           '"thm13":' '"max_dropped_in_bound":'; do
+  grep -q -- "$key" "$cout" || { echo "check: $cout lacks $key" >&2; exit 1; }
+done
+
+# the grid construction must agree with the naive reference everywhere and
+# must not be slower than it on the n=1000 disk case
+if grep -q '"agree":false' "$cout"; then
+  echo "check: grid construction disagrees with naive reference" >&2; exit 1
+fi
+d1000="$(grep -o '"n":1000,[^{]*' "$cout")"
+test -n "$d1000" || { echo "check: $cout lacks disk n=1000 case" >&2; exit 1; }
+cspeed="$(printf '%s' "$d1000" | sed -n 's/.*"speedup":\([0-9.]*\).*/\1/p')"
+test -n "$cspeed" || { echo "check: disk n=1000 case lacks speedup" >&2; exit 1; }
+awk "BEGIN{exit !($cspeed >= 1.0)}" \
+  || { echo "check: grid disk construction slower than naive (${cspeed}x)" >&2; exit 1; }
+echo "   construction: disk n=1000 grid speedup ${cspeed}x, parity holds"
 
 echo "== telemetry smoke (serve --demo --metrics-out)"
 snap="$tmpdir/metrics.json"

@@ -1,8 +1,9 @@
-(* Tests for Sa_geom: points, metrics, placements. *)
+(* Tests for Sa_geom: points, metrics, placements, spatial index. *)
 
 module Point = Sa_geom.Point
 module Metric = Sa_geom.Metric
 module Placement = Sa_geom.Placement
+module Spatial = Sa_geom.Spatial
 module Prng = Sa_util.Prng
 
 let test_point_dist () =
@@ -79,6 +80,69 @@ let test_random_links () =
       if len > 2.0 +. 1e-9 then Alcotest.failf "link too long: %f" len)
     links
 
+(* ---------- Spatial index: grid queries vs brute force ---------------------- *)
+
+let random_cloud seed =
+  let g = Prng.create ~seed in
+  let n = 1 + Prng.int g 60 in
+  let pts = Placement.uniform g ~n ~side:6.0 in
+  let r = Prng.uniform_in g 0.3 3.0 in
+  (g, pts, r)
+
+let brute_pairs pts r =
+  let n = Array.length pts in
+  let acc = ref [] in
+  for j = n - 1 downto 0 do
+    for i = j - 1 downto 0 do
+      if Point.dist pts.(i) pts.(j) <= r then acc := (i, j) :: !acc
+    done
+  done;
+  List.sort compare !acc
+
+let prop_pairs_within =
+  QCheck.Test.make ~name:"Spatial.pairs_within equals brute force" ~count:80
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let _, pts, r = random_cloud seed in
+      let sp = Spatial.create pts in
+      Spatial.pairs_within sp r = brute_pairs pts r)
+
+let prop_neighbors_within =
+  QCheck.Test.make ~name:"Spatial.neighbors_within equals brute force" ~count:80
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let g, pts, r = random_cloud seed in
+      let n = Array.length pts in
+      let i = Prng.int g n in
+      let sp = Spatial.create pts in
+      let naive =
+        List.filter
+          (fun j -> j <> i && Point.dist pts.(i) pts.(j) <= r)
+          (List.init n Fun.id)
+      in
+      Spatial.neighbors_within sp i r = naive)
+
+let prop_farthest_from =
+  QCheck.Test.make ~name:"Spatial.farthest_from equals naive argmax" ~count:80
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let g, pts, _ = random_cloud seed in
+      let n = Array.length pts in
+      let q = Point.make (Prng.float g 6.0) (Prng.float g 6.0) in
+      let excluding = Prng.int g n in
+      let sp = Spatial.create pts in
+      (* naive strict-> scan: farthest point, ties to the lowest index *)
+      let best = ref None in
+      for j = 0 to n - 1 do
+        if j <> excluding then begin
+          let d = Point.dist pts.(j) q in
+          match !best with
+          | Some (_, bd) when d <= bd -> ()
+          | _ -> best := Some (j, d)
+        end
+      done;
+      Spatial.farthest_from sp ~excluding q = !best)
+
 let prop_triangle_euclidean =
   QCheck.Test.make ~name:"euclidean metrics satisfy triangle inequality"
     ~count:50
@@ -100,4 +164,7 @@ let suite =
     Alcotest.test_case "grid placement" `Quick test_placement_grid;
     Alcotest.test_case "random links" `Quick test_random_links;
     QCheck_alcotest.to_alcotest prop_triangle_euclidean;
+    QCheck_alcotest.to_alcotest prop_pairs_within;
+    QCheck_alcotest.to_alcotest prop_neighbors_within;
+    QCheck_alcotest.to_alcotest prop_farthest_from;
   ]

@@ -239,7 +239,7 @@ let test_prop11_independent_implies_near_sinr () =
   let sys = random_links ~seed:73 ~n:20 ~side:15.0 in
   let powers = Sinr.powers sys params Sinr.Uniform in
   let wg = Sinr_graph.prop11_graph sys params ~powers in
-  let eps = Sinr_graph.prop11_epsilon sys params ~powers in
+  let eps = Sinr_graph.prop11_epsilon sys params in
   let relaxed = params.Sinr.beta /. (1.0 +. eps) in
   let g = Prng.create ~seed:74 in
   let failures = ref 0 in
@@ -367,6 +367,159 @@ let test_rayleigh_empty_set () =
     (Sinr.rayleigh_all_success g sys params ~powers:(Sinr.powers sys params Sinr.Uniform)
        ~active:[] ~trials:10)
 
+(* ---------- grid constructions vs naive all-pairs references ---------------- *)
+
+(* Naive O(n^2) re-implementations of the constructors' predicates, written
+   with the same float expressions; the grid versions must reproduce them
+   exactly (the grid only prunes candidates, it never changes a predicate). *)
+
+let naive_disk_graph d =
+  let n = Disk.n d in
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Point.dist (Disk.point d i) (Disk.point d j) < Disk.radius d i +. Disk.radius d j
+      then Graph.add_edge g i j
+    done
+  done;
+  g
+
+let naive_protocol_graph sys ~delta =
+  let n = Link.n sys in
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if
+        Link.dist_sr sys ~from_sender_of:j ~to_receiver_of:i
+        < (1.0 +. delta) *. Link.length sys i
+        || Link.dist_sr sys ~from_sender_of:i ~to_receiver_of:j
+           < (1.0 +. delta) *. Link.length sys j
+      then Graph.add_edge g i j
+    done
+  done;
+  g
+
+(* Replays Civilized.random's exact PRNG stream with naive loops: dart
+   placement, then one bernoulli per lexicographic pair within r. *)
+let naive_civilized ~seed ~n:target ~side ~r ~s ~edge_prob =
+  let g = Prng.create ~seed in
+  let placed = ref [] in
+  let count = ref 0 and attempts = ref 0 in
+  let max_attempts = target * 50 in
+  while !count < target && !attempts < max_attempts do
+    incr attempts;
+    let p = Point.make (Prng.float g side) (Prng.float g side) in
+    if List.for_all (fun q -> Point.dist p q >= s) !placed then begin
+      placed := p :: !placed;
+      incr count
+    end
+  done;
+  let points = Array.of_list (List.rev !placed) in
+  let m = Array.length points in
+  let graph = Graph.create m in
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      if Point.dist points.(i) points.(j) <= r && Prng.bernoulli g edge_prob then
+        Graph.add_edge graph i j
+    done
+  done;
+  (points, graph)
+
+let prop_disk_grid_equals_naive =
+  QCheck.Test.make ~name:"disk grid construction equals naive all-pairs" ~count:40
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let n = 1 + Prng.int g 60 in
+      let d = Disk.random g ~n ~side:(2.0 *. sqrt (float_of_int n)) ~rmin:0.3 ~rmax:1.5 in
+      Graph.edges (Disk.conflict_graph d) = Graph.edges (naive_disk_graph d))
+
+let prop_protocol_grid_equals_naive =
+  QCheck.Test.make ~name:"protocol grid construction equals naive all-pairs"
+    ~count:40
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let n = 1 + Prng.int g 50 in
+      let delta = Prng.uniform_in g 0.2 2.0 in
+      let sys = random_links ~seed:(seed + 1) ~n ~side:(3.0 *. sqrt (float_of_int n)) in
+      Graph.edges (Protocol.conflict_graph sys ~delta)
+      = Graph.edges (naive_protocol_graph sys ~delta))
+
+let prop_civilized_grid_equals_naive =
+  QCheck.Test.make ~name:"civilized grid construction equals naive replay" ~count:40
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let n = 1 + Prng.int (Prng.create ~seed) 40 in
+      let c =
+        Civilized.random (Prng.create ~seed:(seed + 1)) ~n ~side:8.0 ~r:2.0 ~s:0.7
+          ~edge_prob:0.6
+      in
+      let pts, naive =
+        naive_civilized ~seed:(seed + 1) ~n ~side:8.0 ~r:2.0 ~s:0.7 ~edge_prob:0.6
+      in
+      Civilized.points c = pts && Graph.edges (Civilized.graph c) = Graph.edges naive)
+
+let prop_thm13_sparse_matches_dense =
+  QCheck.Test.make ~name:"thm13 sparse CSR matches dense within dropped bound"
+    ~count:20
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let n = 50 in
+      let sys = random_links ~seed ~n ~side:18.0 in
+      let prm = { Sinr.alpha = 3.0; beta = 1.5; noise = 0.0 } in
+      let dense = Sinr_graph.thm13_graph sys prm in
+      let w_min = 0.05 in
+      let sparse = Sinr_graph.thm13_graph_sparse ~w_min sys prm in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        for u = 0 to n - 1 do
+          if u <> v then begin
+            let ws = Weighted.w sparse u v and wd = Weighted.w dense u v in
+            (* stored entries are bitwise the dense weights ... *)
+            if ws > 0.0 && ws <> wd then ok := false;
+            (* ... and nothing at or above the floor is ever dropped *)
+            if ws = 0.0 && wd >= w_min then ok := false
+          end
+        done;
+        (* dense and sparse in-weights differ by at most the certified bound *)
+        let dsum = ref 0.0 in
+        for u = 0 to n - 1 do
+          if u <> v then dsum := !dsum +. Weighted.w dense u v
+        done;
+        let gap = !dsum -. Weighted.in_weight sparse v in
+        let bound = Weighted.dropped_in_bound sparse v in
+        if gap < -1e-9 || gap > bound +. 1e-9 then ok := false;
+        if bound > (w_min *. float_of_int n) +. 1e-9 then ok := false
+      done;
+      !ok)
+
+let test_prop11_epsilon_formula () =
+  (* pins prop11_epsilon to its definition: eps = beta/2 * min over ordered
+     pairs (i, j), j <> i, of (d_i / d(s_j, r_i))^alpha — the grid
+     farthest-point path must reproduce the naive double loop exactly *)
+  let n = 30 in
+  let sys = random_links ~seed:107 ~n ~side:12.0 in
+  let eps = Sinr_graph.prop11_epsilon sys params in
+  let best = ref infinity in
+  for i = 0 to n - 1 do
+    let di = Link.length sys i in
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let d = Link.dist_sr sys ~from_sender_of:j ~to_receiver_of:i in
+        let ratio = (di /. d) ** params.Sinr.alpha in
+        if ratio < !best then best := ratio
+      end
+    done
+  done;
+  let expected = params.Sinr.beta /. 2.0 *. !best in
+  Alcotest.(check (float 1e-15)) "epsilon = beta/2 * min ratio^alpha" expected eps;
+  (* and it no longer depends on any power assignment: a single-link system
+     degenerates to beta/2 *)
+  let solo = Link.of_point_pairs [| (Point.make 0.0 0.0, Point.make 1.0 0.0) |] in
+  Alcotest.(check (float 1e-15)) "n=1 gives beta/2" (params.Sinr.beta /. 2.0)
+    (Sinr_graph.prop11_epsilon solo params)
+
 let test_power_control_empty () =
   let sys = random_links ~seed:101 ~n:3 ~side:5.0 in
   let r = Power_control.assign sys params [] in
@@ -400,4 +553,9 @@ let suite =
     Alcotest.test_case "rayleigh fading probabilities" `Quick test_rayleigh_probabilities;
     Alcotest.test_case "rayleigh: clashing links fail" `Quick test_rayleigh_close_links_fail;
     Alcotest.test_case "rayleigh: empty set" `Quick test_rayleigh_empty_set;
+    Alcotest.test_case "Prop 11: epsilon formula pinned" `Quick test_prop11_epsilon_formula;
+    QCheck_alcotest.to_alcotest prop_disk_grid_equals_naive;
+    QCheck_alcotest.to_alcotest prop_protocol_grid_equals_naive;
+    QCheck_alcotest.to_alcotest prop_civilized_grid_equals_naive;
+    QCheck_alcotest.to_alcotest prop_thm13_sparse_matches_dense;
   ]
