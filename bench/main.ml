@@ -26,7 +26,15 @@
    their all-pairs references — disk conflict graphs at several sizes and
    the sparse thm13 SINR graph with its certified dropped-weight bounds —
    writing BENCH_construction.json.  Flags: --quick, --construction-out
-   PATH. *)
+   PATH.
+
+   A fourth group, `bench resilience` (dune exec bench/main.exe --
+   resilience), measures the fault-tolerance overhead of the serving
+   path: the same disk-heavy workload at fault rates 0 / 0.25 / 0.5
+   under the default retry+fallback policy, reporting wall-clock
+   overhead, per-tier job counts, welfare retention, and same-seed
+   determinism, writing BENCH_resilience.json.  Flags: --quick,
+   --resilience-out PATH. *)
 
 open Bechamel
 
@@ -640,6 +648,100 @@ let construction_bench ~quick ~out =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
   Printf.printf "  summary written to %s\n" out
 
+(* ---- resilience: fault-injection overhead vs fault-free baseline ---------- *)
+
+module Faultgen = Sa_engine.Faultgen
+
+let resilience_workload ~quick =
+  if quick then
+    [
+      Workload.spec ~model:Workload.Disk ~n:12 ~k:2 ~seed:41 ~repeat:4 ();
+      Workload.spec ~model:Workload.Protocol ~n:10 ~k:2 ~seed:44
+        ~algorithm:Engine.Lp_round ~repeat:3 ();
+    ]
+  else
+    [
+      Workload.spec ~model:Workload.Disk ~n:36 ~k:4 ~seed:41 ~repeat:10 ();
+      Workload.spec ~model:Workload.Disk ~n:30 ~k:3 ~seed:42
+        ~algorithm:Engine.Lp_round ~repeat:8 ();
+      Workload.spec ~model:Workload.Disk ~n:32 ~k:4 ~seed:43
+        ~algorithm:Engine.Greedy_lp ~repeat:6 ();
+      Workload.spec ~model:Workload.Protocol ~n:24 ~k:3 ~seed:44 ~repeat:6 ();
+    ]
+
+(* One serving pass at a given fault rate: a fresh warm-started engine, the
+   default retry/fallback policy, and the per-phase counter delta so each
+   rate reports the faults it actually injected. *)
+let resilience_case jobs ?rate () =
+  let faults =
+    Option.map (fun rate -> Faultgen.create ~seed:7 ~rate ()) rate
+  in
+  let policy = Engine.policy ~max_retries:1 ~fallback:true ?faults () in
+  let run () =
+    with_counter_delta (fun () ->
+        Engine.run_batch ~policy (Engine.create ~warm_start:true ()) jobs)
+  in
+  ignore (run ());
+  (* measured pass, after a throwaway pass warmed up code paths *)
+  let (results, s), ctr = run () in
+  let ctr_of name = Option.value ~default:0 (List.assoc_opt name ctr) in
+  let json =
+    Printf.sprintf
+      "{\"fault_rate\":%s,\"wall_seconds\":%.6f,\"total_welfare\":%.6f,\
+       \"served_lp\":%d,\"served_greedy\":%d,\"served_online\":%d,\
+       \"failed\":%d,\"retries\":%d,\"deadline_hits\":%d,\
+       \"faults_injected\":%d}"
+      (match rate with None -> "0.0" | Some r -> Printf.sprintf "%.2f" r)
+      s.Engine.wall_seconds s.Engine.total_welfare s.Engine.served_lp
+      s.Engine.served_greedy s.Engine.served_online s.Engine.failed
+      s.Engine.retries s.Engine.deadline_hits
+      (ctr_of "engine.faults.injected")
+  in
+  Printf.printf
+    "  rate %s: %7.4fs  welfare %9.3f  tiers lp %d / greedy %d / online %d  \
+     retries %d  injected %d\n%!"
+    (match rate with None -> "off " | Some r -> Printf.sprintf "%.2f" r)
+    s.Engine.wall_seconds s.Engine.total_welfare s.Engine.served_lp
+    s.Engine.served_greedy s.Engine.served_online s.Engine.retries
+    (ctr_of "engine.faults.injected");
+  (json, results, s)
+
+let resilience_bench ~quick ~out =
+  Printf.printf "resilience (%s):\n%!" (if quick then "quick" else "full");
+  let expander = Engine.create ~warm_start:false () in
+  let jobs = Workload.expand expander (resilience_workload ~quick) in
+  let njobs = List.length jobs in
+  let base_json, _, base = resilience_case jobs () in
+  let r25_json, _, _ = resilience_case jobs ~rate:0.25 () in
+  let r50_json, r50_results, r50 = resilience_case jobs ~rate:0.5 () in
+  (* same-seed reproducibility: a second rate-0.5 pass must serialise to
+     the identical per-job JSON (the check.sh diff contract) *)
+  let _, r50_results', _ = resilience_case jobs ~rate:0.5 () in
+  let deterministic =
+    Engine.results_to_json r50_results = Engine.results_to_json r50_results'
+  in
+  let all_served = r50.Engine.failed = 0 in
+  let ratio a b = if b > 0.0 then a /. b else Float.nan in
+  let overhead = ratio r50.Engine.wall_seconds base.Engine.wall_seconds in
+  let welfare_ratio = ratio r50.Engine.total_welfare base.Engine.total_welfare in
+  Printf.printf
+    "  rate 0.50 vs fault-free: wall %.2fx  welfare %.3fx  all served %b  \
+     deterministic %b\n"
+    overhead welfare_ratio all_served deterministic;
+  let json =
+    Printf.sprintf
+      "{\"benchmark\":\"resilience\",\"quick\":%b,\"jobs\":%d,\
+       \"baseline\":%s,\"rate_025\":%s,\"rate_050\":%s,\
+       \"wall_overhead_050_over_baseline\":%.4f,\
+       \"welfare_ratio_050_over_baseline\":%.4f,\
+       \"all_jobs_served_at_050\":%b,\"same_seed_deterministic\":%b}\n"
+      quick njobs base_json r25_json r50_json overhead welfare_ratio all_served
+      deterministic
+  in
+  let oc = open_out out in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  Printf.printf "  summary written to %s\n" out
+
 (* ---- runner + textual report --------------------------------------------- *)
 
 let benchmark () =
@@ -691,6 +793,9 @@ let () =
   if List.mem "construction" argv then
     let out = find_flag "--construction-out" "BENCH_construction.json" in
     construction_bench ~quick ~out
+  else if List.mem "resilience" argv then
+    let out = find_flag "--resilience-out" "BENCH_resilience.json" in
+    resilience_bench ~quick ~out
   else if List.mem "kernels" argv then
     let out = find_flag "--kernels-out" "BENCH_kernels.json" in
     let domains = int_of_string (find_flag "--domains" "4") in

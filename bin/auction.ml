@@ -171,7 +171,9 @@ let print_telemetry_summary (snap : Metrics.view) =
     (c "engine.topology.hits" + c "engine.topology.misses")
     (c "engine.basis.hits") (c "engine.basis.lookups")
 
-let run_serve () workload demo domains no_warm json_out metrics_out prom_out =
+let run_serve () workload demo domains no_warm json_out metrics_out prom_out
+    fault_rate fault_seed deadline_ms pivot_budget max_retries no_fallback
+    results_out =
   let specs =
     match (workload, demo) with
     | Some path, _ -> Workload.load path
@@ -180,31 +182,57 @@ let run_serve () workload demo domains no_warm json_out metrics_out prom_out =
         prerr_endline "serve: pass --workload FILE or --demo";
         exit 2
   in
+  let faults =
+    match fault_rate with
+    | None -> None
+    | Some rate when rate < 0.0 || rate > 1.0 ->
+        prerr_endline "serve: --fault-rate must be in [0,1]";
+        exit 2
+    | Some rate -> Some (Sa_engine.Faultgen.create ~seed:fault_seed ~rate ())
+  in
+  let policy =
+    Engine.policy
+      ?deadline_s:(Option.map (fun ms -> ms /. 1e3) deadline_ms)
+      ?pivot_budget ~max_retries ~fallback:(not no_fallback) ?faults ()
+  in
   let engine = Engine.create ~warm_start:(not no_warm) () in
   let jobs = Workload.expand engine specs in
-  Printf.printf "serve: %d batches -> %d jobs, %d domain%s, warm-start %s\n%!"
+  Printf.printf "serve: %d batches -> %d jobs, %d domain%s, warm-start %s%s\n%!"
     (List.length specs) (List.length jobs) domains
     (if domains = 1 then "" else "s")
-    (if no_warm then "off" else "on");
-  let results, summary = Engine.run_batch ~domains engine jobs in
+    (if no_warm then "off" else "on")
+    (match fault_rate with
+    | None -> ""
+    | Some r -> Printf.sprintf ", fault-rate %.2f (seed %d)" r fault_seed);
+  let results, summary = Engine.run_batch ~domains ~policy engine jobs in
   let per_job =
     match Logs.level () with
     | Some (Logs.Info | Logs.Debug) -> true
     | Some (Logs.App | Logs.Error | Logs.Warning) | None -> false
   in
   if per_job then begin
-    Printf.printf "%5s %9s %9s %7s %6s %9s %9s\n" "job" "welfare" "lp-ub" "pivots"
-      "warm" "lp-ms" "round-ms";
+    Printf.printf "%5s %7s %9s %9s %7s %6s %7s %9s %9s\n" "job" "tier" "welfare"
+      "lp-ub" "pivots" "warm" "retries" "lp-ms" "round-ms";
     Array.iter
       (fun r ->
-        Printf.printf "%5d %9.3f %9.3f %7d %6s %9.2f %9.2f\n" r.Engine.job_id
+        Printf.printf "%5d %7s %9.3f %9.3f %7d %6s %7d %9.2f %9.2f\n"
+          r.Engine.job_id
+          (match r.Engine.tier with
+          | Some tr -> Engine.tier_name tr
+          | None -> "FAILED")
           r.Engine.welfare r.Engine.lp_objective r.Engine.lp_iterations
           (if r.Engine.warm_start then "yes" else "no")
+          r.Engine.retries
           (r.Engine.timings.Engine.lp_s *. 1e3)
           (r.Engine.timings.Engine.round_s *. 1e3))
       results
   end;
   Format.printf "%a@." Engine.pp_summary summary;
+  (match results_out with
+  | None -> ()
+  | Some path ->
+      write_file path (Engine.results_to_json results ^ "\n");
+      Printf.printf "per-job results written to %s\n" path);
   let snap = Metrics.snapshot () in
   print_telemetry_summary snap;
   (match metrics_out with
@@ -257,11 +285,50 @@ let prom_out_arg =
          ~doc:"Write the telemetry snapshot in Prometheus text exposition \
                format to $(docv).")
 
+let fault_rate_arg =
+  Arg.(value & opt (some float) None & info [ "fault-rate" ] ~docv:"P"
+         ~doc:"Inject deterministic faults with per-site probability $(docv) \
+               in [0,1] (seeded PRNG per (job, attempt), reproducible at any \
+               --domains).  Failed stages retry and then degrade through the \
+               greedy/online fallback chain.")
+
+let fault_seed_arg =
+  Arg.(value & opt int 0 & info [ "fault-seed" ]
+         ~doc:"Seed for the fault-injection PRNG (with --fault-rate).")
+
+let deadline_ms_arg =
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"Per-job wall-clock budget in milliseconds (monotonic clock, \
+               enforced inside the simplex pivot loops).  Expired jobs fall \
+               back to the greedy/online tiers.")
+
+let pivot_budget_arg =
+  Arg.(value & opt (some int) None & info [ "pivot-budget" ] ~docv:"N"
+         ~doc:"Max simplex pivots per LP attempt.")
+
+let max_retries_arg =
+  Arg.(value & opt int 1 & info [ "max-retries" ]
+         ~doc:"LP attempts after the first before falling back (retries \
+               solve cold with a fresh rounding seed).")
+
+let no_fallback_arg =
+  Arg.(value & flag & info [ "no-fallback" ]
+         ~doc:"Disable the greedy/online fallback chain: jobs whose LP tier \
+               fails are reported as failed with an empty allocation.")
+
+let results_out_arg =
+  Arg.(value & opt (some string) None & info [ "results-out" ] ~docv:"FILE"
+         ~doc:"Write per-job results (status, tier, welfare, guarantee, \
+               retries, failure labels) as a JSON array to $(docv).  \
+               Timing-free, so same-seed runs produce identical bytes.")
+
 let serve_cmd =
   let doc = "Replay a workload file through the batch auction engine" in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run_serve $ Log_cli.term $ workload_arg $ demo_arg $ domains_arg
-          $ no_warm_arg $ json_arg $ metrics_out_arg $ prom_out_arg)
+          $ no_warm_arg $ json_arg $ metrics_out_arg $ prom_out_arg
+          $ fault_rate_arg $ fault_seed_arg $ deadline_ms_arg $ pivot_budget_arg
+          $ max_retries_arg $ no_fallback_arg $ results_out_arg)
 
 (* ------------------------------- metrics --------------------------------- *)
 

@@ -1,0 +1,10 @@
+# Disk-model workload for the resilience acceptance runs (DESIGN.md §9):
+#   auction serve --workload examples/resilience.wl --fault-rate 0.5 ...
+# Mixed algorithms and repeat counts so fault injection exercises the
+# warm-start path, both rounding families, and the greedy/online fallbacks.
+specauction-workload 1
+batch model=disk n=18 k=3 seed=41 algorithm=adaptive trials=3 repeat=6
+batch model=disk n=14 k=2 seed=42 algorithm=lp-round repeat=5
+batch model=disk n=16 k=3 seed=43 algorithm=greedy-lp repeat=4
+batch model=protocol n=12 k=2 seed=44 algorithm=adaptive repeat=3
+end

@@ -68,7 +68,8 @@ type solve_stats = {
   warm_start_used : bool;
 }
 
-let solve_explicit_stats ?engine ?(zeroed = []) ?warm_start inst =
+let solve_explicit_stats ?engine ?(zeroed = []) ?warm_start ?max_iters ?deadline
+    ?inject_warm_crash inst =
   let n = Instance.n inst and k = inst.Instance.k in
   let pi = inst.Instance.ordering in
   let m = Model.create Simplex.Maximize in
@@ -114,13 +115,20 @@ let solve_explicit_stats ?engine ?(zeroed = []) ?warm_start inst =
         ignore (Model.add_row m !coeffs Simplex.Le inst.Instance.rho)
     done
   done;
-  let ws = Model.solve_with_basis ?engine ?warm_start m in
+  let ws =
+    Model.solve_with_basis ?engine ?warm_start ?max_iters ?deadline
+      ?inject_warm_crash m
+  in
   let sol = ws.Model.solution in
+  let numerical detail =
+    Sa_util.Fail.raise_
+      (Sa_util.Fail.Solver_numerical { stage = "lp.explicit"; detail })
+  in
   (match sol.Model.status with
   | Simplex.Optimal -> ()
-  | Simplex.Infeasible -> failwith "Lp_relaxation.solve_explicit: LP infeasible (bug)"
-  | Simplex.Unbounded -> failwith "Lp_relaxation.solve_explicit: LP unbounded (bug)"
-  | Simplex.Iteration_limit -> failwith "Lp_relaxation.solve_explicit: iteration limit");
+  | Simplex.Infeasible -> numerical "LP reported infeasible (packing LP is always feasible)"
+  | Simplex.Unbounded -> numerical "LP reported unbounded (objective is bounded by Σ v_max)"
+  | Simplex.Iteration_limit -> numerical "simplex iteration limit reached");
   let columns =
     Array.to_list cols
     |> List.filter_map (fun (v, bundle, var) ->

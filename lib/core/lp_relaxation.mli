@@ -38,7 +38,9 @@ val solve_explicit :
 (** Solve the LP with explicit columns.  [zeroed] lists bidders whose
     valuations are treated as identically zero (used for VCG-style payment
     computations: "the LP without bidder v").  [engine] picks the simplex
-    implementation (default dense tableau).  Raises on simplex failure. *)
+    implementation (default dense tableau).  Raises
+    [Sa_util.Fail.Error (Solver_numerical _)] when the simplex fails to
+    reach optimality. *)
 
 type solve_stats = {
   basis : Sa_lp.Revised.basis option;
@@ -52,12 +54,23 @@ val solve_explicit_stats :
   ?engine:Sa_lp.Model.engine ->
   ?zeroed:int list ->
   ?warm_start:Sa_lp.Revised.basis ->
+  ?max_iters:int ->
+  ?deadline:float ->
+  ?inject_warm_crash:bool ->
   Instance.t ->
   fractional * solve_stats
 (** {!solve_explicit} with the warm-start plumbing exposed: pass a basis
     cached from a previous same-shape solve to skip the cold start
     ([Revised_sparse] engine only), and read back the basis/pivot counts
-    the batch engine's cache records. *)
+    the batch engine's cache records.
+
+    [max_iters] caps simplex pivots per phase (the engine's per-job pivot
+    budget; exceeding it surfaces as [Solver_numerical]); [deadline] is an
+    absolute {!Sa_util.Timing.now} timestamp enforced in the pivot loop
+    ([Sa_util.Fail.Error (Timeout _)] past it);
+    [inject_warm_crash] forces the warm pivot-in to fail after mutating
+    state, exercising the rollback path (fault injection; [Revised_sparse]
+    only). *)
 
 val scale : fractional -> float -> fractional
 (** Scale every [x] (and the objective) by a factor in [\[0,1\]] — LP

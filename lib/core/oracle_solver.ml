@@ -113,10 +113,20 @@ let price_state_update inst st ~y =
 
 let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
     ?(engine = Model.Revised_sparse) ?(pricing = Incremental) ?(domains = 1)
-    inst =
+    ?deadline ?(on_stall = `Accept) inst =
   Sa_telemetry.Trace.with_span ~hist:h_solve "core.colgen.solve" @@ fun () ->
   Tel.incr m_solves;
   if domains < 1 then invalid_arg "Oracle_solver.solve: domains must be >= 1";
+  let started = Sa_util.Timing.now () in
+  let check_deadline () =
+    match deadline with
+    | Some d when Sa_util.Timing.now () > d ->
+        Sa_util.Fail.raise_
+          (Sa_util.Fail.Timeout
+             { stage = "colgen"; elapsed_s = Sa_util.Timing.now () -. started })
+    | _ -> ()
+  in
+  check_deadline ();
   let n = Instance.n inst in
   let k = inst.Instance.k in
   let pi = inst.Instance.ordering in
@@ -185,7 +195,15 @@ let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
   let all_demands prices =
     Tel.add m_oracle_calls n;
     Fanout.map_array ~domains
-      (fun v -> Valuation.demand inst.Instance.bidders.(v) ~prices:prices.(v))
+      (fun v ->
+        (* Classify anything escaping a demand oracle: the engine needs to
+           know which bidder's oracle broke to report (and retry) the job. *)
+        try Valuation.demand inst.Instance.bidders.(v) ~prices:prices.(v) with
+        | Sa_util.Fail.Error _ as e -> raise e
+        | e ->
+            Sa_util.Fail.raise_
+              (Sa_util.Fail.Oracle_error
+                 { bidder = v; detail = Printexc.to_string e }))
       (Array.init n Fun.id)
   in
   (* Seed: every bidder's favourite bundle at zero prices (blocked channels
@@ -212,15 +230,23 @@ let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
       | _ -> None
     in
     let r, dt =
-      Sa_util.Timing.time (fun () -> Model.solve_with_basis ~engine ?warm_start m)
+      Sa_util.Timing.time (fun () ->
+          Model.solve_with_basis ~engine ?warm_start ?deadline m)
     in
     lp_time := !lp_time +. dt;
     warm_basis := r.Model.basis;
     basis_nstruct := nstruct;
     (match r.Model.solution.Model.status with
     | Simplex.Optimal -> ()
-    | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit ->
-        failwith "Oracle_solver: master LP failed");
+    | (Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit) as st ->
+        let detail =
+          match st with
+          | Simplex.Infeasible -> "master LP reported infeasible"
+          | Simplex.Unbounded -> "master LP reported unbounded"
+          | _ -> "master LP hit its iteration limit"
+        in
+        Sa_util.Fail.raise_
+          (Sa_util.Fail.Solver_numerical { stage = "colgen.master"; detail }));
     r.Model.solution
   in
   let rounds = ref 0 in
@@ -228,6 +254,7 @@ let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
   let last_sol = ref (solve_master ()) in
   incr rounds;
   while (not !finished) && !rounds < max_rounds do
+    check_deadline ();
     let sol = !last_sol in
     let y u j = sol.Model.dual intf_row.(u).(j) in
     let demands = all_demands (all_prices y) in
@@ -249,6 +276,12 @@ let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
     else finished := true
   done;
   Tel.add m_rounds !rounds;
+  (* Round budget exhausted while columns were still entering: the current
+     master optimum is a valid (restricted) solution but not certified as
+     the LP optimum.  [`Accept] keeps the historical behaviour of returning
+     it; [`Fail] surfaces the stall to the engine's retry logic. *)
+  (if (not !finished) && on_stall = `Fail then
+     Sa_util.Fail.raise_ (Sa_util.Fail.Colgen_stall { rounds = !rounds }));
   let sol = !last_sol in
   let cols =
     List.rev !columns

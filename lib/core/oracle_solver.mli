@@ -33,10 +33,21 @@ val solve :
   ?engine:Sa_lp.Model.engine ->
   ?pricing:pricing ->
   ?domains:int ->
+  ?deadline:float ->
+  ?on_stall:[ `Accept | `Fail ] ->
   Instance.t ->
   Lp_relaxation.fractional * stats
-(** [max_rounds] caps master iterations (default 200).  Raises [Failure] on
-    simplex breakdown.
+(** [max_rounds] caps master iterations (default 200).  Raises
+    [Sa_util.Fail.Error (Solver_numerical _)] on simplex breakdown and
+    [Sa_util.Fail.Error (Oracle_error _)] when a demand oracle raises.
+
+    [deadline] is an absolute {!Sa_util.Timing.now} timestamp checked
+    before every round and enforced inside the master's pivot loop; past
+    it the solve raises [Sa_util.Fail.Error (Timeout _)].  [on_stall]
+    decides what happens when the round budget runs out while columns are
+    still improving: [`Accept] (default, historical behaviour) returns the
+    restricted-master optimum, [`Fail] raises
+    [Sa_util.Fail.Error (Colgen_stall _)].
 
     [engine] selects the master-LP solver (default [Revised_sparse]; the
     sparse engine is warm-started across rounds from the previous optimal

@@ -10,6 +10,8 @@ module Graph = Sa_graph.Graph
 module Weighted = Sa_graph.Weighted
 module Ordering = Sa_graph.Ordering
 module Inductive = Sa_graph.Inductive
+module Valuation = Sa_val.Valuation
+module Online = Sa_core.Online
 module Prng = Sa_util.Prng
 module Timing = Sa_util.Timing
 module Tel = Sa_telemetry.Metrics
@@ -20,6 +22,12 @@ let m_topo_hits = Tel.counter "engine.topology.hits"
 let m_topo_misses = Tel.counter "engine.topology.misses"
 let m_basis_lookups = Tel.counter "engine.basis.lookups"
 let m_basis_hits = Tel.counter "engine.basis.hits"
+let m_retries = Tel.counter "engine.job.retries"
+let m_fb_greedy = Tel.counter "engine.fallback.greedy"
+let m_fb_online = Tel.counter "engine.fallback.online"
+let m_deadline = Tel.counter "engine.deadline_exceeded"
+let m_failed = Tel.counter "engine.job.failed"
+let m_faults = Tel.counter "engine.faults.injected"
 let g_topo_entries = Tel.gauge "engine.topology.entries"
 let g_basis_entries = Tel.gauge "engine.basis.entries"
 let h_lp = Tel.histogram "engine.job.lp.seconds"
@@ -61,6 +69,38 @@ let job ?(algorithm = Adaptive) ?(seed = 0) ?(trials = 4) ?shape_key ~id instanc
 
 type job_timings = { lp_s : float; round_s : float; total_s : float }
 
+(* ----------------------- robustness policy & tiers ----------------------- *)
+
+type tier = Tier_lp | Tier_greedy | Tier_online
+
+let tier_name = function
+  | Tier_lp -> "lp"
+  | Tier_greedy -> "greedy"
+  | Tier_online -> "online"
+
+type policy = {
+  deadline_s : float option;
+  pivot_budget : int option;
+  max_retries : int;
+  fallback : bool;
+  faults : Faultgen.t option;
+}
+
+let default_policy =
+  { deadline_s = None; pivot_budget = None; max_retries = 1; fallback = true;
+    faults = None }
+
+let policy ?deadline_s ?pivot_budget ?(max_retries = 1) ?(fallback = true)
+    ?faults () =
+  if max_retries < 0 then invalid_arg "Engine.policy: max_retries must be >= 0";
+  (match deadline_s with
+  | Some s when s < 0.0 -> invalid_arg "Engine.policy: deadline_s must be >= 0"
+  | _ -> ());
+  (match pivot_budget with
+  | Some p when p < 1 -> invalid_arg "Engine.policy: pivot_budget must be >= 1"
+  | _ -> ());
+  { deadline_s; pivot_budget; max_retries; fallback; faults }
+
 type result = {
   job_id : int;
   allocation : Allocation.t;
@@ -68,6 +108,10 @@ type result = {
   lp_objective : float;
   lp_iterations : int;
   warm_start : bool;
+  tier : tier option;
+  guarantee : float;
+  retries : int;
+  failures : Failure.t list;
   timings : job_timings;
 }
 
@@ -208,57 +252,211 @@ let run_algorithm job inst frac =
       | Instance.Per_channel _ | Instance.Per_channel_weighted _ ->
           invalid_arg "Engine: derand supports unweighted/edge-weighted instances only")
 
-let run_job t job =
+(* Certified approximation factor of the greedy fallback: the value-greedy
+   rule over a ρ-inductive-independent conflict structure with k channels
+   loses at most a factor k·(ρ+1) — each admitted bidder blocks at most ρ
+   interference mass per channel among its successors, and splitting OPT
+   per channel costs the extra k (the folklore inductive-independence
+   greedy bound; cf. the paper's Section 4 greedy analysis). *)
+let greedy_guarantee inst =
+  float_of_int inst.Instance.k *. (inst.Instance.rho +. 1.0)
+
+(* The online tier serves bidders in decreasing max-bundle-value order, so
+   the single most valuable bidder is always considered first against an
+   empty allocation and gets its best feasible bundle: welfare ≥ v_max ≥
+   OPT/n.  A weak factor, but certified — and the tier cannot fail. *)
+let online_order inst =
+  let n = Instance.n inst in
+  let value v = Valuation.max_value inst.Instance.bidders.(v) ~k:inst.Instance.k in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare (value b) (value a) with 0 -> compare a b | c -> c)
+    order;
+  order
+
+let run_job_robust t policy job =
   let inst = job.instance in
   let started = Timing.now () in
   Tel.incr m_jobs;
-  let warm =
+  let deadline = Option.map (fun s -> started +. s) policy.deadline_s in
+  let failures = ref [] in
+  let retries = ref 0 in
+  let lp_s_total = ref 0.0 in
+  let record f =
+    failures := f :: !failures;
+    if Failure.is_timeout f then Tel.incr m_deadline
+  in
+  (* Draw all of an attempt's site Bernoullis up front, in the fixed order,
+     so the stream position never depends on which site fires first. *)
+  let attempt_faults attempt =
+    match policy.faults with
+    | None -> (false, false, false)
+    | Some f ->
+        let g = Faultgen.stream f ~job:job.id ~attempt in
+        let draw site =
+          let b = Faultgen.fires f g site in
+          if b then Tel.incr m_faults;
+          b
+        in
+        let warm = draw Faultgen.Warm_install in
+        let lp = draw Faultgen.Lp_solve in
+        let round = draw Faultgen.Round in
+        (warm, lp, round)
+  in
+  let shape_key =
     if not t.warm_start then None
-    else begin
-      let key =
-        match job.shape_key with
+    else
+      Some
+        (match job.shape_key with
         | Some k -> k
-        | None -> Serialize.shape_fingerprint inst
+        | None -> Serialize.shape_fingerprint inst)
+  in
+  (* One LP-tier attempt.  Attempt 0 may warm-start from the basis cache;
+     retries go cold (the cached basis is suspect after a failure) with a
+     fresh rounding seed. *)
+  let attempt_lp attempt =
+    let fire_warm, fire_lp, fire_round = attempt_faults attempt in
+    try
+      let warm_basis =
+        match shape_key with
+        | Some key when attempt = 0 ->
+            Atomic.incr t.basis_lookups;
+            Tel.incr m_basis_lookups;
+            let cached = locked t (fun () -> Hashtbl.find_opt t.bases key) in
+            if cached <> None then begin
+              Atomic.incr t.basis_found;
+              Tel.incr m_basis_hits
+            end;
+            cached
+        | _ -> None
       in
-      Atomic.incr t.basis_lookups;
-      Tel.incr m_basis_lookups;
-      let cached = locked t (fun () -> Hashtbl.find_opt t.bases key) in
-      if cached <> None then begin
-        Atomic.incr t.basis_found;
-        Tel.incr m_basis_hits
-      end;
-      Some (key, cached)
-    end
+      if fire_lp then
+        Failure.raise_ (Faultgen.injected ~site:Faultgen.Lp_solve ~job:job.id);
+      let (frac, stats), lp_s =
+        Timing.time (fun () ->
+            Lp.solve_explicit_stats ~engine:Sa_lp.Model.Revised_sparse
+              ?warm_start:warm_basis ?deadline ?max_iters:policy.pivot_budget
+              ~inject_warm_crash:fire_warm inst)
+      in
+      lp_s_total := !lp_s_total +. lp_s;
+      (match (shape_key, stats.Lp.basis) with
+      | Some key, Some basis ->
+          locked t (fun () -> Hashtbl.replace t.bases key basis)
+      | _ -> ());
+      if stats.Lp.warm_start_used then Tel.incr m_warm_used;
+      if fire_round then
+        Failure.raise_ (Faultgen.injected ~site:Faultgen.Round ~job:job.id);
+      let seed = job.seed + (9176 * attempt) in
+      let alloc, round_s =
+        Timing.time (fun () -> run_algorithm { job with seed } inst frac)
+      in
+      Tel.observe h_lp lp_s;
+      Tel.observe h_round round_s;
+      Log.debug (fun m ->
+          m "job %d (%s): lp %.4fs (%d pivots%s), round %.4fs" job.id
+            (algorithm_name job.algorithm)
+            lp_s stats.Lp.iterations
+            (if stats.Lp.warm_start_used then ", warm" else "")
+            round_s);
+      Some (frac, stats, alloc, round_s)
+    with e ->
+      let f = Failure.of_exn ~stage:"engine.lp" e in
+      record f;
+      Log.debug (fun m ->
+          m "job %d attempt %d failed: %s" job.id attempt (Failure.to_string f));
+      None
   in
-  let (frac, stats), lp_s =
-    Timing.time (fun () ->
-        Lp.solve_explicit_stats ~engine:Sa_lp.Model.Revised_sparse
-          ?warm_start:(match warm with Some (_, b) -> b | None -> None)
-          inst)
+  let rec lp_tier attempt =
+    match attempt_lp attempt with
+    | Some _ as ok -> ok
+    | None ->
+        (* A deadline expiry dooms every further attempt (the budget is per
+           job, not per attempt) and a malformed job fails identically each
+           time — skip straight to the fallback chain for both. *)
+        let fatal =
+          match !failures with
+          | (Timeout _ | Malformed_job _) :: _ -> true
+          | _ -> false
+        in
+        if fatal || attempt >= policy.max_retries then None
+        else begin
+          incr retries;
+          Tel.incr m_retries;
+          lp_tier (attempt + 1)
+        end
   in
-  (match (warm, stats.Lp.basis) with
-  | Some (key, _), Some basis ->
-      locked t (fun () -> Hashtbl.replace t.bases key basis)
-  | _ -> ());
-  if stats.Lp.warm_start_used then Tel.incr m_warm_used;
-  let alloc, round_s = Timing.time (fun () -> run_algorithm job inst frac) in
-  Tel.observe h_lp lp_s;
-  Tel.observe h_round round_s;
-  Log.debug (fun m ->
-      m "job %d (%s): lp %.4fs (%d pivots%s), round %.4fs" job.id
-        (algorithm_name job.algorithm)
-        lp_s stats.Lp.iterations
-        (if stats.Lp.warm_start_used then ", warm" else "")
-        round_s);
-  {
-    job_id = job.id;
-    allocation = alloc;
-    welfare = Allocation.value inst alloc;
-    lp_objective = frac.Lp.objective;
-    lp_iterations = stats.Lp.iterations;
-    warm_start = stats.Lp.warm_start_used;
-    timings = { lp_s; round_s; total_s = Timing.now () -. started };
-  }
+  let finish ~alloc ~tier ~guarantee ~lp_objective ~lp_iterations ~warm_start
+      ~round_s =
+    {
+      job_id = job.id;
+      allocation = alloc;
+      welfare = Allocation.value inst alloc;
+      lp_objective;
+      lp_iterations;
+      warm_start;
+      tier;
+      guarantee;
+      retries = !retries;
+      failures = List.rev !failures;
+      timings =
+        { lp_s = !lp_s_total; round_s; total_s = Timing.now () -. started };
+    }
+  in
+  match lp_tier 0 with
+  | Some (frac, stats, alloc, round_s) ->
+      finish ~alloc ~tier:(Some Tier_lp) ~guarantee:(Rounding.guarantee inst)
+        ~lp_objective:frac.Lp.objective ~lp_iterations:stats.Lp.iterations
+        ~warm_start:stats.Lp.warm_start_used ~round_s
+  | None when not policy.fallback ->
+      Tel.incr m_failed;
+      finish
+        ~alloc:(Allocation.empty (Instance.n inst))
+        ~tier:None ~guarantee:infinity ~lp_objective:0.0 ~lp_iterations:0
+        ~warm_start:false ~round_s:0.0
+  | None -> (
+      (* Fallback tiers deliberately ignore the deadline: they are cheap
+         (no LP) and their job is to guarantee completion. *)
+      let fire_greedy =
+        match policy.faults with
+        | None -> false
+        | Some f ->
+            let g =
+              Faultgen.stream f ~job:job.id ~attempt:(policy.max_retries + 1)
+            in
+            let b = Faultgen.fires f g Faultgen.Greedy in
+            if b then Tel.incr m_faults;
+            b
+      in
+      let greedy_result =
+        try
+          if fire_greedy then
+            Failure.raise_ (Faultgen.injected ~site:Faultgen.Greedy ~job:job.id);
+          let alloc, round_s = Timing.time (fun () -> Greedy.by_value inst) in
+          Some (alloc, round_s)
+        with e ->
+          record (Failure.of_exn ~stage:"engine.greedy" e);
+          None
+      in
+      match greedy_result with
+      | Some (alloc, round_s) ->
+          Tel.incr m_fb_greedy;
+          finish ~alloc ~tier:(Some Tier_greedy)
+            ~guarantee:(greedy_guarantee inst) ~lp_objective:0.0
+            ~lp_iterations:0 ~warm_start:false ~round_s
+      | None ->
+          (* Last tier: online first-fit in decreasing-value order.  Never
+             injected, never raises — total by construction. *)
+          Tel.incr m_fb_online;
+          let r, round_s =
+            Timing.time (fun () ->
+                Online.first_fit inst ~order:(online_order inst))
+          in
+          finish ~alloc:r.Online.allocation ~tier:(Some Tier_online)
+            ~guarantee:(float_of_int (Instance.n inst)) ~lp_objective:0.0
+            ~lp_iterations:0 ~warm_start:false ~round_s)
+
+let run_job t job = run_job_robust t default_policy job
 
 (* ------------------------------- batch runs ------------------------------ *)
 
@@ -274,6 +472,12 @@ type summary = {
   topology_hits : int;
   topology_misses : int;
   basis_entries : int;
+  served_lp : int;
+  served_greedy : int;
+  served_online : int;
+  failed : int;
+  retries : int;
+  deadline_hits : int;
 }
 
 let summarize (eng : t) results ~wall =
@@ -289,6 +493,8 @@ let summarize (eng : t) results ~wall =
       (0.0, 0.0, 0, 0, 0.0, 0.0) results
   in
   let w, o, it, wh, ls, rs = acc in
+  let count p = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results in
+  let sum f = Array.fold_left (fun n r -> n + f r) 0 results in
   {
     jobs = Array.length results;
     total_welfare = w;
@@ -301,6 +507,14 @@ let summarize (eng : t) results ~wall =
     topology_hits = Atomic.get eng.topology_hits;
     topology_misses = Atomic.get eng.topology_misses;
     basis_entries = Hashtbl.length eng.bases;
+    served_lp = count (fun r -> r.tier = Some Tier_lp);
+    served_greedy = count (fun r -> r.tier = Some Tier_greedy);
+    served_online = count (fun r -> r.tier = Some Tier_online);
+    failed = count (fun r -> r.tier = None);
+    retries = sum (fun r -> r.retries);
+    deadline_hits =
+      sum (fun r ->
+          List.length (List.filter Failure.is_timeout r.failures));
   }
 
 let publish_cache_gauges t =
@@ -310,10 +524,11 @@ let publish_cache_gauges t =
   Tel.set_gauge g_topo_entries (float_of_int topo);
   Tel.set_gauge g_basis_entries (float_of_int bases)
 
-let run_batch ?(domains = 1) t jobs =
+let run_batch ?(domains = 1) ?(policy = default_policy) t jobs =
   let arr = Array.of_list jobs in
   let results, wall =
-    Timing.time (fun () -> Parallel.map_array ~domains (run_job t) arr)
+    Timing.time (fun () ->
+        Parallel.map_array ~domains (run_job_robust t policy) arr)
   in
   publish_cache_gauges t;
   let summary = summarize t results ~wall in
@@ -332,15 +547,52 @@ let summary_to_json ?(extra = []) s =
     "{\"jobs\":%d,\"total_welfare\":%.6f,\"total_lp_objective\":%.6f,\
      \"lp_iterations\":%d,\"warm_hits\":%d,\"lp_seconds\":%.6f,\
      \"round_seconds\":%.6f,\"wall_seconds\":%.6f,\"topology_hits\":%d,\
-     \"topology_misses\":%d,\"basis_entries\":%d%s}"
+     \"topology_misses\":%d,\"basis_entries\":%d,\"served_lp\":%d,\
+     \"served_greedy\":%d,\"served_online\":%d,\"failed\":%d,\"retries\":%d,\
+     \"deadline_hits\":%d%s}"
     s.jobs s.total_welfare s.total_lp_objective s.lp_iterations s.warm_hits
     s.lp_seconds s.round_seconds s.wall_seconds s.topology_hits s.topology_misses
-    s.basis_entries extra_fields
+    s.basis_entries s.served_lp s.served_greedy s.served_online s.failed
+    s.retries s.deadline_hits extra_fields
+
+(* Per-job records, timing-free so two same-seed runs serialise to the same
+   bytes — the determinism contract `scripts/check.sh` diffs on.  Failed
+   jobs are emitted (status "failed"), not silently dropped. *)
+let results_to_json results =
+  let buf = Buffer.create (64 * Array.length results) in
+  Buffer.add_char buf '[';
+  Array.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      let status, tier =
+        match r.tier with
+        | None -> ("failed", "none")
+        | Some tr -> ("ok", tier_name tr)
+      in
+      let failures =
+        String.concat ","
+          (List.map (fun f -> Printf.sprintf "\"%s\"" (Failure.label f)) r.failures)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"job\":%d,\"status\":\"%s\",\"tier\":\"%s\",\"welfare\":%.6f,\
+            \"lp_objective\":%.6f,\"guarantee\":%s,\"retries\":%d,\
+            \"failures\":[%s]}"
+           r.job_id status tier r.welfare r.lp_objective
+           (if Float.is_finite r.guarantee then
+              Printf.sprintf "%.6f" r.guarantee
+            else "null")
+           r.retries failures))
+    results;
+  Buffer.add_char buf ']';
+  Buffer.contents buf
 
 let pp_summary fmt s =
   Format.fprintf fmt
     "jobs %d  welfare %.3f  lp-ub %.3f  pivots %d  warm-hits %d/%d@\n\
-     lp %.3fs  round %.3fs  wall %.3fs  topo-cache %d hit / %d miss  bases %d"
+     lp %.3fs  round %.3fs  wall %.3fs  topo-cache %d hit / %d miss  bases %d@\n\
+     tiers lp %d / greedy %d / online %d  failed %d  retries %d  deadline %d"
     s.jobs s.total_welfare s.total_lp_objective s.lp_iterations s.warm_hits s.jobs
     s.lp_seconds s.round_seconds s.wall_seconds s.topology_hits s.topology_misses
-    s.basis_entries
+    s.basis_entries s.served_lp s.served_greedy s.served_online s.failed
+    s.retries s.deadline_hits

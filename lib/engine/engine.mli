@@ -52,13 +52,65 @@ val job :
 
 type job_timings = { lp_s : float; round_s : float; total_s : float }
 
+(** {2 Robustness: tiers, policies}
+
+    Every job runs through a degradation chain — LP + rounding first
+    (retried on recoverable failures), then the value-greedy heuristic,
+    then online first-fit in decreasing-value order — so a batch never
+    aborts on a single bad job.  Each tier carries a certified
+    approximation factor; the result records which tier served the job. *)
+
+type tier =
+  | Tier_lp  (** LP relaxation + rounding; factor {!Sa_core.Rounding.guarantee} *)
+  | Tier_greedy  (** value-greedy fallback; factor k·(ρ+1) *)
+  | Tier_online
+      (** online first-fit, bidders in decreasing max-value order; factor n
+          (the most valuable bidder is always served).  Never fails. *)
+
+val tier_name : tier -> string
+(** ["lp"], ["greedy"], ["online"]. *)
+
+type policy = {
+  deadline_s : float option;
+      (** per-job wall-clock budget, monotonic; enforced inside the simplex
+          pivot loops.  Expiry skips remaining retries (the budget is per
+          job) and drops to the fallback chain, which ignores it. *)
+  pivot_budget : int option;  (** max simplex pivots per LP attempt *)
+  max_retries : int;
+      (** additional LP attempts after the first; retries solve cold (no
+          warm basis) with a fresh rounding seed *)
+  fallback : bool;
+      (** when false, jobs whose LP tier fails are reported with
+          [tier = None] and an empty allocation instead of degrading *)
+  faults : Faultgen.t option;  (** deterministic fault injection, tests only *)
+}
+
+val default_policy : policy
+(** No deadline, no pivot budget, 1 retry, fallback on, no faults. *)
+
+val policy :
+  ?deadline_s:float ->
+  ?pivot_budget:int ->
+  ?max_retries:int ->
+  ?fallback:bool ->
+  ?faults:Faultgen.t ->
+  unit ->
+  policy
+(** Validating constructor over {!default_policy}'s defaults. *)
+
 type result = {
   job_id : int;
   allocation : Sa_core.Allocation.t;
   welfare : float;
-  lp_objective : float;
+  lp_objective : float;  (** 0 when the LP tier never completed *)
   lp_iterations : int;  (** simplex pivots this job paid for *)
   warm_start : bool;  (** LP was warm-started from a cached basis *)
+  tier : tier option;  (** [None] = failed (only with [fallback = false]) *)
+  guarantee : float;
+      (** certified approximation factor of the serving tier; [infinity]
+          for failed jobs *)
+  retries : int;  (** LP attempts beyond the first *)
+  failures : Failure.t list;  (** chronological; empty on a clean solve *)
   timings : job_timings;
 }
 
@@ -98,9 +150,18 @@ val prepare :
     repeated-auction entry point.  [key] as in {!topology_of_conflict}. *)
 
 val run_job : t -> job -> result
-(** Solve one job: LP (revised simplex, warm-started when the cache has a
-    same-shape basis) then the chosen allocation algorithm, seeded from
-    [job.seed] only. *)
+(** [run_job_robust] under {!default_policy}: LP (revised simplex,
+    warm-started when the cache has a same-shape basis) then the chosen
+    allocation algorithm, seeded from [job.seed] only; one cold retry and
+    the greedy/online fallback chain on failure — so it never raises on a
+    solver failure. *)
+
+val run_job_robust : t -> policy -> job -> result
+(** Solve one job under an explicit robustness policy.  The degradation
+    chain guarantees a feasible allocation for every job unless
+    [policy.fallback] is false.  Fault-injection draws (when
+    [policy.faults] is set) are a pure function of [(seed, job.id,
+    attempt)], never of the executing domain. *)
 
 type summary = {
   jobs : int;
@@ -114,12 +175,20 @@ type summary = {
   topology_hits : int;
   topology_misses : int;
   basis_entries : int;
+  served_lp : int;  (** jobs served by the LP tier *)
+  served_greedy : int;
+  served_online : int;
+  failed : int;  (** jobs with [tier = None] (only with [fallback=false]) *)
+  retries : int;  (** total LP attempts beyond the first, batch-wide *)
+  deadline_hits : int;  (** total [Timeout] failures recorded *)
 }
 
-val run_batch : ?domains:int -> t -> job list -> result array * summary
+val run_batch :
+  ?domains:int -> ?policy:policy -> t -> job list -> result array * summary
 (** Run every job (default sequentially; [domains > 1] shards via
     {!Sa_core.Parallel.map_array}).  [results.(i)] corresponds to the i-th
-    job of the input list regardless of sharding. *)
+    job of the input list regardless of sharding.  [policy] defaults to
+    {!default_policy}. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 
@@ -129,3 +198,10 @@ val summary_to_json : ?extra:(string * string) list -> summary -> string
     verbatim after the summary fields (e.g. an embedded telemetry
     snapshot); keys must be plain identifiers, values already-valid
     JSON. *)
+
+val results_to_json : result array -> string
+(** JSON array with one record per job — including failed jobs, which get
+    [{"status":"failed","tier":"none",...}] rather than being omitted.
+    Deliberately timing-free: two runs with the same workload, seed and
+    fault pattern serialise to identical bytes, the determinism contract
+    [scripts/check.sh] diffs on. *)

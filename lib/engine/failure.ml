@@ -1,0 +1,4 @@
+(* The failure taxonomy lives in [Sa_util.Fail] (the bottom of the library
+   graph) so the LP and column-generation layers can raise it; the engine
+   re-exports it under its own name as the API callers program against. *)
+include Sa_util.Fail

@@ -1,0 +1,34 @@
+(** Structured failure taxonomy of the solving pipeline — the engine-level
+    re-export of {!Sa_util.Fail} (same type, same exception), so callers of
+    {!Engine} can classify failures without reaching below the engine.
+
+    Every recoverable way a job can go wrong is one constructor; the
+    engine's retry/fallback logic keys off it, and {!label} gives the
+    stable tag used in telemetry and JSON output. *)
+
+type t = Sa_util.Fail.t =
+  | Solver_numerical of { stage : string; detail : string }
+      (** simplex breakdown: cycling / iteration limit, unexpected
+          infeasible/unbounded status, singular basis *)
+  | Colgen_stall of { rounds : int }
+      (** column generation still finding improving columns when its round
+          budget ran out *)
+  | Oracle_error of { bidder : int; detail : string }
+      (** a demand oracle raised *)
+  | Timeout of { stage : string; elapsed_s : float }
+      (** a monotonic-clock deadline expired inside [stage] *)
+  | Malformed_job of { detail : string }
+      (** the job itself is invalid (bad instance / algorithm mismatch) *)
+
+exception Error of t
+(** Physically the same exception as [Sa_util.Fail.Error]. *)
+
+val label : t -> string
+(** Stable short tag (["solver-numerical"], ["timeout"], ...). *)
+
+val to_string : t -> string
+val raise_ : t -> 'a
+val is_timeout : t -> bool
+
+val of_exn : stage:string -> exn -> t
+(** Classify an arbitrary exception escaping [stage]; never re-raises. *)

@@ -1,0 +1,60 @@
+module Prng = Sa_util.Prng
+
+type t = { seed : int; rate : float }
+
+let create ?(seed = 0) ~rate () =
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg "Faultgen.create: rate must be in [0,1]";
+  { seed; rate }
+
+let seed t = t.seed
+let rate t = t.rate
+
+type site = Warm_install | Lp_solve | Round | Greedy
+
+let site_name = function
+  | Warm_install -> "warm-install"
+  | Lp_solve -> "lp-solve"
+  | Round -> "round"
+  | Greedy -> "greedy"
+
+(* One PRNG stream per (job, attempt), derived from the harness seed and
+   nothing else — in particular not from the domain a job happens to run
+   on — so the fault pattern is a pure function of the workload and
+   reproducible at any [--domains].  The multipliers match the repo's
+   seed-derivation idiom (distinct odd constants per axis). *)
+let stream t ~job ~attempt =
+  Prng.create ~seed:(t.seed + (1_000_003 * (job + 1)) + (7919 * attempt))
+
+(* Every call draws exactly one Bernoulli, even when the caller will ignore
+   the outcome, so the stream position after N sites is the same for every
+   job — the fixed draw order is what keeps patterns reproducible. *)
+let fires t g (_ : site) = Prng.bernoulli g t.rate
+
+(* The synthesized failure for a fired site.  Deliberately never [Timeout]
+   (so [engine.deadline_exceeded] counts only real clock expiries) and
+   never anything time-dependent: the failure value itself must be
+   identical across runs for the JSON-determinism guarantee. *)
+let injected ~site ~job =
+  match site with
+  | Warm_install ->
+      Sa_util.Fail.Solver_numerical
+        {
+          stage = "fault.warm-install";
+          detail = Printf.sprintf "injected warm-basis crash (job %d)" job;
+        }
+  | Lp_solve ->
+      Sa_util.Fail.Solver_numerical
+        {
+          stage = "fault.lp-solve";
+          detail = Printf.sprintf "injected simplex breakdown (job %d)" job;
+        }
+  | Round ->
+      Sa_util.Fail.Oracle_error
+        { bidder = 0; detail = Printf.sprintf "injected oracle fault (job %d)" job }
+  | Greedy ->
+      Sa_util.Fail.Solver_numerical
+        {
+          stage = "fault.greedy";
+          detail = Printf.sprintf "injected greedy fault (job %d)" job;
+        }

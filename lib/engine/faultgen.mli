@@ -1,0 +1,42 @@
+(** Deterministic fault injection for the batch engine.
+
+    A harness is a (seed, rate) pair.  Each job attempt gets its own PRNG
+    stream derived from [(seed, job id, attempt)] — never from the domain
+    the job runs on — and each injection site draws exactly one Bernoulli
+    from that stream in a fixed order.  Consequently the full fault
+    pattern is a pure function of the workload: identical across runs,
+    across [--domains] values, and across retries of *other* jobs.
+
+    Sites map to the stages of {!Engine.run_job}: [Warm_install] forces
+    the warm-basis crash pivot-in to roll back ({!Sa_lp.Revised.solve_warm}'s
+    [inject_warm_crash]), [Lp_solve] and [Round] raise a synthesized
+    {!Failure.t} before the LP solve / rounding stage, and [Greedy] fails
+    the greedy fallback tier so the online tier is exercised.  The online
+    tier is never injected — every job terminates with a feasible
+    allocation no matter the rate. *)
+
+type t
+
+val create : ?seed:int -> rate:float -> unit -> t
+(** [rate] is the per-site Bernoulli probability, in [\[0,1\]];
+    [invalid_arg] otherwise.  Default seed 0. *)
+
+val seed : t -> int
+val rate : t -> float
+
+type site = Warm_install | Lp_solve | Round | Greedy
+
+val site_name : site -> string
+
+val stream : t -> job:int -> attempt:int -> Sa_util.Prng.t
+(** The PRNG stream for one job attempt. *)
+
+val fires : t -> Sa_util.Prng.t -> site -> bool
+(** Draw the site's Bernoulli from the stream.  Always consumes exactly
+    one draw, so callers must invoke it for every site in the fixed order
+    even when an earlier outcome already decided the attempt's fate. *)
+
+val injected : site:site -> job:int -> Sa_util.Fail.t
+(** The synthesized failure for a fired site — deterministic (no clocks),
+    and never {!Sa_util.Fail.Timeout} so deadline telemetry counts only
+    real expiries. *)

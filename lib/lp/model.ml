@@ -83,20 +83,24 @@ let wrap t sol =
         sol.Simplex.duals.(r));
   }
 
-let solve_with_basis ?(engine = Dense_tableau) ?eps ?max_iters ?warm_start t =
+let solve_with_basis ?(engine = Dense_tableau) ?eps ?max_iters ?warm_start
+    ?deadline ?inject_warm_crash t =
   let problem = to_problem t in
   match engine with
   | Dense_tableau ->
       (* the dense tableau has no warm-start path; pivot count unknown *)
-      let sol = Simplex.solve ?eps ?max_iters problem in
+      let sol = Simplex.solve ?eps ?max_iters ?deadline problem in
       {
         solution = wrap t sol;
         basis = None;
         stats = { Revised.iterations = 0; warm_used = false };
       }
   | Revised_sparse ->
-      let sol, basis, stats = Revised.solve_warm ?eps ?max_iters ?warm_start problem in
+      let sol, basis, stats =
+        Revised.solve_warm ?eps ?max_iters ?warm_start ?deadline
+          ?inject_warm_crash problem
+      in
       { solution = wrap t sol; basis; stats }
 
-let solve ?engine ?eps ?max_iters t =
-  (solve_with_basis ?engine ?eps ?max_iters t).solution
+let solve ?engine ?eps ?max_iters ?deadline t =
+  (solve_with_basis ?engine ?eps ?max_iters ?deadline t).solution

@@ -35,7 +35,8 @@ type solution = {
 
 type engine = Dense_tableau | Revised_sparse
 
-val solve : ?engine:engine -> ?eps:float -> ?max_iters:int -> t -> solution
+val solve :
+  ?engine:engine -> ?eps:float -> ?max_iters:int -> ?deadline:float -> t -> solution
 (** Runs the chosen simplex engine (default [Dense_tableau]; see
     {!Revised}) on the current model.  The model remains usable (more
     variables/rows may be added and [solve] called again — each call solves
@@ -54,6 +55,8 @@ val solve_with_basis :
   ?eps:float ->
   ?max_iters:int ->
   ?warm_start:Revised.basis ->
+  ?deadline:float ->
+  ?inject_warm_crash:bool ->
   t ->
   warm_solution
 (** {!solve}, exposing the warm-start machinery of {!Revised.solve_warm}:
@@ -63,4 +66,9 @@ val solve_with_basis :
 
     [to_problem]-level certification: the basis token is tied to the
     model's variable/row layout, so callers must key caches on a
-    fingerprint of that layout (see {!Sa_core.Serialize}). *)
+    fingerprint of that layout (see {!Sa_core.Serialize}).
+
+    [deadline] is an absolute {!Sa_util.Timing.now} timestamp enforced
+    inside the pivot loops ([Sa_util.Fail.Error (Timeout _)] past it);
+    [inject_warm_crash] forwards {!Revised.solve_warm}'s fault-injection
+    hook and is ignored by [Dense_tableau]. *)

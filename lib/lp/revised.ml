@@ -207,7 +207,7 @@ let pivot t ~row ~col ~w =
   t.pivots_since_refactor <- t.pivots_since_refactor + 1;
   if t.pivots_since_refactor >= t.refactor_interval then refactorize t
 
-let run_phase t ~costs ~eps ~max_iters ~allowed =
+let run_phase t ~costs ~eps ~max_iters ~allowed ~deadline ~started =
   let iter = ref 0 in
   let bland_threshold = max 2000 (10 * (t.m + t.ncols)) in
   (* Dantzig partial pricing: reduced costs are evaluated only over a small
@@ -221,6 +221,13 @@ let run_phase t ~costs ~eps ~max_iters ~allowed =
   let result = ref None in
   while !result = None do
     incr iter;
+    (match deadline with
+    | Some d when !iter land 31 = 0 && Sa_util.Timing.now () > d ->
+        Tel.add m_pivots !iter;
+        Sa_util.Fail.raise_
+          (Sa_util.Fail.Timeout
+             { stage = "lp.revised"; elapsed_s = Sa_util.Timing.now () -. started })
+    | _ -> ());
     if !iter > max_iters then result := Some `Iteration_limit
     else begin
       let y = btran t costs in
@@ -316,7 +323,7 @@ let run_phase t ~costs ~eps ~max_iters ~allowed =
    implied x_B is (tolerably) non-negative, i.e. still primal feasible for
    the new b; otherwise roll the core back to its pristine cold-start
    state. *)
-let try_warm_basis t wb =
+let try_warm_basis ?(inject_crash = false) t wb =
   Tel.incr m_warm_attempts;
   let valid =
     Array.length wb = t.m
@@ -365,6 +372,10 @@ let try_warm_basis t wb =
           if !row < 0 then ok := false else pivot t ~row:!row ~col:j ~w
         end)
       wb;
+    (* Fault-injection hook: pretend the crash pivot-in broke down *after*
+       the state mutations above, so [reset] exercises the real rollback
+       path rather than the cheap never-started one. *)
+    if inject_crash then ok := false;
     if (not !ok) || Array.exists (fun x -> x < -.feas_eps) t.x_b then reset ()
     else begin
       for i = 0 to t.m - 1 do
@@ -375,7 +386,14 @@ let try_warm_basis t wb =
     end
   end
 
-let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start { Simplex.direction; c; rows } =
+let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start ?deadline
+    ?(inject_warm_crash = false) { Simplex.direction; c; rows } =
+  let started = Sa_util.Timing.now () in
+  (match deadline with
+  | Some d when started > d ->
+      Sa_util.Fail.raise_
+        (Sa_util.Fail.Timeout { stage = "lp.revised"; elapsed_s = 0.0 })
+  | _ -> ());
   let nstruct = Array.length c in
   let m = Array.length rows in
   Array.iter
@@ -484,7 +502,9 @@ let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start { Simplex.direction; c;
   done;
   let iterations = ref 0 in
   let warm_used =
-    match warm_start with None -> false | Some wb -> try_warm_basis t wb
+    match warm_start with
+    | None -> false
+    | Some wb -> try_warm_basis ~inject_crash:inject_warm_crash t wb
   in
   let phase1 =
     if warm_used || n_art = 0 then `Optimal
@@ -493,7 +513,10 @@ let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start { Simplex.direction; c;
       for j = 0 to ncols - 1 do
         if artificial.(j) then c1.(j) <- -1.0
       done;
-      let status, iters = run_phase t ~costs:c1 ~eps ~max_iters ~allowed:(fun _ -> true) in
+      let status, iters =
+        run_phase t ~costs:c1 ~eps ~max_iters ~allowed:(fun _ -> true) ~deadline
+          ~started
+      in
       iterations := !iterations + iters;
       match status with
       | `Optimal ->
@@ -535,7 +558,9 @@ let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start { Simplex.direction; c;
   | `Iteration_limit -> finish (infeasible_solution Simplex.Iteration_limit) None
   | `Optimal -> (
       let allowed j = not artificial.(j) in
-      let status, iters = run_phase t ~costs:c2 ~eps ~max_iters ~allowed in
+      let status, iters =
+        run_phase t ~costs:c2 ~eps ~max_iters ~allowed ~deadline ~started
+      in
       iterations := !iterations + iters;
       match status with
       | `Unbounded -> finish (infeasible_solution Simplex.Unbounded) None
@@ -563,11 +588,12 @@ let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start { Simplex.direction; c;
             { Simplex.status = Simplex.Optimal; x; objective; duals }
             (Some (Array.copy t.basis)))
 
-let solve_warm ?eps ?max_iters ?warm_start problem =
+let solve_warm ?eps ?max_iters ?warm_start ?deadline ?inject_warm_crash problem =
   Sa_telemetry.Trace.with_span ~hist:h_solve "lp.revised.solve" (fun () ->
       Tel.incr m_solves;
-      solve_warm_impl ?eps ?max_iters ?warm_start problem)
+      solve_warm_impl ?eps ?max_iters ?warm_start ?deadline ?inject_warm_crash
+        problem)
 
-let solve ?eps ?max_iters problem =
-  let solution, _, _ = solve_warm ?eps ?max_iters problem in
+let solve ?eps ?max_iters ?deadline problem =
+  let solution, _, _ = solve_warm ?eps ?max_iters ?deadline problem in
   solution

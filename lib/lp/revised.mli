@@ -29,13 +29,18 @@ type stats = {
   warm_used : bool;  (** the supplied warm basis passed validation *)
 }
 
-val solve : ?eps:float -> ?max_iters:int -> Simplex.problem -> Simplex.solution
-(** Drop-in replacement for {!Simplex.solve}. *)
+val solve :
+  ?eps:float -> ?max_iters:int -> ?deadline:float -> Simplex.problem -> Simplex.solution
+(** Drop-in replacement for {!Simplex.solve}.  [deadline] is an absolute
+    {!Sa_util.Timing.now} timestamp; past it the solve raises
+    [Sa_util.Fail.Error (Timeout _)] (checked every 32 pivots). *)
 
 val solve_warm :
   ?eps:float ->
   ?max_iters:int ->
   ?warm_start:basis ->
+  ?deadline:float ->
+  ?inject_warm_crash:bool ->
   Simplex.problem ->
   Simplex.solution * basis option * stats
 (** Like {!solve} but optionally starting from a previously returned basis:
@@ -52,4 +57,11 @@ val solve_warm :
     Returns the solution, the optimal basis to cache for the next warm
     start ([None] unless the status is [Optimal]), and pivot statistics.
     The warm-started objective equals the cold one (same LP), but in the
-    presence of multiple optima the reported vertex may differ. *)
+    presence of multiple optima the reported vertex may differ.
+
+    [deadline] behaves as in {!solve}.  [inject_warm_crash] (default
+    false) is the deterministic fault-injection hook: it forces the warm
+    crash pivot-in to report failure *after* mutating solver state, so the
+    rollback path runs and the solve degrades to a cold start — used by
+    the resilience tests to certify that rollback restores the pristine
+    state bitwise. *)

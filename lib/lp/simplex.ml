@@ -85,13 +85,23 @@ let set_objective t c_ext =
   done
 
 (* One simplex phase.  [allowed j] restricts entering columns.  Returns
-   [`Optimal], [`Unbounded] or [`Iteration_limit]. *)
-let run_phase t ~eps ~max_iters ~allowed =
+   [`Optimal], [`Unbounded] or [`Iteration_limit]; raises
+   [Sa_util.Fail.Error (Timeout _)] when [deadline] (an absolute
+   {!Sa_util.Timing.now} timestamp) expires — checked every 32 pivots so
+   the monotonic clock stays off the pivot hot path. *)
+let run_phase t ~eps ~max_iters ~allowed ~deadline ~started =
   let iter = ref 0 in
   let bland_threshold = max 2000 (10 * (t.m + t.ncols)) in
   let result = ref None in
   while !result = None do
     incr iter;
+    (match deadline with
+    | Some d when !iter land 31 = 0 && Sa_util.Timing.now () > d ->
+        Tel.add m_pivots !iter;
+        Sa_util.Fail.raise_
+          (Sa_util.Fail.Timeout
+             { stage = "lp.simplex"; elapsed_s = Sa_util.Timing.now () -. started })
+    | _ -> ());
     if !iter > max_iters then result := Some `Iteration_limit
     else begin
       let use_bland = !iter > bland_threshold in
@@ -140,8 +150,9 @@ let run_phase t ~eps ~max_iters ~allowed =
   Tel.add m_pivots !iter;
   match !result with Some r -> r | None -> assert false
 
-let solve ?(eps = 1e-9) ?max_iters { direction; c; rows } =
+let solve ?(eps = 1e-9) ?max_iters ?deadline { direction; c; rows } =
   Tel.incr m_solves;
+  let started = Sa_util.Timing.now () in
   let nstruct = Array.length c in
   let m = Array.length rows in
   Array.iter
@@ -228,7 +239,7 @@ let solve ?(eps = 1e-9) ?max_iters { direction; c; rows } =
         if artificial.(j) then c1.(j) <- -1.0
       done;
       set_objective t c1;
-      let r = run_phase t ~eps ~max_iters ~allowed:(fun _ -> true) in
+      let r = run_phase t ~eps ~max_iters ~allowed:(fun _ -> true) ~deadline ~started in
       match r with
       | `Optimal ->
           (* phase-1 objective value = -(sum of artificials); the last
@@ -264,7 +275,7 @@ let solve ?(eps = 1e-9) ?max_iters { direction; c; rows } =
       Array.blit cmax 0 c2 0 nstruct;
       set_objective t c2;
       let allowed j = not artificial.(j) in
-      match run_phase t ~eps ~max_iters ~allowed with
+      match run_phase t ~eps ~max_iters ~allowed ~deadline ~started with
       | `Unbounded -> infeasible_solution Unbounded
       | `Iteration_limit -> infeasible_solution Iteration_limit
       | `Optimal ->

@@ -35,6 +35,10 @@ type solution = {
           [objective = Σ_i duals.(i) * b_i] for non-degenerate optima. *)
 }
 
-val solve : ?eps:float -> ?max_iters:int -> problem -> solution
+val solve : ?eps:float -> ?max_iters:int -> ?deadline:float -> problem -> solution
 (** [eps] is the pivot tolerance (default 1e-9); [max_iters] defaults to
-    [50_000 + 50 * (rows + cols)]. *)
+    [50_000 + 50 * (rows + cols)].  [deadline] is an absolute
+    {!Sa_util.Timing.now} timestamp: once the monotonic clock passes it
+    (checked every 32 pivots) the solve raises
+    [Sa_util.Fail.Error (Timeout _)] — the enforcement hook for the batch
+    engine's per-job budgets. *)

@@ -217,6 +217,12 @@ let well_known_counters =
     "engine.topology.misses";
     "engine.basis.lookups";
     "engine.basis.hits";
+    "engine.job.retries";
+    "engine.job.failed";
+    "engine.fallback.greedy";
+    "engine.fallback.online";
+    "engine.deadline_exceeded";
+    "engine.faults.injected";
   ]
 
 let well_known_gauges = [ "engine.topology.entries"; "engine.basis.entries" ]

@@ -1,0 +1,43 @@
+type t =
+  | Solver_numerical of { stage : string; detail : string }
+  | Colgen_stall of { rounds : int }
+  | Oracle_error of { bidder : int; detail : string }
+  | Timeout of { stage : string; elapsed_s : float }
+  | Malformed_job of { detail : string }
+
+exception Error of t
+
+let label = function
+  | Solver_numerical _ -> "solver-numerical"
+  | Colgen_stall _ -> "colgen-stall"
+  | Oracle_error _ -> "oracle-error"
+  | Timeout _ -> "timeout"
+  | Malformed_job _ -> "malformed-job"
+
+let to_string = function
+  | Solver_numerical { stage; detail } ->
+      Printf.sprintf "solver-numerical at %s: %s" stage detail
+  | Colgen_stall { rounds } ->
+      Printf.sprintf "colgen-stall: no convergence after %d rounds" rounds
+  | Oracle_error { bidder; detail } ->
+      Printf.sprintf "oracle-error for bidder %d: %s" bidder detail
+  | Timeout { stage; elapsed_s } ->
+      Printf.sprintf "timeout at %s after %.3fs" stage elapsed_s
+  | Malformed_job { detail } -> Printf.sprintf "malformed-job: %s" detail
+
+let raise_ t = raise (Error t)
+
+let is_timeout = function Timeout _ -> true | _ -> false
+
+(* Anything escaping a solver stage maps into the taxonomy: structured
+   failures pass through, validation errors become malformed-job, and the
+   rest is conservatively classed as numerical breakdown. *)
+let of_exn ~stage = function
+  | Error f -> f
+  | Invalid_argument detail | Failure detail -> Malformed_job { detail }
+  | e -> Solver_numerical { stage; detail = Printexc.to_string e }
+
+let () =
+  Printexc.register_printer (function
+    | Error t -> Some ("Sa_util.Fail.Error: " ^ to_string t)
+    | _ -> None)

@@ -1,0 +1,40 @@
+(** Structured failure taxonomy for the solving pipeline.
+
+    Every way a solver stage can go wrong is one constructor here, so the
+    batch engine can classify, retry, and degrade instead of aborting a
+    whole batch on a bare exception.  Lives in [sa_util] (the bottom of the
+    library graph) so the LP layer, the column-generation layer and the
+    engine all share the single exception {!Error}; the engine re-exports
+    it as [Sa_engine.Failure]. *)
+
+type t =
+  | Solver_numerical of { stage : string; detail : string }
+      (** simplex breakdown: cycling / iteration limit, unexpected
+          infeasible/unbounded status, singular basis *)
+  | Colgen_stall of { rounds : int }
+      (** column generation still finding improving columns when its round
+          budget ran out *)
+  | Oracle_error of { bidder : int; detail : string }
+      (** a demand oracle raised *)
+  | Timeout of { stage : string; elapsed_s : float }
+      (** a monotonic-clock deadline expired inside [stage] *)
+  | Malformed_job of { detail : string }
+      (** the job itself is invalid (bad instance / algorithm mismatch) *)
+
+exception Error of t
+
+val label : t -> string
+(** Stable short tag (["solver-numerical"], ["timeout"], ...) used in
+    telemetry and JSON. *)
+
+val to_string : t -> string
+
+val raise_ : t -> 'a
+(** [raise_ f] raises [Error f]. *)
+
+val is_timeout : t -> bool
+
+val of_exn : stage:string -> exn -> t
+(** Classify an arbitrary exception escaping [stage]: [Error] passes
+    through, [Invalid_argument]/[Failure] become {!Malformed_job}, anything
+    else {!Solver_numerical}.  Never re-raises. *)

@@ -1,9 +1,12 @@
 #!/bin/sh
 # Repo health check: full build, test suite, an engine bench smoke run that
-# validates BENCH_engine.json, kernels + construction bench smoke runs, and
-# a telemetry smoke run that validates the serve --metrics-out snapshot
-# (parses, hot-path counters nonzero, counter totals identical across
-# domain counts).  Run from anywhere inside the repo.
+# validates BENCH_engine.json, kernels + construction + resilience bench
+# smoke runs, a fault-injection smoke (serve --fault-rate twice with the
+# same seed and across domain counts must emit byte-identical per-job
+# results, with every job served), and a telemetry smoke run that
+# validates the serve --metrics-out snapshot (parses, hot-path counters
+# nonzero, counter totals identical across domain counts).  Run from
+# anywhere inside the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -110,6 +113,43 @@ test -n "$cspeed" || { echo "check: disk n=1000 case lacks speedup" >&2; exit 1;
 awk "BEGIN{exit !($cspeed >= 1.0)}" \
   || { echo "check: grid disk construction slower than naive (${cspeed}x)" >&2; exit 1; }
 echo "   construction: disk n=1000 grid speedup ${cspeed}x, parity holds"
+
+echo "== resilience bench smoke (bench resilience, quick mode)"
+rbout="$tmpdir/resilience.json"
+dune exec bench/main.exe -- resilience --quick --resilience-out "$rbout" >/dev/null
+
+test -s "$rbout" || { echo "check: $rbout missing or empty" >&2; exit 1; }
+for key in '"benchmark":"resilience"' '"baseline":' '"rate_025":' '"rate_050":' \
+           '"wall_overhead_050_over_baseline":' '"faults_injected":'; do
+  grep -q -- "$key" "$rbout" || { echo "check: $rbout lacks $key" >&2; exit 1; }
+done
+# under a 50% fault rate the fallback chain must still serve every job,
+# and a same-seed re-run must reproduce the identical per-job results
+grep -q '"all_jobs_served_at_050":true' "$rbout" \
+  || { echo "check: jobs failed at fault rate 0.5" >&2; exit 1; }
+grep -q '"same_seed_deterministic":true' "$rbout" \
+  || { echo "check: fault injection not reproducible" >&2; exit 1; }
+
+echo "== resilience smoke (serve --fault-rate, same-seed + cross-domain diff)"
+rwl="examples/resilience.wl"
+dune exec bin/auction.exe -- serve --workload "$rwl" --no-warm \
+  --fault-rate 0.3 --fault-seed 7 --results-out "$tmpdir/r1.json" >/dev/null
+dune exec bin/auction.exe -- serve --workload "$rwl" --no-warm \
+  --fault-rate 0.3 --fault-seed 7 --results-out "$tmpdir/r2.json" >/dev/null
+cmp "$tmpdir/r1.json" "$tmpdir/r2.json" \
+  || { echo "check: same-seed fault runs produced different results" >&2; exit 1; }
+dune exec bin/auction.exe -- serve --workload "$rwl" --no-warm --domains 4 \
+  --fault-rate 0.3 --fault-seed 7 --results-out "$tmpdir/r4.json" >/dev/null
+cmp "$tmpdir/r1.json" "$tmpdir/r4.json" \
+  || { echo "check: fault results differ between --domains 1 and 4" >&2; exit 1; }
+# the fallback chain must leave no job unserved at this rate...
+if grep -q '"status":"failed"' "$tmpdir/r1.json"; then
+  echo "check: serve --fault-rate 0.3 left failed jobs" >&2; exit 1
+fi
+# ...and the injected faults must actually push jobs off the LP tier
+grep -Eq '"tier":"(greedy|online)"' "$tmpdir/r1.json" \
+  || { echo "check: no job degraded to a fallback tier at rate 0.3" >&2; exit 1; }
+echo "   resilience: same-seed and cross-domain results byte-identical"
 
 echo "== telemetry smoke (serve --demo --metrics-out)"
 snap="$tmpdir/metrics.json"

@@ -247,6 +247,94 @@ let prop_greedy_ordering_not_worse_than_random =
       (* greedy is a heuristic: allow slack, but it must not be much worse *)
       r_g <= r_r +. 0.5)
 
+(* ---------- Weighted.Sparse boundary cases -------------------------------- *)
+
+let test_sparse_empty_rows () =
+  (* No entries at all: every row is empty, every dropped bound zero, and
+     everything is trivially independent. *)
+  let wg = Weighted.of_entries 4 ~w_min:0.5 [||] in
+  Alcotest.(check bool) "sparse" true (Weighted.is_sparse wg);
+  Alcotest.(check int) "nnz" 0 (Weighted.nnz wg);
+  for v = 0 to 3 do
+    Alcotest.(check (float 0.0)) "in_weight" 0.0 (Weighted.in_weight wg v);
+    Alcotest.(check (float 0.0)) "dropped bound" 0.0 (Weighted.dropped_in_bound wg v)
+  done;
+  Alcotest.(check bool) "all vertices independent" true
+    (Weighted.is_independent wg [ 0; 1; 2; 3 ])
+
+let test_sparse_floor_boundary () =
+  (* An entry exactly at the w_min floor is kept; one just below is dropped
+     into the destination's bound.  The floor comparison is >=, not >. *)
+  let wmin = 0.25 in
+  let below = 0.25 -. 1e-9 in
+  let wg = Weighted.of_entries 3 ~w_min:wmin [| (0, 2, wmin); (1, 2, below) |] in
+  Alcotest.(check int) "only the exact-floor entry stored" 1 (Weighted.nnz wg);
+  Alcotest.(check (float 0.0)) "exact-floor entry kept" wmin (Weighted.w wg 0 2);
+  Alcotest.(check (float 0.0)) "below-floor entry zeroed" 0.0 (Weighted.w wg 1 2);
+  Alcotest.(check (float 0.0)) "dropped bound = the below-floor mass" below
+    (Weighted.dropped_in_bound wg 2);
+  Alcotest.(check (float 0.0)) "in_weight counts stored mass only" wmin
+    (Weighted.in_weight wg 2)
+
+let test_sparse_all_dropped () =
+  (* Every entry below the floor: the graph stores nothing, but each
+     destination's dropped bound is the exact (same-order) sum of its
+     unstored in-mass — dropped_in_bound is exact, not just an upper
+     bound, when the caller enumerated every entry. *)
+  let entries = [| (0, 2, 0.4); (1, 2, 0.5); (0, 1, 0.3) |] in
+  let wg = Weighted.of_entries 3 ~w_min:1.0 entries in
+  Alcotest.(check int) "nothing stored" 0 (Weighted.nnz wg);
+  Alcotest.(check (float 0.0)) "v2 bound exact" (0.0 +. 0.4 +. 0.5)
+    (Weighted.dropped_in_bound wg 2);
+  Alcotest.(check (float 0.0)) "v1 bound exact" 0.3 (Weighted.dropped_in_bound wg 1);
+  Alcotest.(check (float 0.0)) "v0 nothing dropped" 0.0 (Weighted.dropped_in_bound wg 0);
+  (* zero-weight entries are elided without polluting the bound *)
+  let wg0 = Weighted.of_entries 2 ~w_min:0.0 [| (0, 1, 0.0) |] in
+  Alcotest.(check int) "zero entry elided" 0 (Weighted.nnz wg0);
+  Alcotest.(check (float 0.0)) "zero entry adds no slack" 0.0
+    (Weighted.dropped_in_bound wg0 1)
+
+let test_sparse_dropped_in_seed () =
+  (* Caller-supplied slack for never-enumerated entries adds on top of the
+     below-floor mass. *)
+  let wg =
+    Weighted.of_entries 3 ~w_min:0.5 ~dropped_in:[| 0.0; 0.0; 0.125 |]
+      [| (0, 2, 0.25); (1, 2, 0.75) |]
+  in
+  Alcotest.(check (float 0.0)) "seed + dropped mass" (0.125 +. 0.25)
+    (Weighted.dropped_in_bound wg 2);
+  Alcotest.(check (float 0.0)) "stored mass unaffected" 0.75
+    (Weighted.in_weight wg 2)
+
+let prop_sparse_mass_conserved =
+  QCheck.Test.make ~count:100
+    ~name:"sparse: stored in-weight + dropped bound = total in-mass"
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let n = 2 + Prng.int g 8 in
+      let wmin = Prng.float g 0.6 in
+      let seen = Hashtbl.create 16 in
+      let entries =
+        List.init (Prng.int g (3 * n)) (fun _ ->
+            let u = Prng.int g n and v = Prng.int g n in
+            if u = v || Hashtbl.mem seen (u, v) then None
+            else begin
+              Hashtbl.add seen (u, v) ();
+              Some (u, v, Prng.float g 1.0)
+            end)
+        |> List.filter_map Fun.id |> Array.of_list
+      in
+      let wg = Weighted.of_entries n ~w_min:wmin entries in
+      let total = Array.make n 0.0 in
+      Array.iter (fun (_, v, x) -> total.(v) <- total.(v) +. x) entries;
+      List.for_all
+        (fun v ->
+          Float.abs
+            (Weighted.in_weight wg v +. Weighted.dropped_in_bound wg v -. total.(v))
+          < 1e-9)
+        (List.init n Fun.id))
+
 (* ---------- Generators ----------------------------------------------------- *)
 
 let test_gnp_extremes () =
@@ -409,4 +497,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_mis_maximal;
     QCheck_alcotest.to_alcotest prop_rho_witnesses_definition;
     QCheck_alcotest.to_alcotest prop_packed_matches_dense;
+    Alcotest.test_case "sparse: empty rows" `Quick test_sparse_empty_rows;
+    Alcotest.test_case "sparse: w_min floor boundary" `Quick test_sparse_floor_boundary;
+    Alcotest.test_case "sparse: all entries dropped" `Quick test_sparse_all_dropped;
+    Alcotest.test_case "sparse: dropped_in seeding" `Quick test_sparse_dropped_in_seed;
+    QCheck_alcotest.to_alcotest prop_sparse_mass_conserved;
   ]

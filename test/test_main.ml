@@ -21,4 +21,5 @@ let () =
       ("telemetry", Suite_telemetry.suite);
       ("properties", Suite_properties.suite);
       ("engine", Suite_engine.suite);
+      ("resilience", Suite_resilience.suite);
     ]
