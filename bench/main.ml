@@ -34,7 +34,13 @@
    under the default retry+fallback policy, reporting wall-clock
    overhead, per-tier job counts, welfare retention, and same-seed
    determinism, writing BENCH_resilience.json.  Flags: --quick,
-   --resilience-out PATH. *)
+   --resilience-out PATH.
+
+   A fifth group, `bench observability` (dune exec bench/main.exe --
+   observability), measures the cost of the tracing + event-log layer on
+   the engine workload (sinks off vs on, interleaved min-of-N passes) and
+   validates the Chrome trace and event-log determinism, writing
+   BENCH_observability.json.  Flags: --quick, --observability-out PATH. *)
 
 open Bechamel
 
@@ -742,6 +748,97 @@ let resilience_bench ~quick ~out =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
   Printf.printf "  summary written to %s\n" out
 
+(* ---- observability: tracing + event-log overhead -------------------------- *)
+
+module Trace = Sa_telemetry.Trace
+module Eventlog = Sa_telemetry.Eventlog
+
+(* Same workload as the engine bench, run with all observability sinks off
+   vs on (span ring + histograms + decision event log).  Passes are
+   interleaved and the minimum is taken on both sides: the container often
+   has a single CPU, so min-of-interleaved cancels scheduler drift that
+   would otherwise dominate a <5% effect. *)
+let observability_bench ~quick ~out =
+  Printf.printf "observability (%s):\n%!" (if quick then "quick" else "full");
+  let expander = Engine.create ~warm_start:false () in
+  let jobs = Workload.expand expander (engine_workload ~quick) in
+  let njobs = List.length jobs in
+  Trace.set_capacity 65536;
+  (* Each timed sample repeats the whole batch: a single batch is ~10ms,
+     too short to resolve a few-percent effect against scheduler jitter. *)
+  let reps = if quick then 3 else 8 in
+  let run_disabled () =
+    Trace.set_enabled false;
+    Eventlog.install None;
+    let total = ref 0.0 in
+    for _ = 1 to reps do
+      let s = snd (Engine.run_batch (Engine.create ~warm_start:true ()) jobs) in
+      total := !total +. s.Engine.wall_seconds
+    done;
+    !total
+  in
+  let run_enabled () =
+    Trace.set_enabled true;
+    Trace.clear ();
+    let total = ref 0.0 in
+    let last = ref (Eventlog.create ()) in
+    for _ = 1 to reps do
+      let t = Eventlog.create () in
+      Eventlog.install (Some t);
+      let s = snd (Engine.run_batch (Engine.create ~warm_start:true ()) jobs) in
+      total := !total +. s.Engine.wall_seconds;
+      last := t
+    done;
+    Eventlog.install None;
+    (!total, !last)
+  in
+  ignore (run_disabled ());
+  ignore (run_enabled ());
+  let passes = if quick then 3 else 5 in
+  let disabled = ref infinity and enabled = ref infinity in
+  let events = ref 0 and spans = ref 0 in
+  let first_log = ref "" in
+  let deterministic = ref true in
+  for pass = 1 to passes do
+    let off_s = run_disabled () in
+    disabled := Float.min !disabled off_s;
+    let on_s, t = run_enabled () in
+    enabled := Float.min !enabled on_s;
+    events := List.length (Eventlog.events t);
+    spans := List.length (Trace.recent ());
+    let log = Eventlog.to_jsonl t in
+    if pass = 1 then first_log := log
+    else if log <> !first_log then deterministic := false
+  done;
+  let chrome = Export.spans_to_chrome (Trace.recent ()) in
+  let chrome_events =
+    match Export.validate_chrome chrome with
+    | n -> n
+    | exception Export.Parse_error _ -> -1
+  in
+  let overhead = if !disabled > 0.0 then !enabled /. !disabled else Float.nan in
+  Printf.printf "  %d jobs x%d reps, %d interleaved passes (min taken)\n" njobs
+    reps passes;
+  Printf.printf "  tracing off: %.4fs   tracing+events on: %.4fs   (%.3fx)\n"
+    !disabled !enabled overhead;
+  Printf.printf
+    "  %d spans/pass, %d events/batch  chrome valid %b  \
+     events deterministic %b\n"
+    !spans !events (chrome_events >= 0) !deterministic;
+  let json =
+    Printf.sprintf
+      "{\"benchmark\":\"observability\",\"quick\":%b,\"jobs\":%d,\
+       \"reps\":%d,\"passes\":%d,\"disabled_wall_seconds\":%.6f,\
+       \"enabled_wall_seconds\":%.6f,\"overhead_ratio\":%.4f,\
+       \"spans_recorded\":%d,\"events_logged\":%d,\"chrome_events\":%d,\
+       \"chrome_trace_valid\":%b,\"events_deterministic\":%b}\n"
+      quick njobs reps passes !disabled !enabled overhead !spans !events
+      chrome_events (chrome_events >= 0) !deterministic
+  in
+  let oc = open_out out in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  Printf.printf "  summary written to %s\n" out
+
 (* ---- runner + textual report --------------------------------------------- *)
 
 let benchmark () =
@@ -796,6 +893,9 @@ let () =
   else if List.mem "resilience" argv then
     let out = find_flag "--resilience-out" "BENCH_resilience.json" in
     resilience_bench ~quick ~out
+  else if List.mem "observability" argv then
+    let out = find_flag "--observability-out" "BENCH_observability.json" in
+    observability_bench ~quick ~out
   else if List.mem "kernels" argv then
     let out = find_flag "--kernels-out" "BENCH_kernels.json" in
     let domains = int_of_string (find_flag "--domains" "4") in

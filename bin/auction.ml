@@ -154,10 +154,18 @@ module Workload = Sa_engine.Workload
 module Metrics = Sa_telemetry.Metrics
 module Trace = Sa_telemetry.Trace
 module Export = Sa_telemetry.Export
+module Eventlog = Sa_telemetry.Eventlog
+module Http = Sa_telemetry.Http
 
 let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 (* One-line digest of the hot-path counters, printed after every batch. *)
 let print_telemetry_summary (snap : Metrics.view) =
@@ -173,7 +181,7 @@ let print_telemetry_summary (snap : Metrics.view) =
 
 let run_serve () workload demo domains no_warm json_out metrics_out prom_out
     fault_rate fault_seed deadline_ms pivot_budget max_retries no_fallback
-    results_out =
+    results_out listen trace_out events_out =
   let specs =
     match (workload, demo) with
     | Some path, _ -> Workload.load path
@@ -196,6 +204,52 @@ let run_serve () workload demo domains no_warm json_out metrics_out prom_out
       ?pivot_budget ~max_retries ~fallback:(not no_fallback) ?faults ()
   in
   let engine = Engine.create ~warm_start:(not no_warm) () in
+  (* The scrape handler runs on the server domain: metrics are domain-safe
+     already, and the per-job table is published through an Atomic ref once
+     the batch lands (empty array until then). *)
+  let results_ref = Atomic.make [||] in
+  let server =
+    match listen with
+    | None -> None
+    | Some port ->
+        let handler path =
+          match path with
+          | "/healthz" ->
+              { Http.status = 200; content_type = "text/plain"; body = "ok\n" }
+          | "/metrics" ->
+              {
+                Http.status = 200;
+                content_type = "text/plain; version=0.0.4";
+                body = Export.to_prometheus (Metrics.snapshot ());
+              }
+          | "/jobs" ->
+              {
+                Http.status = 200;
+                content_type = "application/json";
+                body = Engine.results_to_json (Atomic.get results_ref) ^ "\n";
+              }
+          | _ ->
+              {
+                Http.status = 404;
+                content_type = "text/plain";
+                body = "not found\n";
+              }
+        in
+        let srv = Http.start ~port handler in
+        Printf.printf "listening on 127.0.0.1:%d\n%!" (Http.port srv);
+        Some srv
+  in
+  let events =
+    match events_out with
+    | None -> None
+    | Some _ ->
+        let t = Eventlog.create () in
+        Eventlog.install (Some t);
+        Some t
+  in
+  (* A full-batch Perfetto export needs more history than the default
+     post-mortem ring keeps. *)
+  if trace_out <> None then Trace.set_capacity (max (Trace.capacity ()) 65536);
   let jobs = Workload.expand engine specs in
   Printf.printf "serve: %d batches -> %d jobs, %d domain%s, warm-start %s%s\n%!"
     (List.length specs) (List.length jobs) domains
@@ -205,6 +259,7 @@ let run_serve () workload demo domains no_warm json_out metrics_out prom_out
     | None -> ""
     | Some r -> Printf.sprintf ", fault-rate %.2f (seed %d)" r fault_seed);
   let results, summary = Engine.run_batch ~domains ~policy engine jobs in
+  Atomic.set results_ref results;
   let per_job =
     match Logs.level () with
     | Some (Logs.Info | Logs.Debug) -> true
@@ -245,13 +300,29 @@ let run_serve () workload demo domains no_warm json_out metrics_out prom_out
   | Some path ->
       write_file path (Export.to_prometheus snap);
       Printf.printf "prometheus exposition written to %s\n" path);
-  match json_out with
+  (match json_out with
   | None -> ()
   | Some path ->
       let telemetry = Export.snapshot_to_json snap in
       write_file path
         (Engine.summary_to_json ~extra:[ ("telemetry", telemetry) ] summary ^ "\n");
-      Printf.printf "summary written to %s\n" path
+      Printf.printf "summary written to %s\n" path);
+  (match (events_out, events) with
+  | Some path, Some t ->
+      write_file path (Eventlog.to_jsonl t);
+      Eventlog.install None;
+      Printf.printf "event log written to %s\n" path
+  | _ -> ());
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      write_file path (Export.spans_to_chrome (Trace.recent ()));
+      Printf.printf "chrome trace written to %s\n" path);
+  match server with
+  | None -> ()
+  | Some srv ->
+      Printf.printf "serving /metrics /healthz /jobs (Ctrl-C to stop)\n%!";
+      Http.wait srv
 
 let workload_arg =
   Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"FILE"
@@ -322,13 +393,33 @@ let results_out_arg =
                retries, failure labels) as a JSON array to $(docv).  \
                Timing-free, so same-seed runs produce identical bytes.")
 
+let listen_arg =
+  Arg.(value & opt (some int) None & info [ "listen" ] ~docv:"PORT"
+         ~doc:"Expose /metrics (Prometheus), /healthz and /jobs over HTTP on \
+               127.0.0.1:$(docv) (0 picks an ephemeral port, printed at \
+               startup) and keep the process alive after the batch.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Write the span timeline as Chrome Trace Event JSON to $(docv) \
+               (open in ui.perfetto.dev or chrome://tracing; one track per \
+               domain, spans carry job/tier/retry attributes).")
+
+let events_out_arg =
+  Arg.(value & opt (some string) None & info [ "events-out" ] ~docv:"FILE"
+         ~doc:"Write the decision event log as JSON Lines to $(docv).  \
+               Timing-free and merged in fixed (job, index) order, so \
+               same-seed logs are byte-identical at any --domains (use \
+               --no-warm: the shared warm-start cache is order-dependent).")
+
 let serve_cmd =
   let doc = "Replay a workload file through the batch auction engine" in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run_serve $ Log_cli.term $ workload_arg $ demo_arg $ domains_arg
           $ no_warm_arg $ json_arg $ metrics_out_arg $ prom_out_arg
           $ fault_rate_arg $ fault_seed_arg $ deadline_ms_arg $ pivot_budget_arg
-          $ max_retries_arg $ no_fallback_arg $ results_out_arg)
+          $ max_retries_arg $ no_fallback_arg $ results_out_arg $ listen_arg
+          $ trace_out_arg $ events_out_arg)
 
 (* ------------------------------- metrics --------------------------------- *)
 
@@ -363,9 +454,59 @@ let metrics_cmd =
   let doc = "Validate and summarise a telemetry snapshot file" in
   Cmd.v (Cmd.info "metrics" ~doc) Term.(const run_metrics $ metrics_path_arg)
 
+(* -------------------------------- trace ---------------------------------- *)
+
+(* Schema-check a Chrome trace written by [serve --trace-out] (used by
+   scripts/check.sh so the smoke needs no external JSON tooling). *)
+let run_trace path =
+  match Export.validate_chrome (read_file path) with
+  | exception Export.Parse_error msg ->
+      Printf.eprintf "trace: %s: invalid chrome trace: %s\n" path msg;
+      exit 1
+  | n -> Printf.printf "chrome trace ok: %d span events\n" n
+
+let trace_path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Chrome Trace Event file written by serve --trace-out.")
+
+let trace_cmd =
+  let doc = "Validate a Chrome Trace Event file" in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run_trace $ trace_path_arg)
+
+(* --------------------------------- get ----------------------------------- *)
+
+(* Raw-socket HTTP GET so smoke scripts can scrape [serve --listen] without
+   a curl dependency.  Prints the body; exits 1 on any non-200. *)
+let run_get host port path =
+  match Http.get ~host ~port path with
+  | exception e ->
+      Printf.eprintf "get: %s:%d%s: %s\n" host port path (Printexc.to_string e);
+      exit 1
+  | 200, body -> print_string body
+  | status, _ ->
+      Printf.eprintf "get: %s:%d%s: HTTP %d\n" host port path status;
+      exit 1
+
+let get_host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+         ~doc:"Host to connect to.")
+
+let get_port_arg =
+  Arg.(required & opt (some int) None & info [ "port" ] ~docv:"PORT"
+         ~doc:"Port of a running serve --listen.")
+
+let get_path_arg =
+  Arg.(value & pos 0 string "/metrics" & info [] ~docv:"PATH"
+         ~doc:"Request path (default /metrics).")
+
+let get_cmd =
+  let doc = "HTTP GET against a running serve --listen (no curl needed)" in
+  Cmd.v (Cmd.info "get" ~doc)
+    Term.(const run_get $ get_host_arg $ get_port_arg $ get_path_arg)
+
 let cmd =
   let doc = "Secondary spectrum auctions: single runs and batch serving" in
   Cmd.group ~default:run_term (Cmd.info "auction" ~doc)
-    [ run_cmd; serve_cmd; metrics_cmd ]
+    [ run_cmd; serve_cmd; metrics_cmd; trace_cmd; get_cmd ]
 
 let () = exit (Cmd.eval cmd)

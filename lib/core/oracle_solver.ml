@@ -292,6 +292,15 @@ let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
            else None)
     |> Array.of_list
   in
+  Sa_telemetry.Trace.add_attr "rounds" (string_of_int !rounds);
+  Sa_telemetry.Trace.add_attr "columns" (string_of_int (Hashtbl.length present));
+  Sa_telemetry.Eventlog.emit "colgen_done"
+    [
+      ("rounds", Sa_telemetry.Eventlog.Int !rounds);
+      ("columns", Sa_telemetry.Eventlog.Int (Hashtbl.length present));
+      ("converged", Sa_telemetry.Eventlog.Bool !finished);
+      ("objective", Sa_telemetry.Eventlog.Float sol.Model.objective);
+    ];
   ( { Lp_relaxation.columns = cols; objective = sol.Model.objective },
     {
       iterations = !rounds;

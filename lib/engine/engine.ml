@@ -15,6 +15,8 @@ module Online = Sa_core.Online
 module Prng = Sa_util.Prng
 module Timing = Sa_util.Timing
 module Tel = Sa_telemetry.Metrics
+module Trace = Sa_telemetry.Trace
+module Eventlog = Sa_telemetry.Eventlog
 
 let m_jobs = Tel.counter "engine.jobs"
 let m_warm_used = Tel.counter "engine.warm_used"
@@ -32,6 +34,8 @@ let g_topo_entries = Tel.gauge "engine.topology.entries"
 let g_basis_entries = Tel.gauge "engine.basis.entries"
 let h_lp = Tel.histogram "engine.job.lp.seconds"
 let h_round = Tel.histogram "engine.job.round.seconds"
+let h_job = Tel.histogram "engine.job.seconds"
+let h_attempt = Tel.histogram "engine.attempt.seconds"
 let log_src = Logs.Src.create "sa.engine" ~doc:"Batch auction engine"
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
@@ -275,10 +279,17 @@ let online_order inst =
     order;
   order
 
-let run_job_robust t policy job =
+let run_job_robust_impl t policy job =
   let inst = job.instance in
   let started = Timing.now () in
   Tel.incr m_jobs;
+  Eventlog.emit "job_accepted"
+    [
+      ("algorithm", Eventlog.Str (algorithm_name job.algorithm));
+      ("n", Eventlog.Int (Instance.n inst));
+      ("k", Eventlog.Int inst.Instance.k);
+      ("seed", Eventlog.Int job.seed);
+    ];
   let deadline = Option.map (fun s -> started +. s) policy.deadline_s in
   let failures = ref [] in
   let retries = ref 0 in
@@ -296,7 +307,14 @@ let run_job_robust t policy job =
         let g = Faultgen.stream f ~job:job.id ~attempt in
         let draw site =
           let b = Faultgen.fires f g site in
-          if b then Tel.incr m_faults;
+          if b then begin
+            Tel.incr m_faults;
+            Eventlog.emit "fault_absorbed"
+              [
+                ("site", Eventlog.Str (Faultgen.site_name site));
+                ("attempt", Eventlog.Int attempt);
+              ]
+          end;
           b
         in
         let warm = draw Faultgen.Warm_install in
@@ -316,6 +334,9 @@ let run_job_robust t policy job =
      retries go cold (the cached basis is suspect after a failure) with a
      fresh rounding seed. *)
   let attempt_lp attempt =
+    Trace.with_span ~hist:h_attempt "engine.attempt"
+      ~attrs:[ ("attempt", string_of_int attempt) ]
+    @@ fun () ->
     let fire_warm, fire_lp, fire_round = attempt_faults attempt in
     try
       let warm_basis =
@@ -353,6 +374,13 @@ let run_job_robust t policy job =
       in
       Tel.observe h_lp lp_s;
       Tel.observe h_round round_s;
+      Eventlog.emit "lp_solved"
+        [
+          ("attempt", Eventlog.Int attempt);
+          ("objective", Eventlog.Float frac.Lp.objective);
+          ("pivots", Eventlog.Int stats.Lp.iterations);
+          ("warm", Eventlog.Bool stats.Lp.warm_start_used);
+        ];
       Log.debug (fun m ->
           m "job %d (%s): lp %.4fs (%d pivots%s), round %.4fs" job.id
             (algorithm_name job.algorithm)
@@ -383,11 +411,35 @@ let run_job_robust t policy job =
         else begin
           incr retries;
           Tel.incr m_retries;
+          Eventlog.emit "retry"
+            [
+              ("attempt", Eventlog.Int (attempt + 1));
+              ( "cause",
+                Eventlog.Str
+                  (match !failures with f :: _ -> Failure.label f | [] -> "?")
+              );
+            ];
           lp_tier (attempt + 1)
         end
   in
   let finish ~alloc ~tier ~guarantee ~lp_objective ~lp_iterations ~warm_start
       ~round_s =
+    let tier_label = match tier with Some tr -> tier_name tr | None -> "failed" in
+    Trace.add_attr "tier" tier_label;
+    Trace.add_attr "retries" (string_of_int !retries);
+    Eventlog.emit "tier_chosen"
+      [
+        ("tier", Eventlog.Str tier_label);
+        ("retries", Eventlog.Int !retries);
+        ("failures", Eventlog.Int (List.length !failures));
+      ];
+    if tier <> None then
+      Eventlog.emit "guarantee_certified"
+        [
+          ("tier", Eventlog.Str tier_label);
+          ("factor", Eventlog.Float guarantee);
+          ("welfare", Eventlog.Float (Allocation.value inst alloc));
+        ];
     {
       job_id = job.id;
       allocation = alloc;
@@ -425,7 +477,14 @@ let run_job_robust t policy job =
               Faultgen.stream f ~job:job.id ~attempt:(policy.max_retries + 1)
             in
             let b = Faultgen.fires f g Faultgen.Greedy in
-            if b then Tel.incr m_faults;
+            if b then begin
+              Tel.incr m_faults;
+              Eventlog.emit "fault_absorbed"
+                [
+                  ("site", Eventlog.Str (Faultgen.site_name Faultgen.Greedy));
+                  ("attempt", Eventlog.Int (policy.max_retries + 1));
+                ]
+            end;
             b
       in
       let greedy_result =
@@ -455,6 +514,20 @@ let run_job_robust t policy job =
           finish ~alloc:r.Online.allocation ~tier:(Some Tier_online)
             ~guarantee:(float_of_int (Instance.n inst)) ~lp_objective:0.0
             ~lp_iterations:0 ~warm_start:false ~round_s)
+
+(* The public entry wraps the implementation in the ambient observability
+   scopes: the job's event-log scope (so nested layers' emits carry this
+   job id) and a root span carrying the job's identity, to which [finish]
+   attaches the chosen tier and retry count. *)
+let run_job_robust t policy job =
+  Eventlog.with_job job.id @@ fun () ->
+  Trace.with_span ~hist:h_job "engine.job"
+    ~attrs:
+      [
+        ("job", string_of_int job.id);
+        ("algorithm", algorithm_name job.algorithm);
+      ]
+    (fun () -> run_job_robust_impl t policy job)
 
 let run_job t job = run_job_robust t default_policy job
 

@@ -591,8 +591,27 @@ let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start ?deadline
 let solve_warm ?eps ?max_iters ?warm_start ?deadline ?inject_warm_crash problem =
   Sa_telemetry.Trace.with_span ~hist:h_solve "lp.revised.solve" (fun () ->
       Tel.incr m_solves;
-      solve_warm_impl ?eps ?max_iters ?warm_start ?deadline ?inject_warm_crash
-        problem)
+      let ((solution, _, stats) as result) =
+        solve_warm_impl ?eps ?max_iters ?warm_start ?deadline ?inject_warm_crash
+          problem
+      in
+      Sa_telemetry.Trace.add_attr "pivots" (string_of_int stats.iterations);
+      Sa_telemetry.Trace.add_attr "warm" (string_of_bool stats.warm_used);
+      let status_label =
+        match solution.Simplex.status with
+        | Simplex.Optimal -> "optimal"
+        | Simplex.Infeasible -> "infeasible"
+        | Simplex.Unbounded -> "unbounded"
+        | Simplex.Iteration_limit -> "iteration_limit"
+      in
+      Sa_telemetry.Eventlog.emit "revised_solve"
+        [
+          ("status", Sa_telemetry.Eventlog.Str status_label);
+          ("pivots", Sa_telemetry.Eventlog.Int stats.iterations);
+          ("warm", Sa_telemetry.Eventlog.Bool stats.warm_used);
+          ("objective", Sa_telemetry.Eventlog.Float solution.Simplex.objective);
+        ];
+      result)
 
 let solve ?eps ?max_iters ?deadline problem =
   let solution, _, _ = solve_warm ?eps ?max_iters ?deadline problem in

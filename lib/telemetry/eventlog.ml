@@ -1,0 +1,133 @@
+(* Append-only decision event log.
+
+   Solver layers emit structured events (job accepted, LP solved, fault
+   absorbed, retry, tier chosen, guarantee certified) into a global sink
+   while a job is being served.  Events are deliberately timing-free: every
+   field is a deterministic function of the job, so the rendered log is a
+   reproducibility artifact, not a profile.
+
+   Determinism across domain counts: a global sequence counter would
+   capture the racy interleaving of domains, so events instead carry
+   (job id, per-job emission index) — the job id comes from the ambient
+   domain-local scope installed by [with_job] and the index from a per-scope
+   counter, both independent of which domain ran the job.  [events]/[to_jsonl]
+   sort by (job, index) (the fixed merge order) and assign the final
+   monotonic sequence numbers at drain time, so two same-seed runs render
+   byte-identical logs at any --domains value. *)
+
+type field = Bool of bool | Int of int | Float of float | Str of string
+
+type event = {
+  job : int;
+  index : int;  (** per-job emission order, 0-based *)
+  kind : string;
+  fields : (string * field) list;
+}
+
+type t = { lock : Mutex.t; mutable events : event list }
+
+let m_logged = Metrics.counter "telemetry.events.logged"
+let m_dropped = Metrics.counter "telemetry.events.dropped"
+
+let create () = { lock = Mutex.create (); events = [] }
+
+(* ------------------------------ global sink ------------------------------ *)
+
+let sink : t option Atomic.t = Atomic.make None
+let install s = Atomic.set sink s
+let installed () = Atomic.get sink
+
+(* ----------------------------- ambient scope ----------------------------- *)
+
+type scope = { job : int; mutable next_index : int }
+
+let scope_key : scope option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_job job f =
+  let r = Domain.DLS.get scope_key in
+  let saved = !r in
+  r := Some { job; next_index = 0 };
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+let current_job () =
+  match !(Domain.DLS.get scope_key) with
+  | Some sc -> Some sc.job
+  | None -> None
+
+let emit kind fields =
+  match Atomic.get sink with
+  | None -> ()
+  | Some t -> (
+      match !(Domain.DLS.get scope_key) with
+      | None ->
+          (* no ambient job: the event has no deterministic merge position,
+             so it is dropped (counted) rather than logged racily *)
+          Metrics.incr m_dropped
+      | Some sc ->
+          let index = sc.next_index in
+          sc.next_index <- index + 1;
+          Mutex.lock t.lock;
+          t.events <- { job = sc.job; index; kind; fields } :: t.events;
+          Mutex.unlock t.lock;
+          Metrics.incr m_logged)
+
+(* -------------------------------- drains --------------------------------- *)
+
+let events t =
+  let evs = Mutex.protect t.lock (fun () -> t.events) in
+  List.stable_sort
+    (fun (a : event) (b : event) ->
+      match compare a.job b.job with 0 -> compare a.index b.index | c -> c)
+    evs
+
+let clear t = Mutex.protect t.lock (fun () -> t.events <- [])
+
+(* JSON rendering, self-contained so the log layer stays below Export in
+   the module graph.  Floats use the shortest decimal that round-trips
+   (byte-stability is the contract); non-finite floats become null. *)
+let float_str v =
+  if not (Float.is_finite v) then "null"
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_field b (key, v) =
+  Buffer.add_string b ",\"";
+  escape b key;
+  Buffer.add_string b "\":";
+  match v with
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Int x -> Buffer.add_string b (string_of_int x)
+  | Float x -> Buffer.add_string b (float_str x)
+  | Str x ->
+      Buffer.add_char b '"';
+      escape b x;
+      Buffer.add_char b '"'
+
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  List.iteri
+    (fun seq (ev : event) ->
+      Buffer.add_string b
+        (Printf.sprintf "{\"seq\":%d,\"job\":%d,\"kind\":\"" seq ev.job);
+      escape b ev.kind;
+      Buffer.add_char b '"';
+      List.iter (add_field b) ev.fields;
+      Buffer.add_string b "}\n")
+    (events t);
+  Buffer.contents b

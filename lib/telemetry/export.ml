@@ -17,13 +17,16 @@
        ...
      },
      "spans": [
-       {"name": "lp.revised.solve", "start_s": 12.3, "dur_s": 0.001,
-        "domain": 0},
+       {"id": 7, "parent": 3, "name": "lp.revised.solve", "start_s": 12.3,
+        "dur_s": 0.001, "domain": 0, "attrs": {"pivots": "41"}},
        ...
      ]
-   } *)
+   }
 
-let version = 1
+   Version history: 1 = flat anonymous spans; 2 = spans gained
+   id/parent/attrs (PR 7). *)
+
+let version = 2
 
 (* ------------------------------ float text ------------------------------ *)
 
@@ -90,12 +93,29 @@ let add_hist b (h : Metrics.hist_view) =
   Buffer.add_string b (Printf.sprintf ", \"sum\": %s" (float_str h.Metrics.sum));
   Buffer.add_string b (Printf.sprintf ", \"count\": %d}" h.Metrics.count)
 
+let add_attrs b attrs =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_char b '"';
+      escape b k;
+      Buffer.add_string b "\": \"";
+      escape b v;
+      Buffer.add_char b '"')
+    attrs;
+  Buffer.add_char b '}'
+
 let add_span b (sp : Trace.span) =
-  Buffer.add_string b "    {\"name\": \"";
+  Buffer.add_string b
+    (Printf.sprintf "    {\"id\": %d, \"parent\": %s, \"name\": \"" sp.Trace.id
+       (match sp.Trace.parent with None -> "null" | Some p -> string_of_int p));
   escape b sp.Trace.name;
   Buffer.add_string b
-    (Printf.sprintf "\", \"start_s\": %s, \"dur_s\": %s, \"domain\": %d}"
-       (float_str sp.Trace.start_s) (float_str sp.Trace.dur_s) sp.Trace.domain)
+    (Printf.sprintf "\", \"start_s\": %s, \"dur_s\": %s, \"domain\": %d, \"attrs\": "
+       (float_str sp.Trace.start_s) (float_str sp.Trace.dur_s) sp.Trace.domain);
+  add_attrs b sp.Trace.attrs;
+  Buffer.add_char b '}'
 
 let snapshot_to_json ?(spans = []) (v : Metrics.view) =
   let b = Buffer.create 4096 in
@@ -341,13 +361,28 @@ let snapshot_of_json text : Metrics.view * Trace.span list =
           (function
             | Obj sp ->
                 {
-                  Trace.name =
+                  Trace.id = as_int (obj_field sp "id");
+                  parent =
+                    (match obj_field sp "parent" with
+                    | Null -> None
+                    | j -> Some (as_int j));
+                  name =
                     (match obj_field sp "name" with
                     | Str s -> s
                     | _ -> parse_error "span name must be a string");
                   start_s = num (obj_field sp "start_s");
                   dur_s = num (obj_field sp "dur_s");
                   domain = as_int (obj_field sp "domain");
+                  attrs =
+                    (match obj_field sp "attrs" with
+                    | Obj kvs ->
+                        List.map
+                          (fun (k, v) ->
+                            match v with
+                            | Str s -> (k, s)
+                            | _ -> parse_error "span attr must be a string")
+                          kvs
+                    | _ -> parse_error "span attrs must be an object");
                 }
             | _ -> parse_error "span must be an object")
           items
@@ -365,22 +400,39 @@ let snapshot_of_json text : Metrics.view * Trace.span list =
 let prom_name prefix name =
   prefix ^ String.map (fun c -> if c = '.' then '_' else c) name
 
+(* HELP text is newline-terminated; Prometheus escapes are \\ and \n. *)
+let add_help b nm name =
+  match Metrics.help name with
+  | None -> ()
+  | Some d ->
+      Buffer.add_string b (Printf.sprintf "# HELP %s " nm);
+      String.iter
+        (function
+          | '\\' -> Buffer.add_string b "\\\\"
+          | '\n' -> Buffer.add_string b "\\n"
+          | c -> Buffer.add_char b c)
+        d;
+      Buffer.add_char b '\n'
+
 let to_prometheus ?(prefix = "specauction_") (v : Metrics.view) =
   let b = Buffer.create 4096 in
   List.iter
     (fun (name, n) ->
       let nm = prom_name prefix name in
+      add_help b nm name;
       Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" nm nm n))
     v.Metrics.counters;
   List.iter
     (fun (name, x) ->
       let nm = prom_name prefix name in
+      add_help b nm name;
       Buffer.add_string b
         (Printf.sprintf "# TYPE %s gauge\n%s %s\n" nm nm (float_str x)))
     v.Metrics.gauges;
   List.iter
     (fun (name, h) ->
       let nm = prom_name prefix name in
+      add_help b nm name;
       Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" nm);
       let cum = ref 0 in
       Array.iteri
@@ -399,3 +451,108 @@ let to_prometheus ?(prefix = "specauction_") (v : Metrics.view) =
            nm h.Metrics.count))
     v.Metrics.histograms;
   Buffer.contents b
+
+(* ----------------------------- chrome trace ------------------------------ *)
+
+(* Chrome Trace Event format, JSON Object variant: {"traceEvents": [...]}.
+   Each span becomes one complete ("ph":"X") event; ts/dur are microseconds
+   (Trace timestamps are seconds).  tid is the recording domain, so Perfetto
+   renders one track per domain; a metadata event names each track.  Span
+   ids and parent ids ride along in args, next to the span's attributes
+   (attr keys that would collide with ours are prefixed). *)
+
+let span_domains spans =
+  List.sort_uniq compare (List.map (fun sp -> sp.Trace.domain) spans)
+
+let add_chrome_event b first sp =
+  if not first then Buffer.add_string b ",\n";
+  Buffer.add_string b "    {\"name\": \"";
+  escape b sp.Trace.name;
+  Buffer.add_string b
+    (Printf.sprintf
+       "\", \"ph\": \"X\", \"ts\": %s, \"dur\": %s, \"pid\": 1, \"tid\": %d, \
+        \"args\": {"
+       (float_str (sp.Trace.start_s *. 1e6))
+       (float_str (sp.Trace.dur_s *. 1e6))
+       sp.Trace.domain);
+  Buffer.add_string b (Printf.sprintf "\"span_id\": %d" sp.Trace.id);
+  (match sp.Trace.parent with
+  | None -> ()
+  | Some p -> Buffer.add_string b (Printf.sprintf ", \"parent_span_id\": %d" p));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b ", \"";
+      escape b
+        (if k = "span_id" || k = "parent_span_id" then "attr." ^ k else k);
+      Buffer.add_string b "\": \"";
+      escape b v;
+      Buffer.add_char b '"')
+    sp.Trace.attrs;
+  Buffer.add_string b "}}"
+
+let spans_to_chrome spans =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  let first = ref true in
+  List.iter
+    (fun d ->
+      if not !first then Buffer.add_string b ",\n";
+      first := false;
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \
+            \"tid\": %d, \"args\": {\"name\": \"domain %d\"}}"
+           d d))
+    (span_domains spans);
+  List.iter
+    (fun sp ->
+      add_chrome_event b !first sp;
+      first := false)
+    spans;
+  Buffer.add_string b "\n  ]}\n";
+  Buffer.contents b
+
+let validate_chrome text =
+  let events =
+    match parse_json text with
+    | Obj fields -> (
+        match obj_field fields "traceEvents" with
+        | Arr items -> items
+        | _ -> parse_error "traceEvents must be an array")
+    | _ -> parse_error "chrome trace must be a JSON object"
+  in
+  let str fields k =
+    match obj_field fields k with
+    | Str s -> s
+    | _ -> parse_error "%s must be a string" k
+  in
+  let count = ref 0 in
+  List.iter
+    (function
+      | Obj ev -> (
+          ignore (str ev "name");
+          ignore (as_int (obj_field ev "pid"));
+          ignore (as_int (obj_field ev "tid"));
+          match str ev "ph" with
+          | "M" -> ()
+          | "X" ->
+              let ts = num (obj_field ev "ts") in
+              let dur = num (obj_field ev "dur") in
+              if not (Float.is_finite ts && Float.is_finite dur) then
+                parse_error "non-finite ts/dur";
+              if dur < 0.0 then parse_error "negative dur";
+              (match obj_field ev "args" with
+              | Obj args ->
+                  ignore (as_int (obj_field args "span_id"));
+                  List.iter
+                    (fun (_, v) ->
+                      match v with
+                      | Str _ | Num _ -> ()
+                      | _ -> parse_error "args values must be scalars")
+                    args
+              | _ -> parse_error "args must be an object");
+              incr count
+          | ph -> parse_error "unsupported event phase %s" ph)
+      | _ -> parse_error "trace event must be an object")
+    events;
+  !count

@@ -1,8 +1,14 @@
 (** Snapshot exporters: JSON (with a matching parser — snapshots
-    round-trip with no external deps) and Prometheus text format. *)
+    round-trip with no external deps), Chrome Trace Event JSON for span
+    timelines, and Prometheus text format. *)
 
 val version : int
-(** Snapshot format version, embedded in the JSON. *)
+(** Snapshot format version, embedded in the JSON.  2 since spans gained
+    id/parent/attrs. *)
+
+val float_str : float -> string
+(** Shortest decimal that round-trips through [float_of_string];
+    non-finite values render as ["null"]. *)
 
 val snapshot_to_json : ?spans:Trace.span list -> Metrics.view -> string
 (** Pretty JSON, one metric per line, names sorted — the counter block of
@@ -19,7 +25,39 @@ val snapshot_of_json : string -> Metrics.view * Trace.span list
 
 exception Parse_error of string
 
+(** {1 Generic JSON} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse_json : string -> json
+(** Minimal JSON parser (ASCII strings; [\u] escapes above 127 become
+    ['?']).  @raise Parse_error on malformed input. *)
+
+(** {1 Chrome Trace Event format} *)
+
+val spans_to_chrome : Trace.span list -> string
+(** Render spans as Chrome Trace Event JSON (the object form,
+    [{"traceEvents": [...]}]), loadable in Perfetto / chrome://tracing.
+    Each span becomes a complete ([ph:"X"]) event with microsecond
+    [ts]/[dur]; [tid] is the recording domain (one track per domain, named
+    by metadata events); span id, parent id and attributes ride in
+    [args]. *)
+
+val validate_chrome : string -> int
+(** Schema-check a Chrome trace produced by {!spans_to_chrome} and return
+    the number of complete (non-metadata) events.  @raise Parse_error if
+    the text is not valid JSON or violates the event schema. *)
+
+(** {1 Prometheus} *)
+
 val to_prometheus : ?prefix:string -> Metrics.view -> string
 (** Prometheus text exposition (counters, gauges, histograms with
     cumulative buckets).  Metric names have ['.'] mapped to ['_'] and are
-    prefixed with [prefix] (default ["specauction_"]). *)
+    prefixed with [prefix] (default ["specauction_"]); well-known metrics
+    get a [# HELP] line from {!Metrics.help}. *)

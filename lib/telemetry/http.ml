@@ -1,0 +1,199 @@
+(* Dependency-free blocking HTTP/1.0 server for telemetry scraping.
+
+   One accept-loop domain, one request per connection (Connection: close),
+   GET only.  This is a scrape endpoint for Prometheus/debugging, not a
+   general web server: requests are answered in arrival order by a single
+   handler call, and slow handlers block later scrapers — which is fine at
+   scrape rates.  The handler runs on the server domain; anything it reads
+   must be domain-safe (Metrics is; callers publish job tables through an
+   Atomic ref). *)
+
+type response = { status : int; content_type : string; body : string }
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  stop_flag : bool Atomic.t;
+  domain : unit Domain.t;
+}
+
+let m_requests = Metrics.counter "telemetry.http.requests"
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Unknown"
+
+let respond { status; content_type; body } =
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status (reason status) content_type (String.length body) body
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  (try
+     while !off < n do
+       off := !off + Unix.write_substring fd s !off (n - !off)
+     done
+   with Unix.Unix_error _ -> (* peer went away mid-response *) ())
+
+(* Read until the blank line ending the request head (we ignore bodies —
+   GET only), bounded to keep a misbehaving client from growing the
+   buffer. *)
+let read_head fd =
+  let b = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length b > 16384 then Buffer.contents b
+    else
+      let k = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
+      if k = 0 then Buffer.contents b
+      else begin
+        Buffer.add_subbytes b chunk 0 k;
+        let s = Buffer.contents b in
+        let rec has_blank i =
+          if i + 1 >= String.length s then false
+          else if s.[i] = '\n' && (s.[i + 1] = '\n' || (s.[i + 1] = '\r' && i + 2 < String.length s && s.[i + 2] = '\n'))
+          then true
+          else has_blank (i + 1)
+        in
+        if has_blank 0 then s else go ()
+      end
+  in
+  go ()
+
+let parse_request head =
+  match String.index_opt head '\n' with
+  | None -> Error 400
+  | Some eol -> (
+      let line = String.trim (String.sub head 0 eol) in
+      match String.split_on_char ' ' line with
+      | [ meth; target; _version ] ->
+          if meth <> "GET" then Error 405
+          else
+            (* strip any ?query — handlers dispatch on the path only *)
+            let path =
+              match String.index_opt target '?' with
+              | Some q -> String.sub target 0 q
+              | None -> target
+            in
+            Ok path
+      | _ -> Error 400)
+
+let serve_conn handler client =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+    (fun () ->
+      let head = read_head client in
+      Metrics.incr m_requests;
+      let resp =
+        match parse_request head with
+        | Error status ->
+            { status; content_type = "text/plain"; body = reason status ^ "\n" }
+        | Ok path -> (
+            try handler path
+            with exn ->
+              {
+                status = 500;
+                content_type = "text/plain";
+                body = Printexc.to_string exn ^ "\n";
+              })
+      in
+      write_all client (respond resp))
+
+let accept_loop sock stop_flag handler =
+  let rec go () =
+    match Unix.accept sock with
+    | client, _ ->
+        if Atomic.get stop_flag then (
+          try Unix.close client with Unix.Unix_error _ -> ())
+        else begin
+          (try serve_conn handler client
+           with _ -> (* a broken connection must not kill the loop *) ());
+          go ()
+        end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ ->
+        (* the listener was closed by stop () *)
+        ()
+  in
+  go ()
+
+let start ?(host = "127.0.0.1") ~port handler =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock addr;
+     Unix.listen sock 16
+   with exn ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise exn);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let stop_flag = Atomic.make false in
+  let domain = Domain.spawn (fun () -> accept_loop sock stop_flag handler) in
+  { sock; port; stop_flag; domain }
+
+let port t = t.port
+let wait t = Domain.join t.domain
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (* shutdown (not close) wakes a domain blocked in accept(2) on Linux;
+     close the fd only after the loop has exited *)
+  (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Domain.join t.domain with _ -> ());
+  try Unix.close t.sock with Unix.Unix_error _ -> ()
+
+(* ------------------------------- client --------------------------------- *)
+
+let recv_all fd =
+  let b = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let k = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
+    if k > 0 then begin
+      Buffer.add_subbytes b chunk 0 k;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents b
+
+let get ?(host = "127.0.0.1") ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      write_all sock
+        (Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n" path host);
+      let raw = recv_all sock in
+      let body_at =
+        let n = String.length raw in
+        let rec find i =
+          if i + 3 < n then
+            if String.sub raw i 4 = "\r\n\r\n" then Some (i + 4)
+            else if raw.[i] = '\n' && raw.[i + 1] = '\n' then Some (i + 2)
+            else find (i + 1)
+          else None
+        in
+        find 0
+      in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> ( match int_of_string_opt code with Some c -> c | None -> 0)
+        | _ -> 0
+      in
+      match body_at with
+      | Some i -> (status, String.sub raw i (String.length raw - i))
+      | None -> (status, ""))

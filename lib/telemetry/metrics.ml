@@ -190,51 +190,83 @@ let reset ?(registry = default) () =
    instrumented modules the linker kept.  The naming scheme is
    <library>.<component>.<quantity>; see DESIGN.md "Observability". *)
 
-let well_known_counters =
+(* Each well-known name pairs with a one-line description; the Prometheus
+   exporter renders these as # HELP lines.  Keep descriptions on one line
+   (Prometheus HELP is newline-terminated). *)
+
+let counter_descriptions =
   [
-    "lp.simplex.solves";
-    "lp.simplex.pivots";
-    "lp.revised.solves";
-    "lp.revised.pivots";
-    "lp.revised.warm_attempts";
-    "lp.revised.warm_installs";
-    "lp.revised.warm_rollbacks";
-    "core.colgen.solves";
-    "core.colgen.rounds";
-    "core.colgen.oracle_calls";
-    "core.colgen.columns";
-    "core.rounding.trials";
-    "core.rounding.improvements";
-    "core.derand.candidates";
-    "graph.rho.estimates";
-    "geom.grid.cells_scanned";
-    "geom.grid.candidates";
-    "wireless.construction.edges_kept";
-    "wireless.construction.edges_dropped";
-    "engine.jobs";
-    "engine.warm_used";
-    "engine.topology.hits";
-    "engine.topology.misses";
-    "engine.basis.lookups";
-    "engine.basis.hits";
-    "engine.job.retries";
-    "engine.job.failed";
-    "engine.fallback.greedy";
-    "engine.fallback.online";
-    "engine.deadline_exceeded";
-    "engine.faults.injected";
+    ("lp.simplex.solves", "Dense tableau simplex solves completed");
+    ("lp.simplex.pivots", "Dense tableau simplex pivot steps");
+    ("lp.revised.solves", "Revised (eta-file) simplex solves completed");
+    ("lp.revised.pivots", "Revised simplex pivot steps");
+    ("lp.revised.warm_attempts", "Warm-start basis installations attempted");
+    ("lp.revised.warm_installs", "Warm-start basis installations that succeeded");
+    ( "lp.revised.warm_rollbacks",
+      "Warm-start installations rolled back to a cold start" );
+    ("core.colgen.solves", "Column-generation master problems solved");
+    ("core.colgen.rounds", "Column-generation pricing rounds");
+    ("core.colgen.oracle_calls", "Demand-oracle invocations during pricing");
+    ("core.colgen.columns", "Columns added to the restricted master");
+    ( "core.colgen.price_recomputes",
+      "Incremental-pricing dirty recomputations of a bidder price" );
+    ("core.rounding.trials", "Randomized rounding trials evaluated");
+    ("core.rounding.improvements", "Rounding trials that improved the incumbent");
+    ("core.derand.candidates", "Conditional-expectation candidates scored");
+    ("graph.rho.estimates", "Inductive-independence rho estimations");
+    ("geom.grid.cells_scanned", "Spatial-grid cells visited by queries");
+    ("geom.grid.candidates", "Spatial-grid candidate points produced");
+    ( "wireless.construction.edges_kept",
+      "Conflict edges kept by exact predicates after grid filtering" );
+    ( "wireless.construction.edges_dropped",
+      "Grid candidate edges rejected by exact predicates" );
+    ("engine.jobs", "Jobs completed by the batch engine");
+    ("engine.warm_used", "Jobs solved using a cached warm-start basis");
+    ("engine.topology.hits", "Topology cache hits");
+    ("engine.topology.misses", "Topology cache misses");
+    ("engine.basis.lookups", "Warm-start basis cache lookups");
+    ("engine.basis.hits", "Warm-start basis cache hits");
+    ("engine.job.retries", "Job attempts re-run after an absorbed failure");
+    ("engine.job.failed", "Jobs that exhausted every tier and failed");
+    ("engine.fallback.greedy", "Jobs degraded to the greedy fallback tier");
+    ("engine.fallback.online", "Jobs degraded to the online first-fit tier");
+    ("engine.deadline_exceeded", "Job attempts aborted by the per-job deadline");
+    ("engine.faults.injected", "Faults injected by the deterministic harness");
+    ("telemetry.events.logged", "Decision events appended to the event log");
+    ( "telemetry.events.dropped",
+      "Decision events dropped for lack of an ambient job scope" );
+    ("telemetry.http.requests", "HTTP requests served by the telemetry endpoint");
   ]
 
-let well_known_gauges = [ "engine.topology.entries"; "engine.basis.entries" ]
-
-let well_known_histograms =
+let gauge_descriptions =
   [
-    "lp.revised.solve.seconds";
-    "core.colgen.solve.seconds";
-    "graph.rho.seconds";
-    "engine.job.lp.seconds";
-    "engine.job.round.seconds";
+    ("engine.topology.entries", "Topology cache population");
+    ("engine.basis.entries", "Warm-start basis cache population");
   ]
+
+let histogram_descriptions =
+  [
+    ("lp.revised.solve.seconds", "Wall time of revised simplex solves");
+    ("core.colgen.solve.seconds", "Wall time of column-generation solves");
+    ("graph.rho.seconds", "Wall time of rho estimations");
+    ("engine.job.lp.seconds", "Wall time of the LP phase per job");
+    ("engine.job.round.seconds", "Wall time of the rounding phase per job");
+    ("engine.job.seconds", "End-to-end wall time per engine job");
+    ( "engine.attempt.seconds",
+      "Wall time per job attempt across the retry/fallback chain" );
+  ]
+
+let well_known_counters = List.map fst counter_descriptions
+let well_known_gauges = List.map fst gauge_descriptions
+let well_known_histograms = List.map fst histogram_descriptions
+
+let help name =
+  match List.assoc_opt name counter_descriptions with
+  | Some _ as d -> d
+  | None -> (
+      match List.assoc_opt name gauge_descriptions with
+      | Some _ as d -> d
+      | None -> List.assoc_opt name histogram_descriptions)
 
 let () =
   List.iter (fun n -> ignore (counter n)) well_known_counters;

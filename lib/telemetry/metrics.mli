@@ -76,3 +76,16 @@ val find_histogram : view -> string -> hist_view option
 val reset : ?registry:t -> unit -> unit
 (** Zero every metric (registrations are kept).  Intended for benches and
     tests that attribute counts to a phase. *)
+
+(** {1 Well-known schema}
+
+    Names pre-registered in {!default} at module initialisation, so empty
+    snapshots still carry them.  {!help} returns the one-line description
+    the Prometheus exporter renders as a [# HELP] line. *)
+
+val well_known_counters : string list
+val well_known_gauges : string list
+val well_known_histograms : string list
+
+val help : string -> string option
+(** Description of a well-known metric; [None] for ad-hoc names. *)

@@ -5,7 +5,11 @@
 # same seed and across domain counts must emit byte-identical per-job
 # results, with every job served), and a telemetry smoke run that
 # validates the serve --metrics-out snapshot (parses, hot-path counters
-# nonzero, counter totals identical across domain counts).  Run from
+# nonzero, counter totals identical across domain counts), an
+# observability smoke (same-seed --events-out logs byte-identical across
+# runs and domain counts, --trace-out validates as Chrome Trace JSON),
+# and an http smoke (serve --listen on an ephemeral port, /metrics and
+# /healthz scraped with the in-tree raw-socket client).  Run from
 # anywhere inside the repo.
 set -eu
 
@@ -181,5 +185,66 @@ sed -n '/"counters": {/,/^  },/p' "$tmpdir/d4.json" > "$tmpdir/c4"
 test -s "$tmpdir/c1" || { echo "check: counter block extraction failed" >&2; exit 1; }
 cmp "$tmpdir/c1" "$tmpdir/c4" \
   || { echo "check: counters differ between --domains 1 and 4" >&2; exit 1; }
+
+echo "== observability smoke (event log determinism + chrome trace)"
+dune exec bin/auction.exe -- serve --demo --no-warm \
+  --events-out "$tmpdir/e1.jsonl" --trace-out "$tmpdir/t1.json" >/dev/null
+dune exec bin/auction.exe -- serve --demo --no-warm \
+  --events-out "$tmpdir/e2.jsonl" >/dev/null
+cmp "$tmpdir/e1.jsonl" "$tmpdir/e2.jsonl" \
+  || { echo "check: same-seed event logs differ" >&2; exit 1; }
+dune exec bin/auction.exe -- serve --demo --no-warm --domains 4 \
+  --events-out "$tmpdir/e4.jsonl" >/dev/null
+cmp "$tmpdir/e1.jsonl" "$tmpdir/e4.jsonl" \
+  || { echo "check: event logs differ between --domains 1 and 4" >&2; exit 1; }
+test -s "$tmpdir/e1.jsonl" \
+  || { echo "check: event log is empty" >&2; exit 1; }
+for kind in job_accepted lp_solved tier_chosen guarantee_certified; do
+  grep -q "\"kind\":\"$kind\"" "$tmpdir/e1.jsonl" \
+    || { echo "check: event log lacks $kind events" >&2; exit 1; }
+done
+# the chrome trace must parse as valid Trace Event JSON (in-tree validator)
+dune exec bin/auction.exe -- trace "$tmpdir/t1.json" >/dev/null \
+  || { echo "check: chrome trace failed validation" >&2; exit 1; }
+echo "   observability: event logs byte-identical, chrome trace valid"
+
+echo "== http smoke (auction serve --listen, raw-socket scrape)"
+# run the built binary directly so the background server does not hold the
+# dune build lock; port 0 picks an ephemeral port printed on stdout
+srvlog="$tmpdir/serve.log"
+./_build/default/bin/auction.exe serve --demo --listen 0 > "$srvlog" 2>&1 &
+srvpid=$!
+port=""
+for _ in $(seq 1 50); do
+  if grep -q 'serving /metrics /healthz /jobs' "$srvlog"; then
+    port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$srvlog" | head -n 1)"
+    break
+  fi
+  sleep 0.2
+done
+test -n "$port" \
+  || { kill "$srvpid" 2>/dev/null; echo "check: serve --listen never came up" >&2; exit 1; }
+hz="$tmpdir/healthz.txt"
+mtx="$tmpdir/scrape.txt"
+./_build/default/bin/auction.exe get --port "$port" /healthz > "$hz" \
+  || { kill "$srvpid" 2>/dev/null; echo "check: /healthz scrape failed" >&2; exit 1; }
+grep -q '^ok$' "$hz" \
+  || { kill "$srvpid" 2>/dev/null; echo "check: /healthz body wrong" >&2; exit 1; }
+./_build/default/bin/auction.exe get --port "$port" /metrics > "$mtx" \
+  || { kill "$srvpid" 2>/dev/null; echo "check: /metrics scrape failed" >&2; exit 1; }
+for metric in specauction_engine_jobs specauction_lp_revised_pivots \
+              specauction_engine_job_retries specauction_telemetry_events_logged; do
+  grep -q "^$metric " "$mtx" \
+    || { kill "$srvpid" 2>/dev/null; echo "check: /metrics lacks $metric" >&2; exit 1; }
+done
+grep -q '^# HELP specauction_engine_jobs ' "$mtx" \
+  || { kill "$srvpid" 2>/dev/null; echo "check: /metrics lacks HELP lines" >&2; exit 1; }
+if ./_build/default/bin/auction.exe get --port "$port" /nothere >/dev/null 2>&1; then
+  kill "$srvpid" 2>/dev/null
+  echo "check: unknown path did not 404" >&2; exit 1
+fi
+kill "$srvpid" 2>/dev/null
+wait "$srvpid" 2>/dev/null || true
+echo "   http: /metrics and /healthz served on ephemeral port $port"
 
 echo "check: OK ($out and telemetry snapshot well-formed)"

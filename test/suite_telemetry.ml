@@ -130,7 +130,26 @@ let test_snapshot_json_round_trip () =
   Metrics.observe h 17.25;
   let view = Metrics.snapshot ~registry () in
   let spans =
-    [ { Trace.name = "rt.span"; start_s = 1.5; dur_s = 0.25; domain = 0 } ]
+    [
+      {
+        Trace.id = 3;
+        parent = None;
+        name = "rt.span";
+        start_s = 1.5;
+        dur_s = 0.25;
+        domain = 0;
+        attrs = [ ("job", "0"); ("tier", "lp") ];
+      };
+      {
+        Trace.id = 4;
+        parent = Some 3;
+        name = "rt.child";
+        start_s = 1.6;
+        dur_s = 0.05;
+        domain = 0;
+        attrs = [];
+      };
+    ]
   in
   let json = Export.snapshot_to_json ~spans view in
   let view', spans' = Export.snapshot_of_json json in

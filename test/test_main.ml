@@ -19,6 +19,7 @@ let () =
       ("parallel", Suite_parallel.suite);
       ("metrics", Suite_metrics.suite);
       ("telemetry", Suite_telemetry.suite);
+      ("observability", Suite_observability.suite);
       ("properties", Suite_properties.suite);
       ("engine", Suite_engine.suite);
       ("resilience", Suite_resilience.suite);
