@@ -40,7 +40,17 @@
    observability), measures the cost of the tracing + event-log layer on
    the engine workload (sinks off vs on, interleaved min-of-N passes) and
    validates the Chrome trace and event-log determinism, writing
-   BENCH_observability.json.  Flags: --quick, --observability-out PATH. *)
+   BENCH_observability.json.  Flags: --quick, --observability-out PATH.
+
+   A sixth group, `bench scheduler` (dune exec bench/main.exe --
+   scheduler), measures the persistent domain pool against the old
+   spawn-per-call fan-out: per-call latency on a batch of many small
+   calls, dynamic self-scheduling vs static striding on a skewed-cost
+   batch, and the cross-job column pool's colgen-round savings on an
+   exact-repeat oracle workload (with bitwise objective parity and
+   same-seed determinism checked at every domain count), writing
+   BENCH_scheduler.json.  Flags: --quick, --domains N, --scheduler-out
+   PATH. *)
 
 open Bechamel
 
@@ -839,6 +849,214 @@ let observability_bench ~quick ~out =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
   Printf.printf "  summary written to %s\n" out
 
+(* ---- scheduler: persistent pool vs spawn-per-call fan-out ------------------ *)
+
+module Fanout = Sa_core.Fanout
+
+(* The pre-pool [Fanout.map_array] (spawn d-1 domains per call, static
+   striding, option-boxed results), kept verbatim here so the baseline
+   stays fixed regardless of how lib/core evolves. *)
+let spawn_map_array ~domains f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else
+    let d = min domains n in
+    if d = 1 then Array.map f arr
+    else begin
+      let results = Array.make n None in
+      let worker shard () =
+        let i = ref shard in
+        while !i < n do
+          results.(!i) <- Some (f arr.(!i));
+          i := !i + d
+        done
+      in
+      let doms = List.init (d - 1) (fun s -> Domain.spawn (worker (s + 1))) in
+      worker 0 ();
+      List.iter Domain.join doms;
+      Array.map (function Some v -> v | None -> assert false) results
+    end
+
+(* (a) per-call latency: many calls over a batch of small items, where the
+   fixed cost of standing up domains dominates the old path. *)
+let scheduler_small_batch ~quick ~domains =
+  let calls = if quick then 60 else 300 in
+  let n = 64 in
+  let arr = Array.init n (fun i -> i) in
+  let f x =
+    let acc = ref x in
+    for j = 1 to 60 do
+      acc := ((!acc * 31) + j) land 0xFFFFFF
+    done;
+    !acc
+  in
+  let expected = Array.map f arr in
+  (* throwaway: warm up code paths and park the pool workers *)
+  ignore (spawn_map_array ~domains f arr);
+  ignore (Fanout.map_array ~domains f arr);
+  let parity = ref true in
+  let time_calls map =
+    let (), s =
+      Sa_util.Timing.time (fun () ->
+          for _ = 1 to calls do
+            if map f arr <> expected then parity := false
+          done)
+    in
+    s *. 1e6 /. float_of_int calls
+  in
+  let spawn_us = time_calls (fun f a -> spawn_map_array ~domains f a) in
+  let pool_us = time_calls (fun f a -> Fanout.map_array ~domains f a) in
+  let speedup = if pool_us > 0.0 then spawn_us /. pool_us else Float.nan in
+  Printf.printf
+    "  small-batch x%d (n=%d, d=%d): spawn %8.1f us/call  pool %8.1f us/call  \
+     (%.1fx, parity=%b)\n%!"
+    calls n domains spawn_us pool_us speedup !parity;
+  Printf.sprintf
+    "{\"calls\":%d,\"items\":%d,\"domains\":%d,\"spawn_per_call_us\":%.3f,\
+     \"pool_per_call_us\":%.3f,\"speedup_pool_over_spawn\":%.3f,\"parity\":%b}"
+    calls n domains spawn_us pool_us speedup !parity
+
+(* (b) skewed-cost batch: a few items are ~500x the rest, so static
+   striding parks whole shards behind the heavy items while the pool's
+   self-scheduling cursor (and steals) keep every participant busy. *)
+let scheduler_skewed ~quick ~domains =
+  let n = if quick then 96 else 192 in
+  let heavy = if quick then 60_000 else 150_000 in
+  let f i =
+    let spins = if i mod 16 = 0 then heavy else 300 in
+    let acc = ref 0 in
+    for j = 1 to spins do
+      acc := (!acc + (i * j)) land 0xFFFF
+    done;
+    !acc
+  in
+  let arr = Array.init n Fun.id in
+  let expected = Array.map f arr in
+  ignore (spawn_map_array ~domains f arr);
+  ignore (Fanout.map_array ~domains f arr);
+  let parity = ref true in
+  let reps = 3 in
+  let time_min map =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let (), s =
+        Sa_util.Timing.time (fun () -> if map f arr <> expected then parity := false)
+      in
+      if s < !best then best := s
+    done;
+    !best
+  in
+  let static_s = time_min (fun f a -> spawn_map_array ~domains f a) in
+  let adaptive_s = time_min (fun f a -> Fanout.map_array ~domains f a) in
+  let chunk1_s = time_min (fun f a -> Fanout.map_array ~domains ~chunk:1 f a) in
+  let ratio = if adaptive_s > 0.0 then static_s /. adaptive_s else Float.nan in
+  Printf.printf
+    "  skewed n=%d (d=%d): static-stride %.4fs  pool-adaptive %.4fs  \
+     pool-chunk1 %.4fs  (static/adaptive %.2fx, parity=%b)\n%!"
+    n domains static_s adaptive_s chunk1_s ratio !parity;
+  Printf.sprintf
+    "{\"items\":%d,\"domains\":%d,\"reps\":%d,\"static_stride_seconds\":%.6f,\
+     \"pool_adaptive_seconds\":%.6f,\"pool_chunk1_seconds\":%.6f,\
+     \"ratio_static_over_adaptive\":%.3f,\"parity\":%b}"
+    n domains reps static_s adaptive_s chunk1_s ratio !parity
+
+(* (c) cross-job column pool on an exact-repeat oracle workload: seeded
+   jobs must cut colgen rounds and reproduce the cold run byte for byte
+   (exact repeats re-solve the identical final master LP). *)
+let scheduler_column_pool ~quick =
+  let specs =
+    [
+      Workload.spec ~model:Workload.Clique ~n:(if quick then 20 else 24) ~k:4
+        ~seed:9 ~algorithm:Engine.Oracle_round ~repeat:(if quick then 4 else 8)
+        ~revalue_bids:false ();
+    ]
+  in
+  let expander = Engine.create ~warm_start:false () in
+  let jobs = Workload.expand expander specs in
+  let njobs = List.length jobs in
+  let run ~column_pool ~domains =
+    with_counter_delta (fun () ->
+        Engine.run_batch ~domains (Engine.create ~warm_start:false ~column_pool ())
+          jobs)
+  in
+  ignore (run ~column_pool:true ~domains:1);
+  let (cold_res, cold_sum), _ = run ~column_pool:false ~domains:1 in
+  let (pool_res, pool_sum), pool_ctr = run ~column_pool:true ~domains:1 in
+  let ctr_of name = Option.value ~default:0 (List.assoc_opt name pool_ctr) in
+  let objectives_bitwise =
+    Array.length cold_res = Array.length pool_res
+    && Array.for_all2
+         (fun (a : Engine.result) (b : Engine.result) ->
+           Int64.bits_of_float a.Engine.lp_objective
+           = Int64.bits_of_float b.Engine.lp_objective)
+         cold_res pool_res
+  in
+  let bytes_identical =
+    Engine.results_to_json cold_res = Engine.results_to_json pool_res
+  in
+  (* same-seed determinism at every domain count: two identical passes must
+     serialise identically.  Exact repeats make this interleaving-proof —
+     a seeded and an unseeded solve of the same job agree byte for byte,
+     so it does not matter which jobs happened to hit the pool. *)
+  let determinism =
+    List.map
+      (fun domains ->
+        let (r1, _), _ = run ~column_pool:true ~domains in
+        let (r2, _), _ = run ~column_pool:true ~domains in
+        let same = Engine.results_to_json r1 = Engine.results_to_json r2 in
+        (domains, same))
+      [ 1; 2; 4 ]
+  in
+  let all_deterministic = List.for_all snd determinism in
+  Printf.printf
+    "  column-pool %d jobs: cold %d rounds -> pool %d rounds  hits %d  \
+     seeded %d cols  bitwise-objectives %b  bytes-identical %b\n%!"
+    njobs cold_sum.Engine.lp_iterations pool_sum.Engine.lp_iterations
+    (ctr_of "core.colgen.pool.hits")
+    (ctr_of "core.colgen.pool.seeded_columns")
+    objectives_bitwise bytes_identical;
+  List.iter
+    (fun (d, same) ->
+      Printf.printf "  column-pool determinism d=%d: %b\n%!" d same)
+    determinism;
+  let det_json =
+    String.concat ","
+      (List.map
+         (fun (d, same) ->
+           Printf.sprintf "{\"domains\":%d,\"same_seed_deterministic\":%b}" d same)
+         determinism)
+  in
+  Printf.sprintf
+    "{\"jobs\":%d,\"cold_rounds\":%d,\"pool_rounds\":%d,\"rounds_saved\":%d,\
+     \"pool_hits\":%d,\"pool_misses\":%d,\"seeded_columns\":%d,\
+     \"objectives_bitwise_equal\":%b,\"results_bytes_identical\":%b,\
+     \"determinism\":[%s],\"same_seed_deterministic\":%b}"
+    njobs cold_sum.Engine.lp_iterations pool_sum.Engine.lp_iterations
+    (cold_sum.Engine.lp_iterations - pool_sum.Engine.lp_iterations)
+    (ctr_of "core.colgen.pool.hits")
+    (ctr_of "core.colgen.pool.misses")
+    (ctr_of "core.colgen.pool.seeded_columns")
+    objectives_bitwise bytes_identical det_json all_deterministic
+
+let scheduler_bench ~quick ~out ~domains =
+  Printf.printf "scheduler (%s, domains=%d):\n%!"
+    (if quick then "quick" else "full")
+    domains;
+  let small_json = scheduler_small_batch ~quick ~domains in
+  let skewed_json = scheduler_skewed ~quick ~domains in
+  let colpool_json = scheduler_column_pool ~quick in
+  let json =
+    Printf.sprintf
+      "{\"benchmark\":\"scheduler\",\"quick\":%b,\"recommended_domains\":%d,\
+       \"domains\":%d,\"small_batch\":%s,\"skewed\":%s,\"column_pool\":%s}\n"
+      quick
+      (Domain.recommended_domain_count ())
+      domains small_json skewed_json colpool_json
+  in
+  let oc = open_out out in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  Printf.printf "  summary written to %s\n" out
+
 (* ---- runner + textual report --------------------------------------------- *)
 
 let benchmark () =
@@ -896,6 +1114,10 @@ let () =
   else if List.mem "observability" argv then
     let out = find_flag "--observability-out" "BENCH_observability.json" in
     observability_bench ~quick ~out
+  else if List.mem "scheduler" argv then
+    let out = find_flag "--scheduler-out" "BENCH_scheduler.json" in
+    let domains = int_of_string (find_flag "--domains" "4") in
+    scheduler_bench ~quick ~out ~domains
   else if List.mem "kernels" argv then
     let out = find_flag "--kernels-out" "BENCH_kernels.json" in
     let domains = int_of_string (find_flag "--domains" "4") in

@@ -179,9 +179,10 @@ let print_telemetry_summary (snap : Metrics.view) =
     (c "engine.topology.hits" + c "engine.topology.misses")
     (c "engine.basis.hits") (c "engine.basis.lookups")
 
-let run_serve () workload demo domains no_warm json_out metrics_out prom_out
-    fault_rate fault_seed deadline_ms pivot_budget max_retries no_fallback
-    results_out listen trace_out events_out =
+let run_serve () workload demo domains pool_chunk no_warm no_column_pool
+    json_out metrics_out prom_out fault_rate fault_seed deadline_ms
+    pivot_budget max_retries no_fallback results_out listen trace_out
+    events_out =
   let specs =
     match (workload, demo) with
     | Some path, _ -> Workload.load path
@@ -203,7 +204,14 @@ let run_serve () workload demo domains no_warm json_out metrics_out prom_out
       ?deadline_s:(Option.map (fun ms -> ms /. 1e3) deadline_ms)
       ?pivot_budget ~max_retries ~fallback:(not no_fallback) ?faults ()
   in
-  let engine = Engine.create ~warm_start:(not no_warm) () in
+  (match pool_chunk with
+  | Some c when c < 1 ->
+      prerr_endline "serve: --pool-chunk must be >= 1";
+      exit 2
+  | _ -> ());
+  let engine =
+    Engine.create ~warm_start:(not no_warm) ~column_pool:(not no_column_pool) ()
+  in
   (* The scrape handler runs on the server domain: metrics are domain-safe
      already, and the per-job table is published through an Atomic ref once
      the batch lands (empty array until then). *)
@@ -258,7 +266,9 @@ let run_serve () workload demo domains no_warm json_out metrics_out prom_out
     (match fault_rate with
     | None -> ""
     | Some r -> Printf.sprintf ", fault-rate %.2f (seed %d)" r fault_seed);
-  let results, summary = Engine.run_batch ~domains ~policy engine jobs in
+  let results, summary =
+    Engine.run_batch ~domains ?chunk:pool_chunk ~policy engine jobs
+  in
   Atomic.set results_ref results;
   let per_job =
     match Logs.level () with
@@ -334,7 +344,20 @@ let demo_arg =
 
 let domains_arg =
   Arg.(value & opt int 1 & info [ "domains" ]
-         ~doc:"Number of OCaml domains to shard jobs across.")
+         ~doc:"Number of OCaml domains to shard jobs across (scheduled on \
+               the persistent domain pool).")
+
+let pool_chunk_arg =
+  Arg.(value & opt (some int) None & info [ "pool-chunk" ] ~docv:"N"
+         ~doc:"Fix the domain pool's self-scheduling chunk size (default: \
+               adaptive, remaining/(2*domains) capped at 64).  Results are \
+               identical for any value; only scheduling changes.")
+
+let no_column_pool_arg =
+  Arg.(value & flag & info [ "no-column-pool" ]
+         ~doc:"Disable the cross-job column pool used by algorithm=oracle \
+               jobs (colgen then always starts cold; certified objectives \
+               are unchanged).")
 
 let no_warm_arg =
   Arg.(value & flag & info [ "no-warm" ]
@@ -416,7 +439,8 @@ let serve_cmd =
   let doc = "Replay a workload file through the batch auction engine" in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run_serve $ Log_cli.term $ workload_arg $ demo_arg $ domains_arg
-          $ no_warm_arg $ json_arg $ metrics_out_arg $ prom_out_arg
+          $ pool_chunk_arg $ no_warm_arg $ no_column_pool_arg $ json_arg
+          $ metrics_out_arg $ prom_out_arg
           $ fault_rate_arg $ fault_seed_arg $ deadline_ms_arg $ pivot_budget_arg
           $ max_retries_arg $ no_fallback_arg $ results_out_arg $ listen_arg
           $ trace_out_arg $ events_out_arg)

@@ -1,0 +1,12 @@
+# Repeated-topology column-generation workload for the cross-job column
+# pool acceptance runs (DESIGN.md §10):
+#   auction serve --workload examples/columns.wl [--no-column-pool] ...
+# Every batch repeats one clique-conflict topology with unchanged bids
+# (revalue=false), so later jobs hit the pool under the same conflict
+# fingerprint and seed their restricted master from the first solve's
+# columns -- with byte-identical per-job results either way.
+specauction-workload 1
+batch model=clique n=24 k=4 seed=9 algorithm=oracle repeat=6 revalue=false
+batch model=clique n=20 k=4 seed=13 algorithm=oracle repeat=4 revalue=false
+batch model=clique n=16 k=3 seed=5 algorithm=oracle repeat=4 revalue=false
+end

@@ -1,31 +1,18 @@
 (* Domain fan-out primitive shared by the rounding, pricing, and engine
    layers.  Lives below [Rounding] in the module graph so that rounding can
    parallelize its own trials without depending on [Parallel] (which depends
-   on [Rounding]). *)
+   on [Rounding]).
+
+   Since the scheduler rework this is a thin wrapper over [Pool]: work runs
+   on the persistent default domain pool (spawned lazily, reused across
+   calls) with dynamic chunk self-scheduling instead of the historical
+   spawn-per-call static striding. *)
 
 let default_domains = max 1 (Domain.recommended_domain_count () - 1)
 
-let map_array ?(domains = default_domains) f arr =
+let map_array ?(domains = default_domains) ?chunk f arr =
   if domains < 1 then invalid_arg "Fanout.map_array: domains must be >= 1";
-  let n = Array.length arr in
-  if n = 0 then [||]
-  else begin
-    let d = min domains n in
-    if d = 1 then Array.map f arr
-    else begin
-      let results = Array.make n None in
-      let worker i () =
-        (* strided assignment: domain i owns indices i, i+d, i+2d, … so
-           heterogeneous job costs spread evenly; slots are disjoint, so no
-           synchronisation is needed on [results] *)
-        let j = ref i in
-        while !j < n do
-          results.(!j) <- Some (f arr.(!j));
-          j := !j + d
-        done
-      in
-      let handles = List.init d (fun i -> Domain.spawn (worker i)) in
-      List.iter Domain.join handles;
-      Array.map (function Some v -> v | None -> assert false) results
-    end
-  end
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Fanout.map_array: chunk must be >= 1"
+  | _ -> ());
+  Pool.map_array ~pool:(Pool.default ()) ~domains ?chunk f arr

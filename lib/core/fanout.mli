@@ -1,13 +1,23 @@
 (** Domain fan-out primitive.
 
     [map_array f arr] behaves exactly like [Array.map f arr]; with more
-    than one domain the work is strided across OCaml 5 domains and results
-    land in their original slots, so the output is independent of the
-    domain count (provided [f] is pure up to {!Sa_telemetry} updates, which
-    are atomic and hence exact under sharding). *)
+    than one domain the work is scheduled on the persistent {!Pool} (one
+    shared set of worker domains, dynamic chunk self-scheduling plus work
+    stealing) and results land in their original slots, so the output is
+    independent of the domain count and chunk size (provided [f] is pure
+    up to {!Sa_telemetry} updates, which are atomic and hence exact under
+    sharding). *)
 
 val default_domains : int
 (** [recommended_domain_count () - 1], at least 1. *)
 
-val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
-(** Rejects [domains < 1].  Defaults to {!default_domains}. *)
+val map_array : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Rejects [domains < 1] and [chunk < 1].  Defaults to
+    {!default_domains} and adaptive chunking.
+
+    {b Failure contract} (inherited from {!Pool.map_array}): when
+    applications of [f] raise, all items still run, and the exception of
+    the lowest-index failure is re-raised with its original backtrace —
+    the same failure surfaces no matter how work was scheduled.  With
+    [domains = 1] the call degrades to a plain sequential [Array.map],
+    where the first (= lowest-index) failure propagates directly. *)

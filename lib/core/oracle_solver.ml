@@ -10,6 +10,9 @@ let m_rounds = Tel.counter "core.colgen.rounds"
 let m_oracle_calls = Tel.counter "core.colgen.oracle_calls"
 let m_columns = Tel.counter "core.colgen.columns"
 let m_price_recomputes = Tel.counter "core.colgen.price_recomputes"
+let m_pool_hits = Tel.counter "core.colgen.pool.hits"
+let m_pool_misses = Tel.counter "core.colgen.pool.misses"
+let m_pool_seeded = Tel.counter "core.colgen.pool.seeded_columns"
 let h_solve = Tel.histogram "core.colgen.solve.seconds"
 let log_src = Logs.Src.create "sa.core.colgen" ~doc:"Column generation"
 module Log = (val Logs.src_log log_src : Logs.LOG)
@@ -18,9 +21,109 @@ type stats = {
   iterations : int;
   columns_generated : int;
   lp_solves_time : float;
+  seeded_columns : int;
 }
 
 type pricing = Naive | Incremental
+
+(* ------------------------- cross-job column pool ------------------------- *)
+
+(* Bounded LRU of generated (bidder, bundle) columns keyed by conflict
+   fingerprint, shared across jobs the way the engine's basis cache shares
+   warm bases: a mutex guards the table, atomics mirror the hit counters so
+   they are readable from any domain without the lock.  Columns are kept in
+   generation order — the order the donor solve discovered them — so a
+   seeded master reproduces the donor's column sequence and, on a
+   non-degenerate LP, its exact optimal vertex. *)
+module Column_pool = struct
+  type entry = { cols : (int * Bundle.t) list; mutable stamp : int }
+
+  type t = {
+    lock : Mutex.t;
+    table : (string, entry) Hashtbl.t;
+    mutable tick : int;
+    max_keys : int;
+    max_columns_per_key : int;
+    hits : int Atomic.t;
+    misses : int Atomic.t;
+  }
+
+  let create ?(max_keys = 64) ?(max_columns_per_key = 512) () =
+    if max_keys < 1 then invalid_arg "Column_pool.create: max_keys must be >= 1";
+    if max_columns_per_key < 1 then
+      invalid_arg "Column_pool.create: max_columns_per_key must be >= 1";
+    {
+      lock = Mutex.create ();
+      table = Hashtbl.create 64;
+      tick = 0;
+      max_keys;
+      max_columns_per_key;
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+    }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let find t key =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some e ->
+            t.tick <- t.tick + 1;
+            e.stamp <- t.tick;
+            Atomic.incr t.hits;
+            Tel.incr m_pool_hits;
+            e.cols
+        | None ->
+            Atomic.incr t.misses;
+            Tel.incr m_pool_misses;
+            [])
+
+  let evict_lru t =
+    while Hashtbl.length t.table > t.max_keys do
+      let victim =
+        Hashtbl.fold
+          (fun key e acc ->
+            match acc with
+            | Some (_, stamp) when stamp <= e.stamp -> acc
+            | _ -> Some (key, e.stamp))
+          t.table None
+      in
+      match victim with
+      | Some (key, _) -> Hashtbl.remove t.table key
+      | None -> ()
+    done
+
+  (* Merge [cols] (generation order) after the key's existing columns,
+     deduplicating on (bidder, bundle) and truncating to the per-key bound
+     — earliest-generated columns win, keeping the stored prefix stable
+     across repeated stores of the same solve. *)
+  let store t key cols =
+    locked t (fun () ->
+        t.tick <- t.tick + 1;
+        let existing =
+          match Hashtbl.find_opt t.table key with Some e -> e.cols | None -> []
+        in
+        let seen = Hashtbl.create 64 in
+        let keep = ref [] in
+        let count = ref 0 in
+        List.iter
+          (fun (v, b) ->
+            let k = (v, Bundle.to_int b) in
+            if !count < t.max_columns_per_key && not (Hashtbl.mem seen k) then begin
+              Hashtbl.add seen k ();
+              keep := (v, b) :: !keep;
+              incr count
+            end)
+          (existing @ cols);
+        Hashtbl.replace t.table key { cols = List.rev !keep; stamp = t.tick };
+        evict_lru t)
+
+  let entries t = locked t (fun () -> Hashtbl.length t.table)
+  let hit_count t = Atomic.get t.hits
+  let miss_count t = Atomic.get t.misses
+end
 
 (* Raw Section-3.1 price sums, before clamping and availability deterrents:
    p_raw(v,j) = Σ_{u ≻ v} w̄_j(u,v) · y(u,j), accumulated with u ascending.
@@ -113,7 +216,7 @@ let price_state_update inst st ~y =
 
 let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
     ?(engine = Model.Revised_sparse) ?(pricing = Incremental) ?(domains = 1)
-    ?deadline ?(on_stall = `Accept) inst =
+    ?deadline ?(on_stall = `Accept) ?column_pool inst =
   Sa_telemetry.Trace.with_span ~hist:h_solve "core.colgen.solve" @@ fun () ->
   Tel.incr m_solves;
   if domains < 1 then invalid_arg "Oracle_solver.solve: domains must be >= 1";
@@ -206,6 +309,28 @@ let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
                  { bidder = v; detail = Printexc.to_string e }))
       (Array.init n Fun.id)
   in
+  (* Cross-job seeding: columns interned by an earlier solve over the same
+     conflict fingerprint enter the restricted master up front, in their
+     original generation order.  [add_column] re-verifies each one against
+     THIS instance's bundle constraints ([Instance.restrict_bundle]) and
+     prices it with THIS instance's valuations, so a stale or foreign
+     column can narrow the seeding but never corrupt the LP. *)
+  let seeded =
+    match column_pool with
+    | None -> 0
+    | Some (cp, key) ->
+        let pooled = Column_pool.find cp key in
+        List.fold_left
+          (fun acc (v, bundle) ->
+            if
+              v >= 0 && v < n
+              && (not (Bundle.is_empty bundle))
+              && add_column v bundle
+            then acc + 1
+            else acc)
+          0 pooled
+  in
+  Tel.add m_pool_seeded seeded;
   (* Seed: every bidder's favourite bundle at zero prices (blocked channels
      still carry their deterrent price). *)
   let seed_demands = all_demands (all_prices (fun _ _ -> 0.0)) in
@@ -282,6 +407,15 @@ let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
      it; [`Fail] surfaces the stall to the engine's retry logic. *)
   (if (not !finished) && on_stall = `Fail then
      Sa_util.Fail.raise_ (Sa_util.Fail.Colgen_stall { rounds = !rounds }));
+  (* Final refactorization: re-solve the converged master from a cold
+     start.  The incremental x_b carried across warm-started rounds drifts
+     by ulps with the pivot history, so without this the certified values
+     would depend on the path (cold, warm-across-rounds, pool-seeded) that
+     discovered the final column set.  One clean solve over the finished
+     master makes the answer a pure function of that column set — which is
+     what lets a pool-seeded exact repeat reproduce its donor bitwise. *)
+  warm_basis := None;
+  last_sol := solve_master ();
   let sol = !last_sol in
   let cols =
     List.rev !columns
@@ -292,8 +426,15 @@ let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
            else None)
     |> Array.of_list
   in
+  (* Intern everything this solve generated (seeded columns included — they
+     passed [add_column], so they are live for this fingerprint). *)
+  (match column_pool with
+  | None -> ()
+  | Some (cp, key) ->
+      Column_pool.store cp key (List.rev_map (fun (v, b, _) -> (v, b)) !columns));
   Sa_telemetry.Trace.add_attr "rounds" (string_of_int !rounds);
   Sa_telemetry.Trace.add_attr "columns" (string_of_int (Hashtbl.length present));
+  Sa_telemetry.Trace.add_attr "seeded" (string_of_int seeded);
   Sa_telemetry.Eventlog.emit "colgen_done"
     [
       ("rounds", Sa_telemetry.Eventlog.Int !rounds);
@@ -306,4 +447,5 @@ let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
       iterations = !rounds;
       columns_generated = Hashtbl.length present;
       lp_solves_time = !lp_time;
+      seeded_columns = seeded;
     } )

@@ -2,30 +2,29 @@ module Prng = Sa_util.Prng
 
 let default_domains = Fanout.default_domains
 
-let map_array ?(domains = default_domains) f arr =
+let map_array ?(domains = default_domains) ?chunk f arr =
   if domains < 1 then invalid_arg "Parallel.map_array: domains must be >= 1";
-  Fanout.map_array ~domains f arr
+  Fanout.map_array ~domains ?chunk f arr
 
 let better inst a b = if Allocation.value inst a >= Allocation.value inst b then a else b
 
 let reduce_best inst results =
-  List.fold_left (better inst) (Allocation.empty (Instance.n inst)) results
+  Array.fold_left (better inst) (Allocation.empty (Instance.n inst)) results
 
 let solve_rounding ?(domains = default_domains) ?(trials_per_domain = 4) ~seed inst
     frac =
   if domains < 1 then invalid_arg "Parallel.solve_rounding: domains must be >= 1";
   if trials_per_domain < 1 then
     invalid_arg "Parallel.solve_rounding: trials_per_domain must be >= 1";
-  let worker d () =
-    (* each domain gets an independent deterministic stream *)
+  let worker d =
+    (* each shard gets an independent deterministic stream (kept per shard
+       index, not per executing domain, so results don't depend on where
+       the pool runs the shard) *)
     let g = Prng.create ~seed:(seed + (1_000_003 * (d + 1))) in
     Rounding.solve_adaptive ~trials:trials_per_domain g inst frac
   in
-  if domains = 1 then worker 0 ()
-  else begin
-    let handles = List.init domains (fun d -> Domain.spawn (worker d)) in
-    reduce_best inst (List.map Domain.join handles)
-  end
+  if domains = 1 then worker 0
+  else reduce_best inst (Fanout.map_array ~domains worker (Array.init domains Fun.id))
 
 let derand1 ?(domains = default_domains) inst frac =
   (match inst.Instance.conflict with
@@ -38,7 +37,7 @@ let derand1 ?(domains = default_domains) inst frac =
   let n = Instance.n inst in
   let k = float_of_int inst.Instance.k in
   let scale_down = 2.0 *. sqrt k *. inst.Instance.rho in
-  let scan_range a_lo a_hi () =
+  let scan_range (a_lo, a_hi) =
     let best = ref (Allocation.empty n) in
     for a = a_lo to a_hi - 1 do
       for b = 0 to p - 1 do
@@ -51,13 +50,11 @@ let derand1 ?(domains = default_domains) inst frac =
     done;
     !best
   in
-  if domains = 1 then scan_range 0 p ()
+  if domains = 1 then scan_range (0, p)
   else begin
     let chunk = (p + domains - 1) / domains in
-    let handles =
-      List.init domains (fun d ->
-          let lo = d * chunk and hi = min p ((d + 1) * chunk) in
-          Domain.spawn (scan_range lo hi))
+    let ranges =
+      Array.init domains (fun d -> (d * chunk, min p ((d + 1) * chunk)))
     in
-    reduce_best inst (List.map Domain.join handles)
+    reduce_best inst (Fanout.map_array ~domains scan_range ranges)
   end

@@ -16,13 +16,15 @@
 val default_domains : int
 (** [max 1 (Domain.recommended_domain_count () - 1)]. *)
 
-val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
-(** [map_array f arr] is [Array.map f arr] sharded across up to [domains]
-    OCaml 5 domains (default {!default_domains}), assigning indices to
-    domains in a strided pattern.  Output order and content are identical
-    to the sequential map whenever [f] is a function of its argument alone;
-    this is the generic fan-out the batch engine builds on.  [f] must be
-    safe to run concurrently from several domains. *)
+val map_array : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array f arr] is [Array.map f arr] scheduled across up to
+    [domains] OCaml 5 domains (default {!default_domains}) on the
+    persistent {!Pool} — dynamic chunk self-scheduling ([chunk] fixes the
+    chunk size, default adaptive) with work stealing.  Output order and
+    content are identical to the sequential map whenever [f] is a function
+    of its argument alone; this is the generic fan-out the batch engine
+    builds on.  [f] must be safe to run concurrently from several
+    domains.  Failure contract as in {!Fanout.map_array}. *)
 
 val solve_rounding :
   ?domains:int ->

@@ -94,16 +94,18 @@ val solve :
 
 val solve_par :
   ?domains:int ->
+  ?chunk:int ->
   ?trials:int ->
   seed:int ->
   Instance.t ->
   Lp_relaxation.fractional ->
   Allocation.t
 (** {!solve} with the trials fanned across OCaml 5 domains
-    ({!Fanout.map_array}).  Each trial runs on its own PRNG stream derived
-    from [seed] and trial index — never from the domain assignment — and
-    the best allocation is chosen in fixed index order, so the result is
-    byte-identical across domain counts. *)
+    ({!Fanout.map_array}; [chunk] fixes the pool's self-scheduling chunk
+    size).  Each trial runs on its own PRNG stream derived from [seed] and
+    trial index — never from the domain assignment — and the best
+    allocation is chosen in fixed index order, so the result is
+    byte-identical across domain counts and chunk sizes. *)
 
 val round_with_uniforms :
   Instance.t ->

@@ -5,6 +5,7 @@ module Rounding = Sa_core.Rounding
 module Greedy = Sa_core.Greedy
 module Derand = Sa_core.Derand
 module Parallel = Sa_core.Parallel
+module Oracle_solver = Sa_core.Oracle_solver
 module Serialize = Sa_core.Serialize
 module Graph = Sa_graph.Graph
 module Weighted = Sa_graph.Weighted
@@ -41,19 +42,21 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 (* ------------------------------- job types ------------------------------ *)
 
-type algorithm = Lp_round | Adaptive | Greedy_lp | Derand_seq
+type algorithm = Lp_round | Adaptive | Greedy_lp | Derand_seq | Oracle_round
 
 let algorithm_name = function
   | Lp_round -> "lp-round"
   | Adaptive -> "adaptive"
   | Greedy_lp -> "greedy-lp"
   | Derand_seq -> "derand"
+  | Oracle_round -> "oracle"
 
 let algorithm_of_name = function
   | "lp-round" -> Some Lp_round
   | "adaptive" -> Some Adaptive
   | "greedy-lp" -> Some Greedy_lp
   | "derand" -> Some Derand_seq
+  | "oracle" -> Some Oracle_round
   | _ -> None
 
 type job = {
@@ -133,6 +136,9 @@ type t = {
   lock : Mutex.t;
   topologies : (string, topology) Hashtbl.t;
   bases : (string, Sa_lp.Revised.basis) Hashtbl.t;
+  columns : Oracle_solver.Column_pool.t option;
+      (* cross-job column pool for oracle-algorithm jobs, keyed by conflict
+         fingerprint (None = disabled) *)
   (* per-engine counters mirror the global telemetry registry; atomics make
      them safe to bump outside [lock] from any domain *)
   topology_hits : int Atomic.t;
@@ -141,12 +147,14 @@ type t = {
   basis_found : int Atomic.t;
 }
 
-let create ?(warm_start = true) () =
+let create ?(warm_start = true) ?(column_pool = true) () =
   {
     warm_start;
     lock = Mutex.create ();
     topologies = Hashtbl.create 16;
     bases = Hashtbl.create 64;
+    columns =
+      (if column_pool then Some (Oracle_solver.Column_pool.create ()) else None);
     topology_hits = Atomic.make 0;
     topology_misses = Atomic.make 0;
     basis_lookups = Atomic.make 0;
@@ -154,6 +162,7 @@ let create ?(warm_start = true) () =
   }
 
 let warm_start_enabled t = t.warm_start
+let column_pool_enabled t = t.columns <> None
 
 let locked t f =
   Mutex.lock t.lock;
@@ -247,7 +256,7 @@ let run_algorithm job inst frac =
   let g = Prng.create ~seed:job.seed in
   match job.algorithm with
   | Lp_round -> Rounding.solve ~trials:job.trials g inst frac
-  | Adaptive -> Rounding.solve_adaptive ~trials:job.trials g inst frac
+  | Adaptive | Oracle_round -> Rounding.solve_adaptive ~trials:job.trials g inst frac
   | Greedy_lp -> Greedy.from_lp inst frac
   | Derand_seq -> (
       match inst.Instance.conflict with
@@ -323,12 +332,21 @@ let run_job_robust_impl t policy job =
         (warm, lp, round)
   in
   let shape_key =
-    if not t.warm_start then None
+    if (not t.warm_start) || job.algorithm = Oracle_round then None
     else
       Some
         (match job.shape_key with
         | Some k -> k
         | None -> Serialize.shape_fingerprint inst)
+  in
+  (* Oracle jobs route the LP through colgen; with a column pool they key
+     it on the conflict fingerprint (topology-only, so revalued repeats of
+     the same graph still hit), computed once per job. *)
+  let oracle_pool =
+    match (job.algorithm, t.columns) with
+    | Oracle_round, Some cp ->
+        Some (cp, Serialize.conflict_fingerprint inst.Instance.conflict)
+    | _ -> None
   in
   (* One LP-tier attempt.  Attempt 0 may warm-start from the basis cache;
      retries go cold (the cached basis is suspect after a failure) with a
@@ -356,9 +374,26 @@ let run_job_robust_impl t policy job =
         Failure.raise_ (Faultgen.injected ~site:Faultgen.Lp_solve ~job:job.id);
       let (frac, stats), lp_s =
         Timing.time (fun () ->
-            Lp.solve_explicit_stats ~engine:Sa_lp.Model.Revised_sparse
-              ?warm_start:warm_basis ?deadline ?max_iters:policy.pivot_budget
-              ~inject_warm_crash:fire_warm inst)
+            match job.algorithm with
+            | Oracle_round ->
+                (* Column generation instead of the explicit LP.  Reported
+                   [iterations] are colgen rounds (master re-solves), not
+                   pivots; the per-attempt pivot budget is not threaded
+                   through — the deadline is the binding control. *)
+                let frac, ostats =
+                  Oracle_solver.solve ~engine:Sa_lp.Model.Revised_sparse
+                    ?deadline ?column_pool:oracle_pool inst
+                in
+                ( frac,
+                  {
+                    Lp.basis = None;
+                    iterations = ostats.Oracle_solver.iterations;
+                    warm_start_used = false;
+                  } )
+            | _ ->
+                Lp.solve_explicit_stats ~engine:Sa_lp.Model.Revised_sparse
+                  ?warm_start:warm_basis ?deadline ?max_iters:policy.pivot_budget
+                  ~inject_warm_crash:fire_warm inst)
       in
       lp_s_total := !lp_s_total +. lp_s;
       (match (shape_key, stats.Lp.basis) with
@@ -597,11 +632,11 @@ let publish_cache_gauges t =
   Tel.set_gauge g_topo_entries (float_of_int topo);
   Tel.set_gauge g_basis_entries (float_of_int bases)
 
-let run_batch ?(domains = 1) ?(policy = default_policy) t jobs =
+let run_batch ?(domains = 1) ?chunk ?(policy = default_policy) t jobs =
   let arr = Array.of_list jobs in
   let results, wall =
     Timing.time (fun () ->
-        Parallel.map_array ~domains (run_job_robust t policy) arr)
+        Parallel.map_array ~domains ?chunk (run_job_robust t policy) arr)
   in
   publish_cache_gauges t;
   let summary = summarize t results ~wall in

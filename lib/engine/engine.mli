@@ -22,9 +22,21 @@
     same LP) but degenerate instances may report a different optimal vertex
     depending on cache interleaving, and rounding then sees that vertex. *)
 
-type algorithm = Lp_round | Adaptive | Greedy_lp | Derand_seq
+type algorithm =
+  | Lp_round
+  | Adaptive
+  | Greedy_lp
+  | Derand_seq
+  | Oracle_round
+      (** LP via {!Sa_core.Oracle_solver} column generation (seeded from
+          the engine's cross-job column pool when enabled) + adaptive
+          rounding.  [result.lp_iterations] counts colgen rounds, not
+          pivots, for these jobs; the warm-start basis cache and pivot
+          budget do not apply. *)
 
 val algorithm_name : algorithm -> string
+(** ["lp-round"], ["adaptive"], ["greedy-lp"], ["derand"], ["oracle"]. *)
+
 val algorithm_of_name : string -> algorithm option
 
 type job = private {
@@ -118,10 +130,23 @@ type t
 (** An engine instance: configuration plus mutable caches.  Safe to share
     across domains (cache access is mutex-protected). *)
 
-val create : ?warm_start:bool -> unit -> t
-(** [warm_start] (default true) enables the LP basis cache. *)
+val create : ?warm_start:bool -> ?column_pool:bool -> unit -> t
+(** [warm_start] (default true) enables the LP basis cache.
+    [column_pool] (default true) enables the cross-job
+    {!Sa_core.Oracle_solver.Column_pool} used by {!Oracle_round} jobs:
+    generated columns are interned per conflict fingerprint (bounded LRU)
+    and seed later same-topology colgen solves.  Like the basis cache,
+    pool hit {e counts} depend on job interleaving, but the certified LP
+    optimum of every job is unchanged — seeding moves colgen's starting
+    point, not its fixed point.  Exact repeats (same fingerprint {e and}
+    bids) reproduce the cold solve byte for byte: the seeded master holds
+    the donor's full column set in generation order, so the final master
+    LP is identical.  Revalued repeats agree to solver tolerance — the
+    seeded master carries extra columns, so the simplex may walk a
+    different arithmetic path to the same optimum. *)
 
 val warm_start_enabled : t -> bool
+val column_pool_enabled : t -> bool
 
 type topology = {
   ordering : Sa_graph.Ordering.t;
@@ -184,11 +209,13 @@ type summary = {
 }
 
 val run_batch :
-  ?domains:int -> ?policy:policy -> t -> job list -> result array * summary
-(** Run every job (default sequentially; [domains > 1] shards via
-    {!Sa_core.Parallel.map_array}).  [results.(i)] corresponds to the i-th
-    job of the input list regardless of sharding.  [policy] defaults to
-    {!default_policy}. *)
+  ?domains:int -> ?chunk:int -> ?policy:policy -> t -> job list ->
+  result array * summary
+(** Run every job (default sequentially; [domains > 1] schedules on the
+    persistent domain pool via {!Sa_core.Parallel.map_array}; [chunk]
+    fixes the pool's self-scheduling chunk size, default adaptive).
+    [results.(i)] corresponds to the i-th job of the input list regardless
+    of scheduling.  [policy] defaults to {!default_policy}. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 

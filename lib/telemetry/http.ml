@@ -18,6 +18,24 @@ type t = {
 }
 
 let m_requests = Metrics.counter "telemetry.http.requests"
+let m_read_errors = Metrics.counter "telemetry.http.read_errors"
+
+(* One read from the request socket.  EINTR retries; ECONNRESET/EAGAIN are
+   ordinary peer-went-away conditions treated as EOF; any other error is
+   unexpected on a blocking scrape socket — still mapped to EOF so the
+   connection handler can answer/close, but counted rather than silently
+   swallowed. *)
+let rec read_some fd chunk =
+  match Unix.read fd chunk 0 (Bytes.length chunk) with
+  | k -> k
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_some fd chunk
+  | exception
+      Unix.Unix_error ((Unix.ECONNRESET | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    ->
+      0
+  | exception Unix.Unix_error (_, _, _) ->
+      Metrics.incr m_read_errors;
+      0
 
 let reason = function
   | 200 -> "OK"
@@ -51,7 +69,7 @@ let read_head fd =
   let rec go () =
     if Buffer.length b > 16384 then Buffer.contents b
     else
-      let k = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
+      let k = read_some fd chunk in
       if k = 0 then Buffer.contents b
       else begin
         Buffer.add_subbytes b chunk 0 k;

@@ -210,6 +210,10 @@ let counter_descriptions =
     ("core.colgen.columns", "Columns added to the restricted master");
     ( "core.colgen.price_recomputes",
       "Incremental-pricing dirty recomputations of a bidder price" );
+    ("core.colgen.pool.hits", "Cross-job column pool lookups that found columns");
+    ("core.colgen.pool.misses", "Cross-job column pool lookups that found nothing");
+    ( "core.colgen.pool.seeded_columns",
+      "Pooled columns accepted into a restricted master after re-verification" );
     ("core.rounding.trials", "Randomized rounding trials evaluated");
     ("core.rounding.improvements", "Rounding trials that improved the incumbent");
     ("core.derand.candidates", "Conditional-expectation candidates scored");
@@ -232,16 +236,28 @@ let counter_descriptions =
     ("engine.fallback.online", "Jobs degraded to the online first-fit tier");
     ("engine.deadline_exceeded", "Job attempts aborted by the per-job deadline");
     ("engine.faults.injected", "Faults injected by the deterministic harness");
+    (* Scheduler occupancy of the persistent domain pool.  Batch/item
+       totals depend on how many call sites went parallel (a --domains 1
+       run bypasses the pool) and chunk/steal counts on timing, so these
+       are excluded from cross-domain-count determinism comparisons. *)
+    ("engine.pool.batches", "Batches submitted to the persistent domain pool");
+    ("engine.pool.items", "Items scheduled through the domain pool");
+    ("engine.pool.chunks", "Chunks claimed from pool batch cursors");
+    ("engine.pool.steals", "Chunk halves stolen from busy pool participants");
+    ("engine.pool.workers_spawned", "Worker domains spawned by the pool");
     ("telemetry.events.logged", "Decision events appended to the event log");
     ( "telemetry.events.dropped",
       "Decision events dropped for lack of an ambient job scope" );
     ("telemetry.http.requests", "HTTP requests served by the telemetry endpoint");
+    ( "telemetry.http.read_errors",
+      "Unexpected socket errors while reading an HTTP request head" );
   ]
 
 let gauge_descriptions =
   [
     ("engine.topology.entries", "Topology cache population");
     ("engine.basis.entries", "Warm-start basis cache population");
+    ("engine.pool.workers", "Worker domains currently parked in the pool");
   ]
 
 let histogram_descriptions =

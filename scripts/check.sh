@@ -1,7 +1,10 @@
 #!/bin/sh
 # Repo health check: full build, test suite, an engine bench smoke run that
-# validates BENCH_engine.json, kernels + construction + resilience bench
-# smoke runs, a fault-injection smoke (serve --fault-rate twice with the
+# validates BENCH_engine.json, kernels + construction + resilience +
+# scheduler bench smoke runs (the scheduler smoke asserts the persistent
+# domain pool is no slower per call than spawn-per-call and that the
+# cross-job column pool preserves per-job results byte for byte), a
+# fault-injection smoke (serve --fault-rate twice with the
 # same seed and across domain counts must emit byte-identical per-job
 # results, with every job served), and a telemetry smoke run that
 # validates the serve --metrics-out snapshot (parses, hot-path counters
@@ -155,6 +158,49 @@ grep -Eq '"tier":"(greedy|online)"' "$tmpdir/r1.json" \
   || { echo "check: no job degraded to a fallback tier at rate 0.3" >&2; exit 1; }
 echo "   resilience: same-seed and cross-domain results byte-identical"
 
+echo "== scheduler smoke (bench scheduler, quick mode)"
+sout="$tmpdir/scheduler.json"
+dune exec bench/main.exe -- scheduler --quick --domains 4 \
+  --scheduler-out "$sout" >/dev/null
+
+test -s "$sout" || { echo "check: $sout missing or empty" >&2; exit 1; }
+for key in '"benchmark":"scheduler"' '"small_batch":' '"skewed":' \
+           '"column_pool":' '"spawn_per_call_us":' '"pool_per_call_us":' \
+           '"ratio_static_over_adaptive":' '"rounds_saved":'; do
+  grep -q -- "$key" "$sout" || { echo "check: $sout lacks $key" >&2; exit 1; }
+done
+# the persistent pool must not be slower per call than spawn-per-call, and
+# every parity / determinism flag must hold
+pspeed="$(sed -n 's/.*"speedup_pool_over_spawn":\([0-9.]*\).*/\1/p' "$sout" | head -n 1)"
+test -n "$pspeed" || { echo "check: $sout lacks pool speedup" >&2; exit 1; }
+awk "BEGIN{exit !($pspeed >= 1.0)}" \
+  || { echo "check: pool slower than spawn-per-call (${pspeed}x)" >&2; exit 1; }
+if grep -q '"parity":false' "$sout"; then
+  echo "check: scheduler produced wrong results" >&2; exit 1
+fi
+grep -q '"objectives_bitwise_equal":true' "$sout" \
+  || { echo "check: seeded colgen objectives differ from cold" >&2; exit 1; }
+grep -q '"results_bytes_identical":true' "$sout" \
+  || { echo "check: column-pool results differ from cold solve" >&2; exit 1; }
+if grep -q '"same_seed_deterministic":false' "$sout"; then
+  echo "check: column-pool runs not reproducible" >&2; exit 1
+fi
+echo "   scheduler: pool ${pspeed}x vs spawn-per-call, column-pool parity holds"
+
+echo "== column pool smoke (serve byte-identity, pool on vs --no-column-pool)"
+cwl="examples/columns.wl"
+dune exec bin/auction.exe -- serve --workload "$cwl" --no-warm \
+  --results-out "$tmpdir/cp_on.json" >/dev/null
+dune exec bin/auction.exe -- serve --workload "$cwl" --no-warm --no-column-pool \
+  --results-out "$tmpdir/cp_off.json" >/dev/null
+cmp "$tmpdir/cp_on.json" "$tmpdir/cp_off.json" \
+  || { echo "check: column pool changed per-job results" >&2; exit 1; }
+dune exec bin/auction.exe -- serve --workload "$cwl" --no-warm --domains 4 \
+  --results-out "$tmpdir/cp_d4.json" >/dev/null
+cmp "$tmpdir/cp_on.json" "$tmpdir/cp_d4.json" \
+  || { echo "check: column-pool results differ between --domains 1 and 4" >&2; exit 1; }
+echo "   column pool: results byte-identical with pool on/off and across domains"
+
 echo "== telemetry smoke (serve --demo --metrics-out)"
 snap="$tmpdir/metrics.json"
 dune exec bin/auction.exe -- serve --demo --metrics-out "$snap" >/dev/null
@@ -180,8 +226,11 @@ dune exec bin/auction.exe -- serve --demo --no-warm --domains 1 \
   --metrics-out "$tmpdir/d1.json" >/dev/null
 dune exec bin/auction.exe -- serve --demo --no-warm --domains 4 \
   --metrics-out "$tmpdir/d4.json" >/dev/null
-sed -n '/"counters": {/,/^  },/p' "$tmpdir/d1.json" > "$tmpdir/c1"
-sed -n '/"counters": {/,/^  },/p' "$tmpdir/d4.json" > "$tmpdir/c4"
+# engine.pool.* counters are scheduler occupancy, not algorithmic work:
+# a --domains 1 run bypasses the pool entirely and chunk/steal counts are
+# timing-dependent, so they are excluded from the determinism diff
+sed -n '/"counters": {/,/^  },/p' "$tmpdir/d1.json" | grep -v '"engine\.pool\.' > "$tmpdir/c1"
+sed -n '/"counters": {/,/^  },/p' "$tmpdir/d4.json" | grep -v '"engine\.pool\.' > "$tmpdir/c4"
 test -s "$tmpdir/c1" || { echo "check: counter block extraction failed" >&2; exit 1; }
 cmp "$tmpdir/c1" "$tmpdir/c4" \
   || { echo "check: counters differ between --domains 1 and 4" >&2; exit 1; }

@@ -23,4 +23,5 @@ let () =
       ("properties", Suite_properties.suite);
       ("engine", Suite_engine.suite);
       ("resilience", Suite_resilience.suite);
+      ("pool", Suite_pool.suite);
     ]
