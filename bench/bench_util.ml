@@ -1,0 +1,45 @@
+(* Shared plumbing for the bench groups in [main.ml]: telemetry counter
+   deltas around a measured pass, the BENCH_*.json emission convention
+   (header triple + group fields, one line, no external JSON deps), and
+   the tiny argv parser every group shares. *)
+
+module Metrics = Sa_telemetry.Metrics
+
+(* Per-phase counter deltas: snapshot the registry around a run so each
+   measured pass reports the hot-path counters it paid for. *)
+let counter_delta before after =
+  List.filter_map
+    (fun (name, v) ->
+      let prev = Option.value ~default:0 (List.assoc_opt name before) in
+      if v - prev > 0 then Some (name, v - prev) else None)
+    after
+
+let with_counter_delta f =
+  let before = (Metrics.snapshot ()).Metrics.counters in
+  let result = f () in
+  let after = (Metrics.snapshot ()).Metrics.counters in
+  (result, counter_delta before after)
+
+(* Every BENCH_*.json opens with the same header triple; the caller
+   supplies the group-specific fields as (key, already-valid JSON)
+   pairs, emitted in order. *)
+let group_json ~name ~quick fields =
+  Printf.sprintf
+    "{\"benchmark\":\"%s\",\"quick\":%b,\"recommended_domains\":%d%s}\n" name
+    quick
+    (Domain.recommended_domain_count ())
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf ",\"%s\":%s" k v) fields))
+
+let write_out ~out json =
+  let oc = open_out out in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  Printf.printf "  summary written to %s\n" out
+
+let find_flag argv flag default =
+  let rec find = function
+    | f :: v :: _ when f = flag -> v
+    | _ :: rest -> find rest
+    | [] -> default
+  in
+  find argv

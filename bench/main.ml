@@ -228,20 +228,9 @@ module Workload = Sa_engine.Workload
 module Metrics = Sa_telemetry.Metrics
 module Export = Sa_telemetry.Export
 
-(* Per-phase counter deltas: snapshot the registry around a run so the cold
-   and warm passes each report the hot-path counters they paid for. *)
-let counter_delta before after =
-  List.filter_map
-    (fun (name, v) ->
-      let prev = Option.value ~default:0 (List.assoc_opt name before) in
-      if v - prev > 0 then Some (name, v - prev) else None)
-    after
-
-let with_counter_delta f =
-  let before = (Metrics.snapshot ()).Metrics.counters in
-  let result = f () in
-  let after = (Metrics.snapshot ()).Metrics.counters in
-  (result, counter_delta before after)
+(* Counter deltas and the BENCH_*.json emission convention live in
+   [Bench_util], shared by every group below. *)
+let with_counter_delta f = Bench_util.with_counter_delta f
 
 let engine_workload ~quick =
   if quick then Workload.demo
@@ -292,25 +281,25 @@ let engine_bench ~quick ~out =
     Engine.summary_to_json ~extra:[ ("counters", Export.counters_to_json ctr) ] s
   in
   let json =
-    Printf.sprintf
-      "{\"benchmark\":\"engine-batch\",\"quick\":%b,\"jobs\":%d,\
-       \"recommended_domains\":%d,\
-       \"parallel_domains\":%d,\"cold\":%s,\"warm\":%s,\"warm_parallel\":%s,\
-       \"warm_hit_rate\":%.4f,\"lp_speedup_warm_over_cold\":%.4f,\
-       \"pivot_ratio_cold_over_warm\":%.4f,\"telemetry\":%s}\n"
-      quick njobs
-      (Domain.recommended_domain_count ())
-      domains
-      (with_counters cold_ctr cold)
-      (with_counters warm_ctr warm)
-      (with_counters warm_par_ctr warm_par)
-      (ratio (float_of_int warm.Engine.warm_hits) (float_of_int warm.Engine.jobs))
-      lp_speedup pivot_ratio
-      (Export.counters_to_json (Metrics.snapshot ()).Metrics.counters)
+    Bench_util.group_json ~name:"engine-batch" ~quick
+      [
+        ("jobs", string_of_int njobs);
+        ("parallel_domains", string_of_int domains);
+        ("cold", with_counters cold_ctr cold);
+        ("warm", with_counters warm_ctr warm);
+        ("warm_parallel", with_counters warm_par_ctr warm_par);
+        ( "warm_hit_rate",
+          Printf.sprintf "%.4f"
+            (ratio
+               (float_of_int warm.Engine.warm_hits)
+               (float_of_int warm.Engine.jobs)) );
+        ("lp_speedup_warm_over_cold", Printf.sprintf "%.4f" lp_speedup);
+        ("pivot_ratio_cold_over_warm", Printf.sprintf "%.4f" pivot_ratio);
+        ( "telemetry",
+          Export.counters_to_json (Metrics.snapshot ()).Metrics.counters );
+      ]
   in
-  let oc = open_out out in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
-  Printf.printf "  summary written to %s\n" out
+  Bench_util.write_out ~out json
 
 (* ---- kernels: sparse hot paths vs dense references ----------------------- *)
 
@@ -412,8 +401,10 @@ let kernels_graph_micro ~quick =
     n reps dense_s bitset_s (dense_s /. bitset_s) dense_ind_s bitset_ind_s
     (dense_ind_s /. bitset_ind_s) agree
 
-let kernels_lp_micro ~quick =
-  (* LP(1)-shaped packing problem: unit rows + interference rows. *)
+(* LP(1)-shaped packing problem: unit rows + interference rows.  1200x1000
+   at full size (nb=200, k=5); shared by the lp micro-benchmark and the
+   pricing group so both measure the same instance. *)
+let packing_problem ~quick =
   let g = Prng.create ~seed:13 in
   let nb = if quick then 60 else 200 in
   let k = if quick then 4 else 5 in
@@ -433,9 +424,11 @@ let kernels_lp_micro ~quick =
           Simplex.Le,
           2.5 ))
   in
-  let p =
-    { Simplex.direction = Simplex.Maximize; c; rows = Array.append unit_rows intf_rows }
-  in
+  { Simplex.direction = Simplex.Maximize; c; rows = Array.append unit_rows intf_rows }
+
+let kernels_lp_micro ~quick =
+  let p = packing_problem ~quick in
+  let ncols = Array.length p.Simplex.c in
   let rows = Array.length p.Simplex.rows in
   let dense_sol, dense_s = Sa_util.Timing.time (fun () -> Simplex.solve p) in
   let (eta_sol, eta_ctr), eta_s =
@@ -526,16 +519,15 @@ let kernels_bench ~quick ~out ~domains =
   let lp_json = kernels_lp_micro ~quick in
   let pipeline_json = kernels_pipeline ~quick ~domains in
   let json =
-    Printf.sprintf
-      "{\"benchmark\":\"kernels\",\"quick\":%b,\"recommended_domains\":%d,\
-       \"domains\":%d,\"graph\":%s,\"lp\":%s,\"pipeline\":%s}\n"
-      quick
-      (Domain.recommended_domain_count ())
-      domains graph_json lp_json pipeline_json
+    Bench_util.group_json ~name:"kernels" ~quick
+      [
+        ("domains", string_of_int domains);
+        ("graph", graph_json);
+        ("lp", lp_json);
+        ("pipeline", pipeline_json);
+      ]
   in
-  let oc = open_out out in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
-  Printf.printf "  summary written to %s\n" out
+  Bench_util.write_out ~out json
 
 (* ---- construction: grid builders vs naive references ---------------------- *)
 
@@ -653,16 +645,10 @@ let construction_bench ~quick ~out =
   in
   let thm13_json = construction_thm13_case ~n:(if quick then 300 else 1000) in
   let json =
-    Printf.sprintf
-      "{\"benchmark\":\"construction\",\"quick\":%b,\"recommended_domains\":%d,\
-       \"disk\":[%s],\"thm13\":%s}\n"
-      quick
-      (Domain.recommended_domain_count ())
-      disk_json thm13_json
+    Bench_util.group_json ~name:"construction" ~quick
+      [ ("disk", "[" ^ disk_json ^ "]"); ("thm13", thm13_json) ]
   in
-  let oc = open_out out in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
-  Printf.printf "  summary written to %s\n" out
+  Bench_util.write_out ~out json
 
 (* ---- resilience: fault-injection overhead vs fault-free baseline ---------- *)
 
@@ -745,18 +731,19 @@ let resilience_bench ~quick ~out =
      deterministic %b\n"
     overhead welfare_ratio all_served deterministic;
   let json =
-    Printf.sprintf
-      "{\"benchmark\":\"resilience\",\"quick\":%b,\"jobs\":%d,\
-       \"baseline\":%s,\"rate_025\":%s,\"rate_050\":%s,\
-       \"wall_overhead_050_over_baseline\":%.4f,\
-       \"welfare_ratio_050_over_baseline\":%.4f,\
-       \"all_jobs_served_at_050\":%b,\"same_seed_deterministic\":%b}\n"
-      quick njobs base_json r25_json r50_json overhead welfare_ratio all_served
-      deterministic
+    Bench_util.group_json ~name:"resilience" ~quick
+      [
+        ("jobs", string_of_int njobs);
+        ("baseline", base_json);
+        ("rate_025", r25_json);
+        ("rate_050", r50_json);
+        ("wall_overhead_050_over_baseline", Printf.sprintf "%.4f" overhead);
+        ("welfare_ratio_050_over_baseline", Printf.sprintf "%.4f" welfare_ratio);
+        ("all_jobs_served_at_050", string_of_bool all_served);
+        ("same_seed_deterministic", string_of_bool deterministic);
+      ]
   in
-  let oc = open_out out in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
-  Printf.printf "  summary written to %s\n" out
+  Bench_util.write_out ~out json
 
 (* ---- observability: tracing + event-log overhead -------------------------- *)
 
@@ -836,18 +823,22 @@ let observability_bench ~quick ~out =
      events deterministic %b\n"
     !spans !events (chrome_events >= 0) !deterministic;
   let json =
-    Printf.sprintf
-      "{\"benchmark\":\"observability\",\"quick\":%b,\"jobs\":%d,\
-       \"reps\":%d,\"passes\":%d,\"disabled_wall_seconds\":%.6f,\
-       \"enabled_wall_seconds\":%.6f,\"overhead_ratio\":%.4f,\
-       \"spans_recorded\":%d,\"events_logged\":%d,\"chrome_events\":%d,\
-       \"chrome_trace_valid\":%b,\"events_deterministic\":%b}\n"
-      quick njobs reps passes !disabled !enabled overhead !spans !events
-      chrome_events (chrome_events >= 0) !deterministic
+    Bench_util.group_json ~name:"observability" ~quick
+      [
+        ("jobs", string_of_int njobs);
+        ("reps", string_of_int reps);
+        ("passes", string_of_int passes);
+        ("disabled_wall_seconds", Printf.sprintf "%.6f" !disabled);
+        ("enabled_wall_seconds", Printf.sprintf "%.6f" !enabled);
+        ("overhead_ratio", Printf.sprintf "%.4f" overhead);
+        ("spans_recorded", string_of_int !spans);
+        ("events_logged", string_of_int !events);
+        ("chrome_events", string_of_int chrome_events);
+        ("chrome_trace_valid", string_of_bool (chrome_events >= 0));
+        ("events_deterministic", string_of_bool !deterministic);
+      ]
   in
-  let oc = open_out out in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
-  Printf.printf "  summary written to %s\n" out
+  Bench_util.write_out ~out json
 
 (* ---- scheduler: persistent pool vs spawn-per-call fan-out ------------------ *)
 
@@ -1046,16 +1037,135 @@ let scheduler_bench ~quick ~out ~domains =
   let skewed_json = scheduler_skewed ~quick ~domains in
   let colpool_json = scheduler_column_pool ~quick in
   let json =
-    Printf.sprintf
-      "{\"benchmark\":\"scheduler\",\"quick\":%b,\"recommended_domains\":%d,\
-       \"domains\":%d,\"small_batch\":%s,\"skewed\":%s,\"column_pool\":%s}\n"
-      quick
-      (Domain.recommended_domain_count ())
-      domains small_json skewed_json colpool_json
+    Bench_util.group_json ~name:"scheduler" ~quick
+      [
+        ("domains", string_of_int domains);
+        ("small_batch", small_json);
+        ("skewed", skewed_json);
+        ("column_pool", colpool_json);
+      ]
   in
-  let oc = open_out out in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
-  Printf.printf "  summary written to %s\n" out
+  Bench_util.write_out ~out json
+
+(* ---- pricing: devex vs Dantzig + workspace reuse vs fresh ------------------ *)
+
+module Revised = Sa_lp.Revised
+module Workspace = Sa_lp.Workspace
+
+(* One cold solve of the packing LP under a pricing rule: pivots, wall
+   time, allocation, certification.  A throwaway solve first warms up code
+   paths and the domain arena, so the measured pass shows steady-state
+   allocation. *)
+let pricing_rule_case p ~pricing ~label =
+  ignore (Revised.solve_warm ~pricing p);
+  let alloc0 = Gc.allocated_bytes () in
+  let ((sol, _basis, stats), ctr), seconds =
+    Sa_util.Timing.time (fun () ->
+        with_counter_delta (fun () -> Revised.solve_warm ~pricing p))
+  in
+  let alloc_bytes = Gc.allocated_bytes () -. alloc0 in
+  let certified = (Sa_lp.Certify.check p sol).Sa_lp.Certify.certified in
+  Printf.printf "  %-8s %8.4fs  %6d pivots  obj %12.6f  certified %b\n%!" label
+    seconds stats.Revised.iterations sol.Simplex.objective certified;
+  let json =
+    Printf.sprintf
+      "{\"pivots\":%d,\"seconds\":%.6f,\"objective\":%.9f,\
+       \"alloc_bytes\":%.0f,\"certified\":%b,\"counters\":%s}"
+      stats.Revised.iterations seconds sol.Simplex.objective alloc_bytes
+      certified
+      (Export.counters_to_json ctr)
+  in
+  (json, stats.Revised.iterations, sol, certified)
+
+(* Colgen-style warm re-solves of the same master LP: solve once cold for
+   the optimal basis, then re-solve [reps] times warm-started from it —
+   once sharing a single arena (the oracle-solver pattern) and once with a
+   fresh arena per re-solve (the pre-workspace behaviour). *)
+let pricing_workspace_case p ~reps =
+  let run ~shared =
+    let arena = Workspace.create () in
+    let _, basis, _ = Revised.solve_warm ~workspace:arena p in
+    let basis =
+      match basis with
+      | Some b -> b
+      | None -> failwith "pricing bench: packing LP did not reach optimality"
+    in
+    let objs = Array.make reps 0.0 in
+    let x0 = ref [||] in
+    let alloc0 = Gc.allocated_bytes () in
+    let (), seconds =
+      Sa_util.Timing.time (fun () ->
+          for i = 0 to reps - 1 do
+            let ws = if shared then arena else Workspace.create () in
+            let sol, _, _ =
+              Revised.solve_warm ~warm_start:basis ~workspace:ws p
+            in
+            objs.(i) <- sol.Simplex.objective;
+            if i = 0 then x0 := sol.Simplex.x
+          done)
+    in
+    let per_solve = (Gc.allocated_bytes () -. alloc0) /. float_of_int reps in
+    (per_solve, seconds /. float_of_int reps, objs, !x0)
+  in
+  let fresh_b, fresh_s, fresh_objs, fresh_x = run ~shared:false in
+  let reuse_b, reuse_s, reuse_objs, reuse_x = run ~shared:true in
+  let bitwise = fresh_objs = reuse_objs && fresh_x = reuse_x in
+  let alloc_ratio = if reuse_b > 0.0 then fresh_b /. reuse_b else Float.nan in
+  Printf.printf
+    "  re-solve x%d: fresh %10.0f B  %8.1f us   reuse %10.0f B  %8.1f us  \
+     (%.1fx less alloc, bitwise %b)\n%!"
+    reps fresh_b (fresh_s *. 1e6) reuse_b (reuse_s *. 1e6) alloc_ratio bitwise;
+  let json =
+    Printf.sprintf
+      "{\"resolves\":%d,\"fresh_alloc_bytes_per_solve\":%.0f,\
+       \"fresh_seconds_per_solve\":%.9f,\"reuse_alloc_bytes_per_solve\":%.0f,\
+       \"reuse_seconds_per_solve\":%.9f,\"alloc_ratio_fresh_over_reuse\":%.3f,\
+       \"bitwise_equal\":%b}"
+      reps fresh_b fresh_s reuse_b reuse_s alloc_ratio bitwise
+  in
+  (json, alloc_ratio, bitwise)
+
+let pricing_bench ~quick ~out =
+  Printf.printf "pricing (%s):\n%!" (if quick then "quick" else "full");
+  let p = packing_problem ~quick in
+  let rows = Array.length p.Simplex.rows in
+  let cols = Array.length p.Simplex.c in
+  Printf.printf "  %dx%d packing LP\n%!" rows cols;
+  let d_json, d_pivots, d_sol, d_cert =
+    pricing_rule_case p ~pricing:Revised.Dantzig ~label:"dantzig"
+  in
+  let x_json, x_pivots, x_sol, x_cert =
+    pricing_rule_case p ~pricing:Revised.Devex ~label:"devex"
+  in
+  let savings =
+    1.0 -. (float_of_int x_pivots /. float_of_int (max 1 d_pivots))
+  in
+  let obj_delta = Float.abs (d_sol.Simplex.objective -. x_sol.Simplex.objective) in
+  let parity =
+    d_cert && x_cert
+    && obj_delta <= 1e-6 *. (1.0 +. Float.abs d_sol.Simplex.objective)
+  in
+  Printf.printf
+    "  devex pivot savings: %.1f%%   objective delta %.2e   parity %b\n%!"
+    (100.0 *. savings) obj_delta parity;
+  let ws_json, alloc_ratio, ws_bitwise =
+    pricing_workspace_case p ~reps:(if quick then 5 else 20)
+  in
+  ignore (alloc_ratio, ws_bitwise);
+  let json =
+    Bench_util.group_json ~name:"pricing" ~quick
+      [
+        ("rows", string_of_int rows);
+        ("cols", string_of_int cols);
+        ("dantzig", d_json);
+        ("devex", x_json);
+        ("devex_pivot_savings", Printf.sprintf "%.4f" savings);
+        ("objective_delta", Printf.sprintf "%.9f" obj_delta);
+        ("certified_parity", string_of_bool parity);
+        ("workspace", ws_json);
+      ]
+  in
+  Bench_util.write_out ~out json
 
 (* ---- runner + textual report --------------------------------------------- *)
 
@@ -1097,15 +1207,11 @@ let micro_benchmarks () =
 let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
-  let find_flag flag default =
-    let rec find = function
-      | f :: v :: _ when f = flag -> v
-      | _ :: rest -> find rest
-      | [] -> default
-    in
-    find argv
-  in
-  if List.mem "construction" argv then
+  let find_flag flag default = Bench_util.find_flag argv flag default in
+  if List.mem "pricing" argv then
+    let out = find_flag "--pricing-out" "BENCH_pricing.json" in
+    pricing_bench ~quick ~out
+  else if List.mem "construction" argv then
     let out = find_flag "--construction-out" "BENCH_construction.json" in
     construction_bench ~quick ~out
   else if List.mem "resilience" argv then

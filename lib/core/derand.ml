@@ -2,19 +2,30 @@ let prime = 101
 
 let m_candidates = Sa_telemetry.Metrics.counter "core.derand.candidates"
 
-(* h_{a,b}(v) = ((a*v + b) mod p) / p — a pairwise-independent [0,1) family. *)
-let uniforms_of_seed ~n a b =
-  Array.init n (fun v -> float_of_int (((a * v) + b) mod prime) /. float_of_int prime)
+(* h_{a,b}(v) = ((a*v + b) mod p) / p — a pairwise-independent [0,1) family.
+   The enumeration makes p² rounding passes, so the uniforms live in one
+   reused buffer from the domain's scratch arena (float slot 32 is reserved
+   for this module; see [Sa_lp.Workspace]) instead of a fresh n-array per
+   candidate. *)
+let slot_uniforms = 32
+
+let fill_uniforms u ~n a b =
+  for v = 0 to n - 1 do
+    u.(v) <- float_of_int (((a * v) + b) mod prime) /. float_of_int prime
+  done
 
 let better inst x y = if Allocation.value inst x >= Allocation.value inst y then x else y
 
 let enumerate inst round_pass =
   let n = Instance.n inst in
+  let ws = Sa_lp.Workspace.get () in
+  let uniforms = Sa_lp.Workspace.floats ws ~slot:slot_uniforms (max n 1) in
   let best = ref (Allocation.empty n) in
   for a = 0 to prime - 1 do
     for b = 0 to prime - 1 do
       Sa_telemetry.Metrics.incr m_candidates;
-      let alloc = round_pass (uniforms_of_seed ~n a b) in
+      fill_uniforms uniforms ~n a b;
+      let alloc = round_pass uniforms in
       best := better inst !best alloc
     done
   done;

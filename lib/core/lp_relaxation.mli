@@ -57,6 +57,7 @@ val solve_explicit_stats :
   ?max_iters:int ->
   ?deadline:float ->
   ?inject_warm_crash:bool ->
+  ?pricing:Sa_lp.Model.pricing ->
   Instance.t ->
   fractional * solve_stats
 (** {!solve_explicit} with the warm-start plumbing exposed: pass a basis
@@ -70,7 +71,8 @@ val solve_explicit_stats :
     ([Sa_util.Fail.Error (Timeout _)] past it);
     [inject_warm_crash] forces the warm pivot-in to fail after mutating
     state, exercising the rollback path (fault injection; [Revised_sparse]
-    only). *)
+    only); [pricing] selects the revised engine's entering-variable rule
+    (default [Dantzig]). *)
 
 val scale : fractional -> float -> fractional
 (** Scale every [x] (and the objective) by a factor in [\[0,1\]] — LP

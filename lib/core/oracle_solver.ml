@@ -215,8 +215,8 @@ let price_state_update inst st ~y =
   Tel.add m_price_recomputes !recomputed
 
 let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
-    ?(engine = Model.Revised_sparse) ?(pricing = Incremental) ?(domains = 1)
-    ?deadline ?(on_stall = `Accept) ?column_pool inst =
+    ?(engine = Model.Revised_sparse) ?(pricing = Incremental) ?lp_pricing
+    ?(domains = 1) ?deadline ?(on_stall = `Accept) ?column_pool inst =
   Sa_telemetry.Trace.with_span ~hist:h_solve "core.colgen.solve" @@ fun () ->
   Tel.incr m_solves;
   if domains < 1 then invalid_arg "Oracle_solver.solve: domains must be >= 1";
@@ -345,6 +345,11 @@ let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
      reuse. *)
   let warm_basis = ref None in
   let basis_nstruct = ref 0 in
+  (* One arena for every master re-solve this job performs (and, since it
+     is the domain's arena, shared with every other job this domain
+     serves): round N's buffers are round N+1's, so a re-solve allocates
+     only for the columns added since the previous round. *)
+  let lp_workspace = Sa_lp.Workspace.get () in
   let solve_master () =
     let nstruct = Model.num_vars m in
     let warm_start =
@@ -356,7 +361,8 @@ let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
     in
     let r, dt =
       Sa_util.Timing.time (fun () ->
-          Model.solve_with_basis ~engine ?warm_start ?deadline m)
+          Model.solve_with_basis ~engine ?warm_start ?deadline
+            ?pricing:lp_pricing ~workspace:lp_workspace m)
     in
     lp_time := !lp_time +. dt;
     warm_basis := r.Model.basis;

@@ -66,6 +66,7 @@ val solve :
   ?eps:float ->
   ?engine:Sa_lp.Model.engine ->
   ?pricing:pricing ->
+  ?lp_pricing:Sa_lp.Model.pricing ->
   ?domains:int ->
   ?deadline:float ->
   ?on_stall:[ `Accept | `Fail ] ->
@@ -87,7 +88,13 @@ val solve :
     [engine] selects the master-LP solver (default [Revised_sparse]; the
     sparse engine is warm-started across rounds from the previous optimal
     basis, with slack indices remapped as columns are appended).
-    [pricing] defaults to [Incremental].  [domains] (default 1) fans the
+    [pricing] defaults to [Incremental].  [lp_pricing] selects the
+    *simplex* entering-variable rule inside each master solve
+    ({!Sa_lp.Model.pricing}, default [Dantzig]) — distinct from [pricing],
+    which governs how the colgen dual prices are recomputed.  Master
+    re-solves share the domain's {!Sa_lp.Workspace} arena, so a re-solve
+    allocates only for the columns added since the previous round.
+    [domains] (default 1) fans the
     per-round demand-oracle calls across OCaml 5 domains; answers merge in
     bidder order, so the generated column sequence — and every telemetry
     counter — is independent of the domain count.

@@ -10,18 +10,29 @@ module Tel = Sa_telemetry.Metrics
 let m_trials = Tel.counter "core.rounding.trials"
 let m_improvements = Tel.counter "core.rounding.improvements"
 
+(* The rounding trial loops borrow the domain's LP scratch arena for their
+   per-bidder weight buffers (float slots 24-31 are reserved for this
+   module; see [Sa_lp.Workspace]).  Trials never run concurrently with a
+   simplex solve on the same domain, and the slots are disjoint from the
+   solver's in any case. *)
+module Ws = Sa_lp.Workspace
+
+let slot_weights = 24
+
 (* Rounding stage shared by all variants: every bidder independently picks
    bundle T with probability x_{v,T} / scale_down, and the empty bundle with
    the remaining probability. *)
 let tentative g ~scale_down per_bidder =
+  let ws = Ws.get () in
   Array.map
     (fun cols ->
       let total = List.fold_left (fun acc (_, x) -> acc +. x) 0.0 cols in
       let p_any = total /. scale_down in
       if p_any > 0.0 && Prng.bernoulli g p_any then begin
-        let weights = Array.of_list (List.map snd cols) in
-        let bundles = Array.of_list (List.map fst cols) in
-        bundles.(Prng.categorical g weights)
+        let len = List.length cols in
+        let weights = Ws.floats ws ~slot:slot_weights len in
+        List.iteri (fun i (_, x) -> weights.(i) <- x) cols;
+        fst (List.nth cols (Prng.categorical ~len g weights))
       end
       else Bundle.empty)
     per_bidder
@@ -402,8 +413,8 @@ let tentative_from_uniforms ~scale_down per_bidder uniforms =
     per_bidder
 
 let round_with_uniforms inst frac ~scale_down ~uniforms =
-  if Array.length uniforms <> Instance.n inst then
-    invalid_arg "Rounding.round_with_uniforms: uniforms size mismatch";
+  if Array.length uniforms < Instance.n inst then
+    invalid_arg "Rounding.round_with_uniforms: uniforms shorter than n";
   let n = Instance.n inst in
   let k = float_of_int inst.Instance.k in
   let per_bidder = Lp_relaxation.by_bidder frac ~n in

@@ -115,7 +115,8 @@ val round_with_uniforms :
   Allocation.t
 (** One deterministic rounding-plus-resolution pass where bidder [v]'s
     randomness is the supplied [uniforms.(v) ∈ \[0,1)] (inverse-CDF over its
-    columns).  Applies the resolution stage matching the conflict structure:
+    columns).  [uniforms] may be longer than [n] — a reused scratch buffer —
+    in which case entries past [n - 1] are ignored.  Applies the resolution stage matching the conflict structure:
     the output is feasible for unweighted/per-channel instances and partly
     feasible (Condition (5)) for edge-weighted ones — feed it to
     {!algorithm3}.  This is the randomness interface the pairwise-

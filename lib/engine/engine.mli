@@ -95,6 +95,10 @@ type policy = {
       (** when false, jobs whose LP tier fails are reported with
           [tier = None] and an empty allocation instead of degrading *)
   faults : Faultgen.t option;  (** deterministic fault injection, tests only *)
+  lp_pricing : Sa_lp.Model.pricing;
+      (** simplex entering-variable rule for every LP this job solves —
+          explicit masters and colgen masters alike (default [Dantzig];
+          [Devex] trades more work per pivot for fewer pivots) *)
 }
 
 val default_policy : policy
@@ -106,6 +110,7 @@ val policy :
   ?max_retries:int ->
   ?fallback:bool ->
   ?faults:Faultgen.t ->
+  ?lp_pricing:Sa_lp.Model.pricing ->
   unit ->
   policy
 (** Validating constructor over {!default_policy}'s defaults. *)

@@ -9,7 +9,7 @@ type report = {
 
 let scale_of x = Float.max 1.0 (Float.abs x)
 
-let check ?(eps = 1e-6) (problem : Simplex.problem) (solution : Simplex.solution) =
+let check ?(eps = Tol.cert_eps) (problem : Simplex.problem) (solution : Simplex.solution) =
   let { Simplex.direction; c; rows } = problem in
   let x = solution.Simplex.x and y = solution.Simplex.duals in
   let nvars = Array.length c in

@@ -17,7 +17,8 @@ type report = {
 }
 
 val check : ?eps:float -> Simplex.problem -> Simplex.solution -> report
-(** [eps] is the certification tolerance (default 1e-6, scaled by row/value
-    magnitudes).  A non-[Optimal] solution is never certified. *)
+(** [eps] is the certification tolerance (default {!Tol.cert_eps}, scaled
+    by row/value magnitudes).  A non-[Optimal] solution is never
+    certified. *)
 
 val pp : Format.formatter -> report -> unit

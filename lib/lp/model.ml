@@ -53,6 +53,8 @@ type solution = {
 
 type engine = Dense_tableau | Revised_sparse
 
+type pricing = Revised.pricing = Dantzig | Devex
+
 type warm_solution = {
   solution : solution;
   basis : Revised.basis option;
@@ -69,6 +71,104 @@ let to_problem t =
   let rows = Array.of_list (List.rev_map dense_row t.rows) in
   { Simplex.direction = t.direction; c; rows }
 
+(* Workspace slot assignments (slots 16..23 of each typed pool belong to
+   this module; see Workspace docs). *)
+module Slot = struct
+  (* float slots *)
+  let obj = 16
+  let rhs = 17
+  let acc = 18
+  let cval = 19
+
+  (* int slots *)
+  let stamp = 16
+  let touched = 17
+  let cstart = 18
+  let crow = 19
+  let next = 20
+end
+
+(* Build the sparse column-major spec directly from the row lists, into
+   workspace buffers — the allocation-free replacement for [to_problem]'s
+   O(rows · vars) densification on the column-generation hot path.
+
+   Bitwise compatibility with the dense path: duplicate (row, var) entries
+   are summed starting from 0.0 in list order, exactly as [to_problem]'s
+   [a.(v) <- a.(v) +. coeff] accumulation, and an entry is kept iff the
+   merged value is nonzero, so the spec describes the identical matrix. *)
+let to_spec ws t =
+  let nvars = t.nvars in
+  let m = t.nrows in
+  let rows_arr = Array.of_list (List.rev t.rows) in
+  let c = Workspace.floats ws ~slot:Slot.obj nvars in
+  List.iteri (fun k obj -> c.(nvars - 1 - k) <- obj) t.objs;
+  let rel = Array.make m Simplex.Le in
+  let rhs = Workspace.floats ws ~slot:Slot.rhs m in
+  Array.iteri
+    (fun i rd ->
+      rel.(i) <- rd.relation;
+      rhs.(i) <- rd.rhs)
+    rows_arr;
+  let stamp = Workspace.ints ws ~slot:Slot.stamp nvars in
+  Array.fill stamp 0 nvars (-1);
+  let acc = Workspace.floats ws ~slot:Slot.acc nvars in
+  let touched = Workspace.ints ws ~slot:Slot.touched nvars in
+  (* [merge_row tag i k] folds row [i]'s duplicate entries (0.0-seeded, in
+     list order, matching the dense path bitwise) and calls [k v value] for
+     each var with a nonzero merged value.  [tag] keeps the two passes'
+     stamps distinct without clearing the stamp array between them. *)
+  let merge_row tag i k =
+    let rd = rows_arr.(i) in
+    let n = ref 0 in
+    List.iter
+      (fun (v, coeff) ->
+        if stamp.(v) = tag then acc.(v) <- acc.(v) +. coeff
+        else begin
+          stamp.(v) <- tag;
+          acc.(v) <- 0.0 +. coeff;
+          touched.(!n) <- v;
+          incr n
+        end)
+      rd.coeffs;
+    for p = 0 to !n - 1 do
+      let v = touched.(p) in
+      if acc.(v) <> 0.0 then k v acc.(v)
+    done
+  in
+  let cstart = Workspace.ints ws ~slot:Slot.cstart (nvars + 1) in
+  Array.fill cstart 0 (nvars + 1) 0;
+  for i = 0 to m - 1 do
+    merge_row i i (fun v _ -> cstart.(v + 1) <- cstart.(v + 1) + 1)
+  done;
+  for j = 1 to nvars do
+    cstart.(j) <- cstart.(j) + cstart.(j - 1)
+  done;
+  let nnz = cstart.(nvars) in
+  let crow = Workspace.ints ws ~slot:Slot.crow (max 1 nnz) in
+  let cval = Workspace.floats ws ~slot:Slot.cval (max 1 nnz) in
+  let next = Workspace.ints ws ~slot:Slot.next nvars in
+  Array.blit cstart 0 next 0 nvars;
+  (* rows visited ascending, so each column's entries come out
+     rows-ascending as the CSC contract requires *)
+  for i = 0 to m - 1 do
+    merge_row (i + m) i (fun v value ->
+        let p = next.(v) in
+        crow.(p) <- i;
+        cval.(p) <- value;
+        next.(v) <- p + 1)
+  done;
+  {
+    Revised.s_direction = t.direction;
+    s_nstruct = nvars;
+    s_m = m;
+    s_c = c;
+    s_rel = rel;
+    s_rhs = rhs;
+    s_cstart = cstart;
+    s_crow = crow;
+    s_cval = cval;
+  }
+
 let wrap t sol =
   {
     status = sol.Simplex.status;
@@ -84,23 +184,24 @@ let wrap t sol =
   }
 
 let solve_with_basis ?(engine = Dense_tableau) ?eps ?max_iters ?warm_start
-    ?deadline ?inject_warm_crash t =
-  let problem = to_problem t in
+    ?deadline ?inject_warm_crash ?pricing ?workspace t =
   match engine with
   | Dense_tableau ->
       (* the dense tableau has no warm-start path; pivot count unknown *)
-      let sol = Simplex.solve ?eps ?max_iters ?deadline problem in
+      let sol = Simplex.solve ?eps ?max_iters ?deadline (to_problem t) in
       {
         solution = wrap t sol;
         basis = None;
         stats = { Revised.iterations = 0; warm_used = false };
       }
   | Revised_sparse ->
+      let ws = match workspace with Some ws -> ws | None -> Workspace.get () in
+      let spec = to_spec ws t in
       let sol, basis, stats =
-        Revised.solve_warm ?eps ?max_iters ?warm_start ?deadline
-          ?inject_warm_crash problem
+        Revised.solve_spec ?eps ?max_iters ?warm_start ?deadline
+          ?inject_warm_crash ?pricing ~workspace:ws spec
       in
       { solution = wrap t sol; basis; stats }
 
-let solve ?engine ?eps ?max_iters ?deadline t =
-  (solve_with_basis ?engine ?eps ?max_iters ?deadline t).solution
+let solve ?engine ?eps ?max_iters ?deadline ?pricing t =
+  (solve_with_basis ?engine ?eps ?max_iters ?deadline ?pricing t).solution

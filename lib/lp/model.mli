@@ -35,12 +35,23 @@ type solution = {
 
 type engine = Dense_tableau | Revised_sparse
 
+type pricing = Revised.pricing = Dantzig | Devex
+(** Re-export of {!Revised.pricing} so engine-policy code can name the
+    rule without depending on {!Revised} directly. *)
+
 val solve :
-  ?engine:engine -> ?eps:float -> ?max_iters:int -> ?deadline:float -> t -> solution
+  ?engine:engine ->
+  ?eps:float ->
+  ?max_iters:int ->
+  ?deadline:float ->
+  ?pricing:pricing ->
+  t ->
+  solution
 (** Runs the chosen simplex engine (default [Dense_tableau]; see
     {!Revised}) on the current model.  The model remains usable (more
     variables/rows may be added and [solve] called again — each call solves
-    from scratch). *)
+    from scratch).  [pricing] selects the entering-variable rule of the
+    revised engine (default [Dantzig]; ignored by [Dense_tableau]). *)
 
 type warm_solution = {
   solution : solution;
@@ -57,12 +68,22 @@ val solve_with_basis :
   ?warm_start:Revised.basis ->
   ?deadline:float ->
   ?inject_warm_crash:bool ->
+  ?pricing:pricing ->
+  ?workspace:Workspace.t ->
   t ->
   warm_solution
 (** {!solve}, exposing the warm-start machinery of {!Revised.solve_warm}:
     pass the basis returned by a previous solve of a same-shape model to
     skip the cold start.  Only [Revised_sparse] honours [warm_start]; an
     invalid basis degrades silently to a cold solve.
+
+    With [Revised_sparse] the problem is staged as a sparse {!Revised.spec}
+    straight from the row lists — no dense materialisation — using
+    [workspace] (default: the calling domain's arena, {!Workspace.get}),
+    which is also handed to the solver for its scratch state; a
+    column-generation loop therefore re-solves with allocation proportional
+    to the columns added since the last round, not to the matrix size.
+    [pricing] selects the entering-variable rule (default [Dantzig]).
 
     [to_problem]-level certification: the basis token is tied to the
     model's variable/row layout, so callers must key caches on a

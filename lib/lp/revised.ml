@@ -1,25 +1,39 @@
 (* Sparse revised simplex with a product-form-inverse eta file.
 
    Shares the external types with [Simplex].  Internally:
-   - structural + slack/surplus + artificial columns, stored sparsely;
+   - structural + slack/surplus + artificial columns, stored as one flat
+     CSC matrix (cstart/crow/cval) in workspace buffers;
    - the basis inverse is kept as an eta file: B = E_1 E_2 ... E_K, each
      E_k identity except for one (sparse) column, so ftran/btran cost
-     O(nnz) per eta instead of O(m^2) dense updates;
+     O(nnz) per eta instead of O(m^2) dense updates.  The file lives in a
+     structure-of-arrays bump store (eta_row/eta_pivot/eta_start backed by
+     eta_idx/eta_vals pools) owned by the per-domain {!Workspace}, so
+     steady-state solves stop allocating per pivot;
    - the eta file is rebuilt from the current basis every
      [Tol.default_refactor_interval] pivots (sparsest-column-first greedy
      elimination), with a drift check of the maintained basic solution
      against the recomputed one;
-   - entering columns are chosen by Dantzig rule over a small candidate
-     list (partial pricing); a full cyclic scan only runs to replenish the
-     list or prove optimality, with Bland's rule as the anti-cycling
-     fallback;
+   - entering columns are chosen by the configured [pricing] rule:
+     [Dantzig] (default) prices over a small candidate list (partial
+     pricing) with full cyclic scans only to replenish the list or prove
+     optimality; [Devex] keeps Forrest–Goldfarb reference weights
+     (score d_j^2/gamma_j, weights reset to the unit framework at every
+     refactorization) and typically needs far fewer pivots on wide LPs.
+     Both fall back to Bland's rule after the anti-cycling threshold, and
+     both break ties deterministically towards the lowest column index;
    - two phases, artificials blocked in phase 2.
 
    [solve_warm] additionally accepts a starting basis (typically the
    optimal basis of a previous solve on a same-shape problem) and, when
    that basis is still primal feasible for the new data, crash-pivots it
    into the eta representation and jumps straight to phase 2 — the
-   warm-start path used by the batch engine's basis cache. *)
+   warm-start path used by the batch engine's basis cache.
+
+   All scratch state (CSC matrix, basis/x_b, FTRAN/BTRAN work vectors,
+   pricing arrays, the eta store) is acquired from a {!Workspace} — by
+   default the calling domain's arena — and fully (re)initialised over the
+   range used, so results are bitwise independent of whatever solved on
+   the domain before. *)
 
 module Tel = Sa_telemetry.Metrics
 
@@ -30,109 +44,210 @@ let m_pricing_scans = Tel.counter "lp.revised.pricing_scans"
 let m_warm_attempts = Tel.counter "lp.revised.warm_attempts"
 let m_warm_installs = Tel.counter "lp.revised.warm_installs"
 let m_warm_rollbacks = Tel.counter "lp.revised.warm_rollbacks"
+let m_devex_pivots = Tel.counter "lp.pricing.devex_pivots"
+let m_dantzig_pivots = Tel.counter "lp.pricing.dantzig_pivots"
+let m_pricing_resets = Tel.counter "lp.pricing.resets"
 let h_solve = Tel.histogram "lp.revised.solve.seconds"
 let log_src = Logs.Src.create "sa.lp.revised" ~doc:"Revised sparse simplex"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type sparse_col = (int * float) array (* (row, coeff), rows strictly increasing *)
-
 type basis = int array
 
 type stats = { iterations : int; warm_used : bool }
 
+type pricing = Dantzig | Devex
+
+type spec = {
+  s_direction : Simplex.direction;
+  s_nstruct : int;
+  s_m : int;
+  s_c : float array;
+  s_rel : Simplex.relation array;
+  s_rhs : float array;
+  s_cstart : int array;
+  s_crow : int array;
+  s_cval : float array;
+}
+
 let feas_eps = Tol.feas_eps
 
-(* One elementary eta matrix: identity except column [row], whose diagonal
-   is [pivot] and whose off-diagonal nonzeros are [(idx.(i), vals.(i))]. *)
-type eta = { row : int; pivot : float; idx : int array; vals : float array }
+(* Workspace slot assignments (slots 0..15 of each typed pool belong to
+   this module; see Workspace docs).  Slot numbers are per element type,
+   so float slot 0 and int slot 0 are distinct buffers. *)
+module Slot = struct
+  (* float slots *)
+  let ftran = 0
+  let btran = 1
+  let xb = 2
+  let scratch = 3
+  let eta_pivot = 4
+  let eta_vals = 5
+  let weights = 6
+  let rho = 7
+  let cost1 = 8
+  let cost2 = 9
+  let cval = 10
+  let rhs = 11
+
+  (* int slots *)
+  let basis = 0
+  let cand = 1
+  let eta_row = 2
+  let eta_start = 3
+  let eta_idx = 4
+  let cstart = 5
+  let crow = 6
+
+  (* bool slots *)
+  let artificial = 0
+  let in_basis = 1
+  let flip = 2
+  let assigned = 3
+end
 
 type core = {
   m : int;
   ncols : int;
-  cols : sparse_col array;
+  nstruct : int;
+  (* flat CSC over structural | slack | artificial columns *)
+  cstart : int array; (* ncols + 1 *)
+  crow : int array;
+  cval : float array;
   artificial : bool array;
   b : float array;
-  mutable etas : eta array; (* applied 0 .. n_etas-1 in ftran order *)
+  (* eta file, structure-of-arrays: eta k occupies header slot k and the
+     idx/vals range [eta_start.(k), eta_start.(k+1)).  Fields are rebound
+     when the workspace grows a buffer (growth preserves the prefix). *)
+  mutable eta_row : int array;
+  mutable eta_pivot : float array;
+  mutable eta_start : int array; (* n_etas + 1 entries *)
+  mutable eta_idx : int array;
+  mutable eta_vals : float array;
   mutable n_etas : int;
+  mutable eta_nnz : int;
   mutable pivots_since_refactor : int;
       (* the rebuilt file itself holds one eta per basis column, so the
          refactorization trigger must count pivots, not file length *)
+  mutable refactor_gen : int;
+      (* bumped by every refactorization; devex pricing watches it to
+         reset its reference weights *)
   basis : int array;
-  mutable x_b : float array;
+  x_b : float array; (* fixed buffer; refactorization blits into it *)
   in_basis : bool array;
+  w_ftran : float array; (* shared FTRAN result; valid until the next ftran *)
+  y_btran : float array; (* shared BTRAN result; valid until the next btran *)
   refactor_interval : int;
+  ws : Workspace.t;
 }
 
-let col_dot col v = Array.fold_left (fun acc (r, x) -> acc +. (x *. v.(r))) 0.0 col
+let col_dot t j v =
+  let acc = ref 0.0 in
+  for p = t.cstart.(j) to t.cstart.(j + 1) - 1 do
+    acc := !acc +. (t.cval.(p) *. v.(t.crow.(p)))
+  done;
+  !acc
 
-let push_eta t e =
-  let cap = Array.length t.etas in
-  if t.n_etas = cap then begin
-    let etas = Array.make (max 8 (2 * cap)) e in
-    Array.blit t.etas 0 etas 0 cap;
-    t.etas <- etas
+(* ------------------------------ eta store ------------------------------ *)
+
+let ensure_eta_headers t =
+  let need = t.n_etas + 1 in
+  if Array.length t.eta_row < need then begin
+    t.eta_row <- Workspace.ints t.ws ~slot:Slot.eta_row need;
+    t.eta_pivot <- Workspace.floats t.ws ~slot:Slot.eta_pivot need
   end;
-  t.etas.(t.n_etas) <- e;
-  t.n_etas <- t.n_etas + 1
+  if Array.length t.eta_start < need + 1 then
+    t.eta_start <- Workspace.ints t.ws ~slot:Slot.eta_start (need + 1)
+
+let ensure_eta_nnz t extra =
+  let need = t.eta_nnz + extra in
+  if Array.length t.eta_idx < need then begin
+    t.eta_idx <- Workspace.ints t.ws ~slot:Slot.eta_idx need;
+    t.eta_vals <- Workspace.floats t.ws ~slot:Slot.eta_vals need
+  end
+
+(* Append one eta built from [w.(0..m-1)] with the given pivot row. *)
+let push_eta_from t ~row w =
+  let nnz = ref 0 in
+  for i = 0 to t.m - 1 do
+    if i <> row && Float.abs w.(i) > Tol.eta_drop_eps then incr nnz
+  done;
+  ensure_eta_headers t;
+  ensure_eta_nnz t !nnz;
+  let k = t.n_etas in
+  t.eta_row.(k) <- row;
+  t.eta_pivot.(k) <- w.(row);
+  let p = ref t.eta_nnz in
+  for i = 0 to t.m - 1 do
+    if i <> row && Float.abs w.(i) > Tol.eta_drop_eps then begin
+      t.eta_idx.(!p) <- i;
+      t.eta_vals.(!p) <- w.(i);
+      incr p
+    end
+  done;
+  t.eta_nnz <- !p;
+  t.n_etas <- k + 1;
+  t.eta_start.(k + 1) <- !p
+
+(* Identity-column eta used as the fallback for a numerically singular
+   basis column during refactorization. *)
+let push_unit_eta t ~row =
+  ensure_eta_headers t;
+  let k = t.n_etas in
+  t.eta_row.(k) <- row;
+  t.eta_pivot.(k) <- 1.0;
+  t.n_etas <- k + 1;
+  t.eta_start.(k + 1) <- t.eta_nnz
 
 (* In-place w := B^{-1} w, applying eta inverses oldest-to-newest.  An eta
    whose pivot-row entry is zero leaves the vector untouched, so sparse
    inputs stay cheap. *)
 let apply_etas t w =
   for k = 0 to t.n_etas - 1 do
-    let e = t.etas.(k) in
-    let xr = w.(e.row) in
+    let r = t.eta_row.(k) in
+    let xr = w.(r) in
     if xr <> 0.0 then begin
-      let zr = xr /. e.pivot in
-      w.(e.row) <- zr;
-      let idx = e.idx and vals = e.vals in
-      for i = 0 to Array.length idx - 1 do
-        w.(idx.(i)) <- w.(idx.(i)) -. (vals.(i) *. zr)
+      let zr = xr /. t.eta_pivot.(k) in
+      w.(r) <- zr;
+      let idx = t.eta_idx and vals = t.eta_vals in
+      for p = t.eta_start.(k) to t.eta_start.(k + 1) - 1 do
+        w.(idx.(p)) <- w.(idx.(p)) -. (vals.(p) *. zr)
       done
     end
   done
 
-(* w = B^{-1} A_j *)
-let ftran t col =
-  let w = Array.make t.m 0.0 in
-  Array.iter (fun (r, x) -> w.(r) <- x) col;
+(* w = B^{-1} A_j, into the shared FTRAN buffer. *)
+let ftran t j =
+  let w = t.w_ftran in
+  Array.fill w 0 t.m 0.0;
+  for p = t.cstart.(j) to t.cstart.(j + 1) - 1 do
+    w.(t.crow.(p)) <- t.cval.(p)
+  done;
   apply_etas t w;
   w
 
-(* y^T = c_B^T B^{-1}, applying eta inverses newest-to-oldest. *)
+(* In-place y := y B^{-1}, applying eta inverses newest-to-oldest. *)
+let btran_core t y =
+  for k = t.n_etas - 1 downto 0 do
+    let idx = t.eta_idx and vals = t.eta_vals in
+    let s = ref 0.0 in
+    for p = t.eta_start.(k) to t.eta_start.(k + 1) - 1 do
+      s := !s +. (y.(idx.(p)) *. vals.(p))
+    done;
+    let r = t.eta_row.(k) in
+    y.(r) <- (y.(r) -. !s) /. t.eta_pivot.(k)
+  done
+
+(* y^T = c_B^T B^{-1}, into the shared BTRAN buffer. *)
 let btran t costs =
-  let y = Array.make t.m 0.0 in
+  let y = t.y_btran in
   for i = 0 to t.m - 1 do
     y.(i) <- costs.(t.basis.(i))
   done;
-  for k = t.n_etas - 1 downto 0 do
-    let e = t.etas.(k) in
-    let idx = e.idx and vals = e.vals in
-    let s = ref 0.0 in
-    for i = 0 to Array.length idx - 1 do
-      s := !s +. (y.(idx.(i)) *. vals.(i))
-    done;
-    y.(e.row) <- (y.(e.row) -. !s) /. e.pivot
-  done;
+  btran_core t y;
   y
 
-let eta_of_column ~row w =
-  let m = Array.length w in
-  let nnz = ref 0 in
-  for i = 0 to m - 1 do
-    if i <> row && Float.abs w.(i) > 1e-13 then incr nnz
-  done;
-  let idx = Array.make !nnz 0 and vals = Array.make !nnz 0.0 in
-  let p = ref 0 in
-  for i = 0 to m - 1 do
-    if i <> row && Float.abs w.(i) > 1e-13 then begin
-      idx.(!p) <- i;
-      vals.(!p) <- w.(i);
-      incr p
-    end
-  done;
-  { row; pivot = w.(row); idx; vals }
+(* --------------------------- refactorization ---------------------------- *)
 
 (* Rebuild the eta file from the current basis: greedy elimination,
    sparsest original column first, pivot row chosen by largest magnitude
@@ -143,18 +258,20 @@ let eta_of_column ~row w =
    maintained values. *)
 let refactorize t =
   Tel.incr m_refactor;
-  let old_basis = Array.copy t.basis in
-  let old_xb = t.x_b in
+  t.refactor_gen <- t.refactor_gen + 1;
+  let old_basis = Array.sub t.basis 0 t.m in
   t.n_etas <- 0;
+  t.eta_nnz <- 0;
+  t.eta_start.(0) <- 0;
   t.pivots_since_refactor <- 0;
   let order = Array.copy old_basis in
-  Array.sort
-    (fun a b -> compare (Array.length t.cols.(a)) (Array.length t.cols.(b)))
-    order;
-  let assigned = Array.make t.m false in
+  let col_len j = t.cstart.(j + 1) - t.cstart.(j) in
+  Array.sort (fun a b -> compare (col_len a) (col_len b)) order;
+  let assigned = Workspace.bools t.ws ~slot:Slot.assigned t.m in
+  Array.fill assigned 0 t.m false;
   Array.iter
     (fun j ->
-      let w = ftran t t.cols.(j) in
+      let w = ftran t j in
       let r = ref (-1) in
       for i = 0 to t.m - 1 do
         if (not assigned.(i)) && (!r < 0 || Float.abs w.(i) > Float.abs w.(!r)) then
@@ -167,38 +284,39 @@ let refactorize t =
            damage. *)
         Log.warn (fun f ->
             f "refactorization: near-singular pivot %.3e for column %d" w.(r) j);
-        push_eta t { row = r; pivot = 1.0; idx = [||]; vals = [||] }
+        push_unit_eta t ~row:r
       end
-      else push_eta t (eta_of_column ~row:r w);
+      else push_eta_from t ~row:r w;
       assigned.(r) <- true;
       t.basis.(r) <- j)
     order;
-  let xb = Array.copy t.b in
+  let xb = Workspace.floats t.ws ~slot:Slot.scratch t.m in
+  Array.blit t.b 0 xb 0 t.m;
   apply_etas t xb;
-  (* drift check: compare per-column values across the row reassignment *)
+  (* drift check: compare per-column values across the row reassignment
+     (t.x_b still holds the incrementally maintained values) *)
   let old_val = Hashtbl.create t.m in
-  Array.iteri (fun i j -> Hashtbl.replace old_val j old_xb.(i)) old_basis;
+  Array.iteri (fun i j -> Hashtbl.replace old_val j t.x_b.(i)) old_basis;
   let drift = ref 0.0 in
-  Array.iteri
-    (fun i j ->
-      match Hashtbl.find_opt old_val j with
-      | Some v -> drift := Float.max !drift (Float.abs (xb.(i) -. v))
-      | None -> ())
-    t.basis;
+  for i = 0 to t.m - 1 do
+    match Hashtbl.find_opt old_val t.basis.(i) with
+    | Some v -> drift := Float.max !drift (Float.abs (xb.(i) -. v))
+    | None -> ()
+  done;
   if !drift > Tol.drift_eps then
     Log.warn (fun f ->
         f "refactorization drift %.3e exceeds %.1e (m=%d, pivots since last=%d)"
           !drift Tol.drift_eps t.m t.refactor_interval);
-  t.x_b <- xb
+  Array.blit xb 0 t.x_b 0 t.m
 
 let pivot t ~row ~col ~w =
-  push_eta t (eta_of_column ~row w);
+  push_eta_from t ~row w;
   let xr = t.x_b.(row) /. w.(row) in
   t.x_b.(row) <- xr;
   for i = 0 to t.m - 1 do
     if i <> row then begin
       let f = w.(i) in
-      if Float.abs f > 1e-13 then t.x_b.(i) <- t.x_b.(i) -. (f *. xr)
+      if Float.abs f > Tol.eta_drop_eps then t.x_b.(i) <- t.x_b.(i) -. (f *. xr)
     end
   done;
   t.in_basis.(t.basis.(row)) <- false;
@@ -207,17 +325,30 @@ let pivot t ~row ~col ~w =
   t.pivots_since_refactor <- t.pivots_since_refactor + 1;
   if t.pivots_since_refactor >= t.refactor_interval then refactorize t
 
-let run_phase t ~costs ~eps ~max_iters ~allowed ~deadline ~started =
+(* ------------------------------- pricing -------------------------------- *)
+
+let run_phase t ~costs ~eps ~max_iters ~allowed ~pricing ~deadline ~started =
   let iter = ref 0 in
   let bland_threshold = max 2000 (10 * (t.m + t.ncols)) in
   (* Dantzig partial pricing: reduced costs are evaluated only over a small
      candidate list; a full (cyclic) scan runs just to replenish the list or
      to certify optimality. *)
   let cap = max 16 (t.ncols / 16) in
-  let cand = Array.make cap (-1) in
+  let cand = Workspace.ints t.ws ~slot:Slot.cand cap in
   let n_cand = ref 0 in
   let scan_start = ref 0 in
-  let reduced y j = costs.(j) -. col_dot t.cols.(j) y in
+  (* Devex reference weights: unit framework at phase start, reset whenever
+     the eta file is refactorized. *)
+  let weights =
+    match pricing with
+    | Dantzig -> [||]
+    | Devex ->
+        let gamma = Workspace.floats t.ws ~slot:Slot.weights t.ncols in
+        Array.fill gamma 0 t.ncols 1.0;
+        gamma
+  in
+  let weights_gen = ref t.refactor_gen in
+  let reduced y j = costs.(j) -. col_dot t j y in
   let result = ref None in
   while !result = None do
     incr iter;
@@ -244,52 +375,77 @@ let run_phase t ~costs ~eps ~max_iters ~allowed ~deadline ~started =
           done
         with Exit -> ())
       else begin
-        let best = ref eps in
-        let keep = ref 0 in
-        for k = 0 to !n_cand - 1 do
-          let j = cand.(k) in
-          if allowed j && not t.in_basis.(j) then begin
-            let d = reduced y j in
-            if d > eps then begin
-              cand.(!keep) <- j;
-              incr keep;
-              if d > !best then begin
-                best := d;
-                enter := j
-              end
-            end
-          end
-        done;
-        n_cand := !keep;
-        if !enter < 0 then begin
-          (* candidate list exhausted: cyclic full scan to refill *)
-          Tel.incr m_pricing_scans;
-          n_cand := 0;
-          let scanned = ref 0 in
-          let j = ref !scan_start in
-          while !scanned < t.ncols && !n_cand < cap do
-            let jj = !j in
-            if allowed jj && not t.in_basis.(jj) then begin
-              let d = reduced y jj in
-              if d > eps then begin
-                cand.(!n_cand) <- jj;
-                incr n_cand;
-                if d > !best then begin
-                  best := d;
-                  enter := jj
+        match pricing with
+        | Devex ->
+            if t.refactor_gen <> !weights_gen then begin
+              (* refactorized since the last pricing step: back to the unit
+                 reference framework *)
+              Array.fill weights 0 t.ncols 1.0;
+              weights_gen := t.refactor_gen;
+              Tel.incr m_pricing_resets
+            end;
+            (* full devex scan: maximize d_j^2 / gamma_j; strict improvement
+               only, so ties go to the lowest column index *)
+            let best_score = ref 0.0 in
+            for j = 0 to t.ncols - 1 do
+              if allowed j && not t.in_basis.(j) then begin
+                let d = reduced y j in
+                if d > eps then begin
+                  let score = d *. d /. weights.(j) in
+                  if score > !best_score then begin
+                    best_score := score;
+                    enter := j
+                  end
                 end
               end
-            end;
-            incr scanned;
-            j := if jj + 1 >= t.ncols then 0 else jj + 1
-          done;
-          scan_start := !j
-        end
+            done
+        | Dantzig ->
+            let best = ref eps in
+            let keep = ref 0 in
+            for k = 0 to !n_cand - 1 do
+              let j = cand.(k) in
+              if allowed j && not t.in_basis.(j) then begin
+                let d = reduced y j in
+                if d > eps then begin
+                  cand.(!keep) <- j;
+                  incr keep;
+                  if d > !best then begin
+                    best := d;
+                    enter := j
+                  end
+                end
+              end
+            done;
+            n_cand := !keep;
+            if !enter < 0 then begin
+              (* candidate list exhausted: cyclic full scan to refill *)
+              Tel.incr m_pricing_scans;
+              n_cand := 0;
+              let scanned = ref 0 in
+              let j = ref !scan_start in
+              while !scanned < t.ncols && !n_cand < cap do
+                let jj = !j in
+                if allowed jj && not t.in_basis.(jj) then begin
+                  let d = reduced y jj in
+                  if d > eps then begin
+                    cand.(!n_cand) <- jj;
+                    incr n_cand;
+                    if d > !best then begin
+                      best := d;
+                      enter := jj
+                    end
+                  end
+                end;
+                incr scanned;
+                j := if jj + 1 >= t.ncols then 0 else jj + 1
+              done;
+              scan_start := !j
+            end
       end;
       if !enter < 0 then result := Some `Optimal
       else begin
         let col = !enter in
-        let w = ftran t t.cols.(col) in
+        let w = ftran t col in
         let leave = ref (-1) in
         let best_ratio = ref infinity in
         for i = 0 to t.m - 1 do
@@ -307,13 +463,48 @@ let run_phase t ~costs ~eps ~max_iters ~allowed ~deadline ~started =
           end
         done;
         if !leave < 0 then result := Some `Unbounded
-        else pivot t ~row:!leave ~col ~w
+        else begin
+          let r = !leave in
+          (match pricing with
+          | Devex when not use_bland ->
+              (* Forrest–Goldfarb update.  alpha_j = rho · A_j where
+                 rho = e_r^T B^{-1} (one extra btran of a unit vector);
+                 gamma_j <- max(gamma_j, (alpha_j/alpha_q)^2 gamma_q) for
+                 nonbasic j, and the leaving variable re-enters the
+                 nonbasic set with gamma_p = max(gamma_q/alpha_q^2, 1). *)
+              let rho = Workspace.floats t.ws ~slot:Slot.rho t.m in
+              Array.fill rho 0 t.m 0.0;
+              rho.(r) <- 1.0;
+              btran_core t rho;
+              let alpha_q = w.(r) in
+              let gamma_q = weights.(col) in
+              for j = 0 to t.ncols - 1 do
+                if j <> col && allowed j && not t.in_basis.(j) then begin
+                  let alpha_j = col_dot t j rho in
+                  if alpha_j <> 0.0 then begin
+                    let ratio = alpha_j /. alpha_q in
+                    let cand_w = ratio *. ratio *. gamma_q in
+                    if cand_w > weights.(j) then weights.(j) <- cand_w
+                  end
+                end
+              done;
+              let p = t.basis.(r) in
+              let wp = gamma_q /. (alpha_q *. alpha_q) in
+              weights.(p) <- (if wp > 1.0 then wp else 1.0)
+          | _ -> ());
+          pivot t ~row:r ~col ~w
+        end
       end
     end
   done;
   let status = match !result with Some r -> r | None -> assert false in
   Tel.add m_pivots !iter;
+  (match pricing with
+  | Devex -> Tel.add m_devex_pivots !iter
+  | Dantzig -> Tel.add m_dantzig_pivots !iter);
   (status, !iter)
+
+(* ------------------------------ warm start ------------------------------ *)
 
 (* Try to install [wb] as the starting basis by pivoting its missing
    columns into the initial (slack/artificial) basis — a "crash" start.
@@ -341,7 +532,7 @@ let try_warm_basis ?(inject_crash = false) t wb =
   in
   if not valid then false
   else begin
-    let init_basis = Array.copy t.basis in
+    let init_basis = Array.sub t.basis 0 t.m in
     let in_target = Array.make t.ncols false in
     Array.iter (fun j -> in_target.(j) <- true) wb;
     let reset () =
@@ -352,20 +543,22 @@ let try_warm_basis ?(inject_crash = false) t wb =
       Array.fill t.in_basis 0 t.ncols false;
       Array.iter (fun j -> t.in_basis.(j) <- true) init_basis;
       t.n_etas <- 0;
+      t.eta_nnz <- 0;
+      t.eta_start.(0) <- 0;
       t.pivots_since_refactor <- 0;
-      t.x_b <- Array.copy t.b;
+      Array.blit t.b 0 t.x_b 0 t.m;
       false
     in
     let ok = ref true in
     Array.iter
       (fun j ->
         if !ok && not t.in_basis.(j) then begin
-          let w = ftran t t.cols.(j) in
+          let w = ftran t j in
           let row = ref (-1) in
           for i = 0 to t.m - 1 do
             if
               (not in_target.(t.basis.(i)))
-              && Float.abs w.(i) > 1e-7
+              && Float.abs w.(i) > Tol.warm_pivot_eps
               && (!row < 0 || Float.abs w.(i) > Float.abs w.(!row))
             then row := i
           done;
@@ -376,7 +569,14 @@ let try_warm_basis ?(inject_crash = false) t wb =
        the state mutations above, so [reset] exercises the real rollback
        path rather than the cheap never-started one. *)
     if inject_crash then ok := false;
-    if (not !ok) || Array.exists (fun x -> x < -.feas_eps) t.x_b then reset ()
+    let x_b_feasible () =
+      let ok = ref true in
+      for i = 0 to t.m - 1 do
+        if t.x_b.(i) < -.feas_eps then ok := false
+      done;
+      !ok
+    in
+    if (not !ok) || not (x_b_feasible ()) then reset ()
     else begin
       for i = 0 to t.m - 1 do
         if t.x_b.(i) < 0.0 then t.x_b.(i) <- 0.0
@@ -386,105 +586,138 @@ let try_warm_basis ?(inject_crash = false) t wb =
     end
   end
 
-let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start ?deadline
-    ?(inject_warm_crash = false) { Simplex.direction; c; rows } =
+(* ------------------------------ solve core ------------------------------ *)
+
+let solve_spec_impl ~ws ~pricing ?(eps = Tol.solve_eps) ?max_iters ?warm_start
+    ?deadline ?(inject_warm_crash = false) spec =
   let started = Sa_util.Timing.now () in
   (match deadline with
   | Some d when started > d ->
       Sa_util.Fail.raise_
         (Sa_util.Fail.Timeout { stage = "lp.revised"; elapsed_s = 0.0 })
   | _ -> ());
-  let nstruct = Array.length c in
-  let m = Array.length rows in
-  Array.iter
-    (fun (a, _, _) ->
-      if Array.length a <> nstruct then invalid_arg "Revised.solve: row length mismatch")
-    rows;
-  let sign = match direction with Simplex.Maximize -> 1.0 | Simplex.Minimize -> -1.0 in
-  let flip = Array.make m false in
-  let norm =
-    Array.mapi
-      (fun i (a, rel, b) ->
-        if b < 0.0 then begin
-          flip.(i) <- true;
-          let rel' =
-            match rel with Simplex.Le -> Simplex.Ge | Simplex.Ge -> Simplex.Le | Simplex.Eq -> Simplex.Eq
-          in
-          (Array.map (fun v -> -.v) a, rel', -.b)
-        end
-        else (a, rel, b))
-      rows
+  let nstruct = spec.s_nstruct in
+  let m = spec.s_m in
+  let sign =
+    match spec.s_direction with Simplex.Maximize -> 1.0 | Simplex.Minimize -> -1.0
   in
-  let n_art =
-    Array.fold_left
-      (fun acc (_, rel, _) ->
-        match rel with Simplex.Le -> acc | Simplex.Ge | Simplex.Eq -> acc + 1)
-      0 norm
-  in
-  let ncols = nstruct + m + n_art in
-  let cols = Array.make ncols [||] in
-  let artificial = Array.make ncols false in
-  let b = Array.make m 0.0 in
-  let basis = Array.make m (-1) in
-  let slack_col = Array.make m (-1) in
-  let art_col = Array.make m (-1) in
-  (* structural columns, sparse *)
-  for j = 0 to nstruct - 1 do
-    let entries = ref [] in
-    for i = m - 1 downto 0 do
-      let a, _, _ = norm.(i) in
-      if a.(j) <> 0.0 then entries := (i, a.(j)) :: !entries
-    done;
-    cols.(j) <- Array.of_list !entries
+  (* Normalise rhs >= 0, flipping rows as needed; the flip is applied on
+     the fly while assembling the internal CSC matrix. *)
+  let flip = Workspace.bools ws ~slot:Slot.flip m in
+  for i = 0 to m - 1 do
+    flip.(i) <- spec.s_rhs.(i) < 0.0
   done;
+  let rel i =
+    let r = spec.s_rel.(i) in
+    if flip.(i) then
+      match r with Simplex.Le -> Simplex.Ge | Simplex.Ge -> Simplex.Le | Simplex.Eq -> Simplex.Eq
+    else r
+  in
+  let n_art = ref 0 in
+  let n_slack = ref 0 in
+  for i = 0 to m - 1 do
+    match rel i with
+    | Simplex.Le -> incr n_slack
+    | Simplex.Ge ->
+        incr n_slack;
+        incr n_art
+    | Simplex.Eq -> incr n_art
+  done;
+  let n_art = !n_art in
+  let ncols = nstruct + m + n_art in
+  let nnz = spec.s_cstart.(nstruct) + !n_slack + n_art in
+  let cstart = Workspace.ints ws ~slot:Slot.cstart (ncols + 1) in
+  let crow = Workspace.ints ws ~slot:Slot.crow (max 1 nnz) in
+  let cval = Workspace.floats ws ~slot:Slot.cval (max 1 nnz) in
+  let artificial = Workspace.bools ws ~slot:Slot.artificial ncols in
+  Array.fill artificial 0 ncols false;
+  let b = Workspace.floats ws ~slot:Slot.rhs m in
+  for i = 0 to m - 1 do
+    b.(i) <- (if flip.(i) then -.spec.s_rhs.(i) else spec.s_rhs.(i))
+  done;
+  let basis = Workspace.ints ws ~slot:Slot.basis m in
+  (* structural columns (rows ascending, zeros already dropped) *)
+  let pos = ref 0 in
+  for j = 0 to nstruct - 1 do
+    cstart.(j) <- !pos;
+    for p = spec.s_cstart.(j) to spec.s_cstart.(j + 1) - 1 do
+      let r = spec.s_crow.(p) in
+      crow.(!pos) <- r;
+      cval.(!pos) <- (if flip.(r) then -.spec.s_cval.(p) else spec.s_cval.(p));
+      incr pos
+    done
+  done;
+  (* slack/surplus columns: one per row, empty for Eq rows *)
+  for i = 0 to m - 1 do
+    let sc = nstruct + i in
+    cstart.(sc) <- !pos;
+    match rel i with
+    | Simplex.Le ->
+        crow.(!pos) <- i;
+        cval.(!pos) <- 1.0;
+        incr pos;
+        basis.(i) <- sc
+    | Simplex.Ge ->
+        crow.(!pos) <- i;
+        cval.(!pos) <- -1.0;
+        incr pos
+    | Simplex.Eq -> ()
+  done;
+  (* artificial columns, assigned in row order for Ge/Eq rows *)
   let next_art = ref (nstruct + m) in
-  Array.iteri
-    (fun i (_, rel, rhs) ->
-      b.(i) <- rhs;
-      let sc = nstruct + i in
-      slack_col.(i) <- sc;
-      match rel with
-      | Simplex.Le ->
-          cols.(sc) <- [| (i, 1.0) |];
-          basis.(i) <- sc
-      | Simplex.Ge ->
-          cols.(sc) <- [| (i, -1.0) |];
-          let ac = !next_art in
-          incr next_art;
-          cols.(ac) <- [| (i, 1.0) |];
-          artificial.(ac) <- true;
-          art_col.(i) <- ac;
-          basis.(i) <- ac
-      | Simplex.Eq ->
-          cols.(sc) <- [||];
-          let ac = !next_art in
-          incr next_art;
-          cols.(ac) <- [| (i, 1.0) |];
-          artificial.(ac) <- true;
-          art_col.(i) <- ac;
-          basis.(i) <- ac)
-    norm;
-  let in_basis = Array.make ncols false in
-  Array.iter (fun j -> in_basis.(j) <- true) basis;
+  for i = 0 to m - 1 do
+    match rel i with
+    | Simplex.Le -> ()
+    | Simplex.Ge | Simplex.Eq ->
+        let ac = !next_art in
+        incr next_art;
+        cstart.(ac) <- !pos;
+        crow.(!pos) <- i;
+        cval.(!pos) <- 1.0;
+        incr pos;
+        artificial.(ac) <- true;
+        basis.(i) <- ac
+  done;
+  cstart.(ncols) <- !pos;
+  let in_basis = Workspace.bools ws ~slot:Slot.in_basis ncols in
+  Array.fill in_basis 0 ncols false;
+  for i = 0 to m - 1 do
+    in_basis.(basis.(i)) <- true
+  done;
+  let x_b = Workspace.floats ws ~slot:Slot.xb m in
+  Array.blit b 0 x_b 0 m;
   let t =
     {
       m;
       ncols;
-      cols;
+      nstruct;
+      cstart;
+      crow;
+      cval;
       artificial;
       b;
-      etas = [||];
+      eta_row = Workspace.ints ws ~slot:Slot.eta_row 8;
+      eta_pivot = Workspace.floats ws ~slot:Slot.eta_pivot 8;
+      eta_start = Workspace.ints ws ~slot:Slot.eta_start 9;
+      eta_idx = Workspace.ints ws ~slot:Slot.eta_idx 8;
+      eta_vals = Workspace.floats ws ~slot:Slot.eta_vals 8;
       n_etas = 0;
+      eta_nnz = 0;
       pivots_since_refactor = 0;
+      refactor_gen = 0;
       basis;
-      x_b = Array.copy b;
+      x_b;
       in_basis;
+      w_ftran = Workspace.floats ws ~slot:Slot.ftran m;
+      y_btran = Workspace.floats ws ~slot:Slot.btran m;
       (* Rebuilding the file costs O(m * file nnz) and one m-vector per
          basis column, so the interval must grow with m or tall problems
          spend their time refactorizing. *)
       refactor_interval = max Tol.default_refactor_interval (m / 4);
+      ws;
     }
   in
+  t.eta_start.(0) <- 0;
   let max_iters =
     match max_iters with Some v -> v | None -> 50_000 + (50 * (m + ncols))
   in
@@ -496,9 +729,10 @@ let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start ?deadline
       duals = Array.make m 0.0;
     }
   in
-  let c2 = Array.make ncols 0.0 in
+  let c2 = Workspace.floats ws ~slot:Slot.cost2 ncols in
+  Array.fill c2 0 ncols 0.0;
   for j = 0 to nstruct - 1 do
-    c2.(j) <- sign *. c.(j)
+    c2.(j) <- sign *. spec.s_c.(j)
   done;
   let iterations = ref 0 in
   let warm_used =
@@ -509,25 +743,22 @@ let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start ?deadline
   let phase1 =
     if warm_used || n_art = 0 then `Optimal
     else begin
-      let c1 = Array.make ncols 0.0 in
+      let c1 = Workspace.floats ws ~slot:Slot.cost1 ncols in
       for j = 0 to ncols - 1 do
-        if artificial.(j) then c1.(j) <- -1.0
+        c1.(j) <- (if artificial.(j) then -1.0 else 0.0)
       done;
       let status, iters =
-        run_phase t ~costs:c1 ~eps ~max_iters ~allowed:(fun _ -> true) ~deadline
-          ~started
+        run_phase t ~costs:c1 ~eps ~max_iters ~allowed:(fun _ -> true) ~pricing
+          ~deadline ~started
       in
       iterations := !iterations + iters;
       match status with
       | `Optimal ->
-          let z =
-            Array.to_list (Array.mapi (fun i col -> (i, col)) t.basis)
-            |> List.fold_left
-                 (fun acc (i, col) ->
-                   if artificial.(col) then acc -. t.x_b.(i) else acc)
-                 0.0
-          in
-          if z < -.feas_eps then `Infeasible
+          let z = ref 0.0 in
+          for i = 0 to m - 1 do
+            if artificial.(t.basis.(i)) then z := !z -. t.x_b.(i)
+          done;
+          if !z < -.feas_eps then `Infeasible
           else begin
             (* drive basic artificials out where a non-artificial pivot exists *)
             for i = 0 to m - 1 do
@@ -535,8 +766,8 @@ let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start ?deadline
                 let found = ref (-1) in
                 for j = 0 to ncols - 1 do
                   if !found < 0 && (not artificial.(j)) && not t.in_basis.(j) then begin
-                    let w = ftran t t.cols.(j) in
-                    if Float.abs w.(i) > 1e-6 then begin
+                    let w = ftran t j in
+                    if Float.abs w.(i) > Tol.driveout_eps then begin
                       pivot t ~row:i ~col:j ~w;
                       found := j
                     end
@@ -559,7 +790,7 @@ let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start ?deadline
   | `Optimal -> (
       let allowed j = not artificial.(j) in
       let status, iters =
-        run_phase t ~costs:c2 ~eps ~max_iters ~allowed ~deadline ~started
+        run_phase t ~costs:c2 ~eps ~max_iters ~allowed ~pricing ~deadline ~started
       in
       iterations := !iterations + iters;
       match status with
@@ -567,9 +798,10 @@ let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start ?deadline
       | `Iteration_limit -> finish (infeasible_solution Simplex.Iteration_limit) None
       | `Optimal ->
           let x = Array.make nstruct 0.0 in
-          Array.iteri
-            (fun i col -> if col < nstruct then x.(col) <- t.x_b.(i))
-            t.basis;
+          for i = 0 to m - 1 do
+            let col = t.basis.(i) in
+            if col < nstruct then x.(col) <- t.x_b.(i)
+          done;
           for j = 0 to nstruct - 1 do
             if x.(j) < 0.0 && x.(j) > -.feas_eps then x.(j) <- 0.0
           done;
@@ -581,22 +813,84 @@ let solve_warm_impl ?(eps = 1e-9) ?max_iters ?warm_start ?deadline
           done;
           let objective =
             let acc = ref 0.0 in
-            Array.iteri (fun i col -> acc := !acc +. (c2.(col) *. t.x_b.(i))) t.basis;
+            for i = 0 to m - 1 do
+              acc := !acc +. (c2.(t.basis.(i)) *. t.x_b.(i))
+            done;
             sign *. !acc
           in
           finish
             { Simplex.status = Simplex.Optimal; x; objective; duals }
-            (Some (Array.copy t.basis)))
+            (Some (Array.sub t.basis 0 m)))
 
-let solve_warm ?eps ?max_iters ?warm_start ?deadline ?inject_warm_crash problem =
+(* --------------------------- public interface --------------------------- *)
+
+(* Dense problems are converted to the sparse spec once, up front; the
+   conversion is cold-path (the column-generation masters build specs
+   directly via [Model]). *)
+let spec_of_problem { Simplex.direction; c; rows } =
+  let nstruct = Array.length c in
+  let m = Array.length rows in
+  Array.iter
+    (fun (a, _, _) ->
+      if Array.length a <> nstruct then invalid_arg "Revised.solve: row length mismatch")
+    rows;
+  let rel = Array.map (fun (_, r, _) -> r) rows in
+  let rhs = Array.map (fun (_, _, v) -> v) rows in
+  let cstart = Array.make (nstruct + 1) 0 in
+  for i = 0 to m - 1 do
+    let a, _, _ = rows.(i) in
+    for j = 0 to nstruct - 1 do
+      if a.(j) <> 0.0 then cstart.(j + 1) <- cstart.(j + 1) + 1
+    done
+  done;
+  for j = 1 to nstruct do
+    cstart.(j) <- cstart.(j) + cstart.(j - 1)
+  done;
+  let nnz = cstart.(nstruct) in
+  let crow = Array.make (max 1 nnz) 0 in
+  let cval = Array.make (max 1 nnz) 0.0 in
+  let next = Array.sub cstart 0 nstruct in
+  for i = 0 to m - 1 do
+    let a, _, _ = rows.(i) in
+    for j = 0 to nstruct - 1 do
+      if a.(j) <> 0.0 then begin
+        let p = next.(j) in
+        crow.(p) <- i;
+        cval.(p) <- a.(j);
+        next.(j) <- p + 1
+      end
+    done
+  done;
+  {
+    s_direction = direction;
+    s_nstruct = nstruct;
+    s_m = m;
+    s_c = c;
+    s_rel = rel;
+    s_rhs = rhs;
+    s_cstart = cstart;
+    s_crow = crow;
+    s_cval = cval;
+  }
+
+let with_ws ?workspace f =
+  let ws = match workspace with Some ws -> ws | None -> Workspace.get () in
+  if Workspace.acquire ws then
+    Fun.protect ~finally:(fun () -> Workspace.release ws) (fun () -> f ws)
+  else
+    (* the domain arena is busy (reentrant solve): fall back to a transient
+       arena rather than trample the outer solve's buffers *)
+    f (Workspace.create ())
+
+let instrumented f =
   Sa_telemetry.Trace.with_span ~hist:h_solve "lp.revised.solve" (fun () ->
       Tel.incr m_solves;
-      let ((solution, _, stats) as result) =
-        solve_warm_impl ?eps ?max_iters ?warm_start ?deadline ?inject_warm_crash
-          problem
-      in
+      let alloc0 = Gc.allocated_bytes () in
+      let ((solution, _, stats) as result) = f () in
       Sa_telemetry.Trace.add_attr "pivots" (string_of_int stats.iterations);
       Sa_telemetry.Trace.add_attr "warm" (string_of_bool stats.warm_used);
+      Sa_telemetry.Trace.add_attr "alloc_bytes"
+        (Printf.sprintf "%.0f" (Gc.allocated_bytes () -. alloc0));
       let status_label =
         match solution.Simplex.status with
         | Simplex.Optimal -> "optimal"
@@ -613,6 +907,21 @@ let solve_warm ?eps ?max_iters ?warm_start ?deadline ?inject_warm_crash problem 
         ];
       result)
 
-let solve ?eps ?max_iters ?deadline problem =
-  let solution, _, _ = solve_warm ?eps ?max_iters ?deadline problem in
+let solve_spec ?eps ?max_iters ?warm_start ?deadline ?inject_warm_crash
+    ?(pricing = Dantzig) ?workspace spec =
+  with_ws ?workspace (fun ws ->
+      instrumented (fun () ->
+          solve_spec_impl ~ws ~pricing ?eps ?max_iters ?warm_start ?deadline
+            ?inject_warm_crash spec))
+
+let solve_warm ?eps ?max_iters ?warm_start ?deadline ?inject_warm_crash
+    ?(pricing = Dantzig) ?workspace problem =
+  let spec = spec_of_problem problem in
+  solve_spec ?eps ?max_iters ?warm_start ?deadline ?inject_warm_crash ~pricing
+    ?workspace spec
+
+let solve ?eps ?max_iters ?deadline ?pricing ?workspace problem =
+  let solution, _, _ =
+    solve_warm ?eps ?max_iters ?deadline ?pricing ?workspace problem
+  in
   solution

@@ -150,7 +150,7 @@ let run_phase t ~eps ~max_iters ~allowed ~deadline ~started =
   Tel.add m_pivots !iter;
   match !result with Some r -> r | None -> assert false
 
-let solve ?(eps = 1e-9) ?max_iters ?deadline { direction; c; rows } =
+let solve ?(eps = Tol.solve_eps) ?max_iters ?deadline { direction; c; rows } =
   Tel.incr m_solves;
   let started = Sa_util.Timing.now () in
   let nstruct = Array.length c in
@@ -254,7 +254,7 @@ let solve ?(eps = 1e-9) ?max_iters ?deadline { direction; c; rows } =
                 for j = 0 to ncols - 1 do
                   if
                     !piv_col < 0 && (not artificial.(j))
-                    && Float.abs t.tab.(i).(j) > 1e-6
+                    && Float.abs t.tab.(i).(j) > Tol.driveout_eps
                   then piv_col := j
                 done;
                 if !piv_col >= 0 then pivot t ~row:i ~col:!piv_col ~eps

@@ -1,0 +1,104 @@
+(* Grow-only per-domain scratch arena for the LP hot path.
+
+   Steady-state solver traffic is dominated by short-lived scratch vectors:
+   FTRAN/BTRAN work vectors, the eta-file backing store, basis and pricing
+   arrays, rounding trial buffers.  Allocating them per solve is pure GC
+   pressure — the sizes stabilise after the first few jobs a domain serves.
+   A workspace keeps one grow-only buffer per (type, slot) and hands the
+   same storage back on every acquisition, so a steady-state solve
+   allocates only what escapes it (results, cached bases).
+
+   Ownership: one workspace per domain, reached through [get] (Domain.DLS).
+   This is safe because the engine's {!Sa_core.Pool} never migrates a job
+   between domains mid-batch — a job's solves all run on the domain that
+   claimed it, and a domain runs one job at a time.  Slot numbers partition
+   the arena between client modules (see the .mli); a client may hold its
+   slots only for the duration of one self-contained computation and must
+   not retain them across a call into another arena client.  For the one
+   genuinely reentrant client (the simplex itself, e.g. a hypothetical
+   solve issued from solver instrumentation), [acquire]/[release] provide a
+   busy flag so the inner solve falls back to a transient arena instead of
+   trampling the outer one's buffers.
+
+   Buffers grow by doubling and never shrink; growth preserves the live
+   prefix, so clients can use slots as bump pools that survive regrowth.
+   Contents beyond what the client last wrote are unspecified — acquired
+   buffers must be (re)initialised over the range actually used, which is
+   also what keeps results bitwise independent of what previously ran on
+   the domain. *)
+
+module Tel = Sa_telemetry.Metrics
+
+let m_bytes_reused = Tel.counter "lp.workspace.bytes_reused"
+let m_grows = Tel.counter "lp.workspace.grows"
+
+type t = {
+  mutable floats : float array array; (* slot -> buffer *)
+  mutable ints : int array array;
+  mutable bools : bool array array;
+  mutable busy : bool;
+}
+
+let create () = { floats = [||]; ints = [||]; bools = [||]; busy = false }
+
+let key : t Domain.DLS.key = Domain.DLS.new_key create
+
+let get () = Domain.DLS.get key
+
+let acquire t =
+  if t.busy then false
+  else begin
+    t.busy <- true;
+    true
+  end
+
+let release t = t.busy <- false
+
+(* Ensure the slot table covers [slot], then ensure the slot's buffer holds
+   at least [n] elements, preserving the existing prefix on growth. *)
+let ensure_slot table slot empty =
+  let tbl = !table in
+  if slot < Array.length tbl then tbl
+  else begin
+    let tbl' = Array.make (max (slot + 1) (2 * Array.length tbl)) empty in
+    Array.blit tbl 0 tbl' 0 (Array.length tbl);
+    table := tbl';
+    tbl'
+  end
+
+let grow_buf ~elt_bytes buf n make =
+  let cap = Array.length buf in
+  if cap >= n then begin
+    Tel.add m_bytes_reused (n * elt_bytes);
+    buf
+  end
+  else begin
+    Tel.incr m_grows;
+    let buf' = make (max n (2 * cap)) in
+    Array.blit buf 0 buf' 0 cap;
+    buf'
+  end
+
+let floats t ~slot n =
+  let table = ref t.floats in
+  let tbl = ensure_slot table slot [||] in
+  t.floats <- tbl;
+  let buf = grow_buf ~elt_bytes:8 tbl.(slot) n (fun c -> Array.make c 0.0) in
+  tbl.(slot) <- buf;
+  buf
+
+let ints t ~slot n =
+  let table = ref t.ints in
+  let tbl = ensure_slot table slot [||] in
+  t.ints <- tbl;
+  let buf = grow_buf ~elt_bytes:8 tbl.(slot) n (fun c -> Array.make c 0) in
+  tbl.(slot) <- buf;
+  buf
+
+let bools t ~slot n =
+  let table = ref t.bools in
+  let tbl = ensure_slot table slot [||] in
+  t.bools <- tbl;
+  let buf = grow_buf ~elt_bytes:1 tbl.(slot) n (fun c -> Array.make c false) in
+  tbl.(slot) <- buf;
+  buf

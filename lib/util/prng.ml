@@ -63,11 +63,24 @@ let permutation g n =
   shuffle g a;
   a
 
-let categorical g weights =
-  let total = Array.fold_left ( +. ) 0.0 weights in
+let categorical ?len g weights =
+  let n =
+    match len with
+    | None -> Array.length weights
+    | Some l ->
+        if l < 0 || l > Array.length weights then
+          invalid_arg "Prng.categorical: len out of range";
+        l
+  in
+  (* Left-to-right sum, bitwise equal to [Array.fold_left (+.)] over the
+     first [n] entries. *)
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. weights.(i)
+  done;
+  let total = !total in
   if total <= 0. then invalid_arg "Prng.categorical: weights must have positive sum";
   let target = Random.State.float g total in
-  let n = Array.length weights in
   let rec scan i acc =
     if i >= n - 1 then n - 1
     else

@@ -4,7 +4,9 @@
 # scheduler bench smoke runs (the scheduler smoke asserts the persistent
 # domain pool is no slower per call than spawn-per-call and that the
 # cross-job column pool preserves per-job results byte for byte), a
-# fault-injection smoke (serve --fault-rate twice with the
+# pricing smoke (devex vs dantzig certified parity, workspace-reuse
+# bitwise equality, and serve --pricing devex determinism across runs
+# and domain counts), a fault-injection smoke (serve --fault-rate twice with the
 # same seed and across domain counts must emit byte-identical per-job
 # results, with every job served), and a telemetry smoke run that
 # validates the serve --metrics-out snapshot (parses, hot-path counters
@@ -187,6 +189,45 @@ if grep -q '"same_seed_deterministic":false' "$sout"; then
 fi
 echo "   scheduler: pool ${pspeed}x vs spawn-per-call, column-pool parity holds"
 
+echo "== pricing smoke (bench pricing, quick mode)"
+pout="$tmpdir/pricing.json"
+dune exec bench/main.exe -- pricing --quick --pricing-out "$pout" >/dev/null
+
+test -s "$pout" || { echo "check: $pout missing or empty" >&2; exit 1; }
+for key in '"benchmark":"pricing"' '"dantzig":' '"devex":' \
+           '"devex_pivot_savings":' '"objective_delta":' '"workspace":' \
+           '"alloc_ratio_fresh_over_reuse":'; do
+  grep -q -- "$key" "$pout" || { echo "check: $pout lacks $key" >&2; exit 1; }
+done
+# both rules must certify their optimum, devex must not pivot more than
+# dantzig, and arena reuse must be bitwise-equal while allocating less
+grep -q '"certified_parity":true' "$pout" \
+  || { echo "check: pricing rules failed certified parity" >&2; exit 1; }
+grep -q '"bitwise_equal":true' "$pout" \
+  || { echo "check: workspace reuse changed solve results" >&2; exit 1; }
+psave="$(sed -n 's/.*"devex_pivot_savings":\(-\{0,1\}[0-9.]*\).*/\1/p' "$pout" | head -n 1)"
+test -n "$psave" || { echo "check: $pout lacks pivot savings" >&2; exit 1; }
+awk "BEGIN{exit !($psave >= 0.0)}" \
+  || { echo "check: devex pivoted more than dantzig (savings $psave)" >&2; exit 1; }
+pratio="$(sed -n 's/.*"alloc_ratio_fresh_over_reuse":\([0-9.]*\).*/\1/p' "$pout" | head -n 1)"
+test -n "$pratio" || { echo "check: $pout lacks alloc ratio" >&2; exit 1; }
+awk "BEGIN{exit !($pratio >= 1.0)}" \
+  || { echo "check: arena reuse allocated more than fresh (${pratio}x)" >&2; exit 1; }
+echo "   pricing: devex saves ${psave} of pivots, reuse allocates ${pratio}x less"
+
+echo "== pricing smoke (serve --pricing devex determinism)"
+dune exec bin/auction.exe -- serve --demo --no-warm --pricing devex \
+  --results-out "$tmpdir/pv1.json" >/dev/null
+dune exec bin/auction.exe -- serve --demo --no-warm --pricing devex \
+  --results-out "$tmpdir/pv2.json" >/dev/null
+cmp "$tmpdir/pv1.json" "$tmpdir/pv2.json" \
+  || { echo "check: devex serve runs not reproducible" >&2; exit 1; }
+dune exec bin/auction.exe -- serve --demo --no-warm --pricing devex --domains 4 \
+  --results-out "$tmpdir/pv4.json" >/dev/null
+cmp "$tmpdir/pv1.json" "$tmpdir/pv4.json" \
+  || { echo "check: devex results differ between --domains 1 and 4" >&2; exit 1; }
+echo "   pricing: devex serve results byte-identical across runs and domains"
+
 echo "== column pool smoke (serve byte-identity, pool on vs --no-column-pool)"
 cwl="examples/columns.wl"
 dune exec bin/auction.exe -- serve --workload "$cwl" --no-warm \
@@ -228,9 +269,14 @@ dune exec bin/auction.exe -- serve --demo --no-warm --domains 4 \
   --metrics-out "$tmpdir/d4.json" >/dev/null
 # engine.pool.* counters are scheduler occupancy, not algorithmic work:
 # a --domains 1 run bypasses the pool entirely and chunk/steal counts are
-# timing-dependent, so they are excluded from the determinism diff
-sed -n '/"counters": {/,/^  },/p' "$tmpdir/d1.json" | grep -v '"engine\.pool\.' > "$tmpdir/c1"
-sed -n '/"counters": {/,/^  },/p' "$tmpdir/d4.json" | grep -v '"engine\.pool\.' > "$tmpdir/c4"
+# timing-dependent, so they are excluded from the determinism diff.
+# lp.workspace.* counters track per-domain arena capacity (one scratch
+# arena per domain grows independently), so they too depend on the
+# domain count without affecting any solve result.
+sed -n '/"counters": {/,/^  },/p' "$tmpdir/d1.json" \
+  | grep -v -e '"engine\.pool\.' -e '"lp\.workspace\.' > "$tmpdir/c1"
+sed -n '/"counters": {/,/^  },/p' "$tmpdir/d4.json" \
+  | grep -v -e '"engine\.pool\.' -e '"lp\.workspace\.' > "$tmpdir/c4"
 test -s "$tmpdir/c1" || { echo "check: counter block extraction failed" >&2; exit 1; }
 cmp "$tmpdir/c1" "$tmpdir/c4" \
   || { echo "check: counters differ between --domains 1 and 4" >&2; exit 1; }

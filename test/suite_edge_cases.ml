@@ -236,7 +236,7 @@ let test_round_with_uniforms_extremes () =
   in
   Alcotest.(check bool) "feasible" true (Allocation.is_feasible inst all);
   Alcotest.check_raises "size mismatch"
-    (Invalid_argument "Rounding.round_with_uniforms: uniforms size mismatch")
+    (Invalid_argument "Rounding.round_with_uniforms: uniforms shorter than n")
     (fun () ->
       ignore (Rounding.round_with_uniforms inst frac ~scale_down:1.0 ~uniforms:[| 0.0 |]))
 

@@ -273,6 +273,187 @@ let prop_certify_min_random =
       | Simplex.Optimal -> (Sa_lp.Certify.check p s).Sa_lp.Certify.certified
       | _ -> false)
 
+(* ---------- Certification on degenerate LPs ----------------------------- *)
+
+(* Degenerate packing LPs: coefficients from a tiny integer set, duplicated
+   rows and zero right-hand sides force ties in the ratio test and
+   zero-length pivots.  The certificates must still come back with clean
+   feasibility flags and a duality gap within tolerance — for the dense
+   tableau and for the revised engine under both pricing rules. *)
+let prop_certify_degenerate =
+  QCheck.Test.make ~name:"degenerate packing LPs certify (flags + gap)"
+    ~count:80
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let nv = 1 + Prng.int g 6 and nr = 2 + Prng.int g 5 in
+      let coeff () = float_of_int (Prng.int g 3) in
+      let base = Array.init nv (fun _ -> coeff ()) in
+      let rows =
+        Array.init nr (fun i ->
+            let a =
+              if i mod 2 = 1 then Array.copy base
+              else Array.init nv (fun _ -> coeff ())
+            in
+            let b =
+              if Prng.bernoulli g 0.3 then 0.0
+              else float_of_int (1 + Prng.int g 3)
+            in
+            (a, Simplex.Le, b))
+      in
+      let c = Array.init nv (fun _ -> float_of_int (Prng.int g 4)) in
+      let p = { Simplex.direction = Simplex.Maximize; c; rows } in
+      (* x = 0 is feasible (Le rows, b >= 0) so the LP is never infeasible;
+         an all-zero column with positive objective makes it unbounded,
+         which we accept. *)
+      let s = Simplex.solve p in
+      match s.Simplex.status with
+      | Simplex.Unbounded -> true
+      | Simplex.Optimal ->
+          let r = Sa_lp.Certify.check p s in
+          r.Sa_lp.Certify.primal_feasible && r.Sa_lp.Certify.dual_feasible
+          && r.Sa_lp.Certify.duality_gap
+             <= 1e-6 *. Float.max 1.0 (Float.abs s.Simplex.objective)
+          && r.Sa_lp.Certify.certified
+          && List.for_all
+               (fun pricing ->
+                 let b = Sa_lp.Revised.solve ~pricing p in
+                 b.Simplex.status = Simplex.Optimal
+                 && (Sa_lp.Certify.check p b).Sa_lp.Certify.certified)
+               [ Sa_lp.Revised.Dantzig; Sa_lp.Revised.Devex ]
+      | _ -> false)
+
+let test_certify_edge_cases () =
+  (* zero row: 0·x <= 1 is vacuous but must still be priced; single column
+     with redundant parallel rows sits at a degenerate vertex *)
+  let p_zero_row =
+    {
+      Simplex.direction = Simplex.Maximize;
+      c = [| 1.0 |];
+      rows = [| ([| 0.0 |], Simplex.Le, 1.0); ([| 1.0 |], Simplex.Le, 2.0) |];
+    }
+  in
+  let p_single_col =
+    {
+      Simplex.direction = Simplex.Maximize;
+      c = [| 3.0 |];
+      rows =
+        [|
+          ([| 1.0 |], Simplex.Le, 2.0);
+          ([| 2.0 |], Simplex.Le, 4.0);
+          ([| 1.0 |], Simplex.Le, 2.0);
+        |];
+    }
+  in
+  let solvers =
+    [
+      ("dense", fun p -> Simplex.solve p);
+      ( "revised-dantzig",
+        fun p -> Sa_lp.Revised.solve ~pricing:Sa_lp.Revised.Dantzig p );
+      ( "revised-devex",
+        fun p -> Sa_lp.Revised.solve ~pricing:Sa_lp.Revised.Devex p );
+    ]
+  in
+  List.iter
+    (fun (name, p, expect) ->
+      List.iter
+        (fun (ename, solve) ->
+          let tag msg = Printf.sprintf "%s %s (%s)" name msg ename in
+          let s = solve p in
+          Alcotest.(check bool)
+            (tag "optimal") true
+            (s.Simplex.status = Simplex.Optimal);
+          Alcotest.(check (float 1e-9)) (tag "objective") expect
+            s.Simplex.objective;
+          let r = Sa_lp.Certify.check p s in
+          Alcotest.(check bool)
+            (tag "primal feasible") true r.Sa_lp.Certify.primal_feasible;
+          Alcotest.(check bool)
+            (tag "dual feasible") true r.Sa_lp.Certify.dual_feasible;
+          Alcotest.(check bool)
+            (tag "gap within tolerance") true
+            (r.Sa_lp.Certify.duality_gap <= 1e-6);
+          Alcotest.(check bool) (tag "certified") true r.Sa_lp.Certify.certified)
+        solvers)
+    [ ("zero-row", p_zero_row, 2.0); ("single-col", p_single_col, 6.0) ]
+
+(* ---------- Pricing rules + workspace reuse ----------------------------- *)
+
+let random_packing_problem g =
+  let nb = 2 + Prng.int g 5 and k = 1 + Prng.int g 3 in
+  let ncols = nb * (1 + Prng.int g 3) in
+  let owner = Array.init ncols (fun c -> c mod nb) in
+  let c = Array.init ncols (fun _ -> Prng.float g 10.0) in
+  let unit_rows =
+    Array.init nb (fun v ->
+        ( Array.init ncols (fun cix -> if owner.(cix) = v then 1.0 else 0.0),
+          Simplex.Le,
+          1.0 ))
+  in
+  let intf_rows =
+    Array.init (nb * k) (fun _ ->
+        ( Array.init ncols (fun _ ->
+              if Prng.bernoulli g 0.3 then Prng.float g 1.0 else 0.0),
+          Simplex.Le,
+          1.0 +. Prng.float g 2.0 ))
+  in
+  {
+    Simplex.direction = Simplex.Maximize;
+    c;
+    rows = Array.append unit_rows intf_rows;
+  }
+
+(* Devex and Dantzig walk different pivot sequences but must certify the
+   same optimum on packing LPs (every column is covered by its owner's
+   unit row, so the LP is bounded and feasible). *)
+let prop_devex_dantzig_parity =
+  QCheck.Test.make ~name:"devex = dantzig: certified objective parity"
+    ~count:60
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let p = random_packing_problem g in
+      let d = Sa_lp.Revised.solve ~pricing:Sa_lp.Revised.Dantzig p in
+      let x = Sa_lp.Revised.solve ~pricing:Sa_lp.Revised.Devex p in
+      match (d.Simplex.status, x.Simplex.status) with
+      | Simplex.Optimal, Simplex.Optimal ->
+          (Sa_lp.Certify.check p d).Sa_lp.Certify.certified
+          && (Sa_lp.Certify.check p x).Sa_lp.Certify.certified
+          && Float.abs (d.Simplex.objective -. x.Simplex.objective)
+             <= 1e-6 *. Float.max 1.0 (Float.abs d.Simplex.objective)
+      | sd, sx -> sd = sx)
+
+(* Workspace-reuse solves must be bitwise equal to fresh-allocation solves:
+   the shared arena first runs a different LP — leaving grown buffers full
+   of stale data — and then the probe LP.  Every buffer the solver reads
+   must have been re-initialised over its used range, so the result matches
+   a virgin arena's bit for bit, under both pricing rules. *)
+let prop_workspace_reuse_bitwise =
+  QCheck.Test.make ~name:"workspace reuse bitwise = fresh arena" ~count:40
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let decoy = random_packing_problem g in
+      let p = random_packing_problem g in
+      let bits s =
+        ( s.Simplex.status,
+          Array.map Int64.bits_of_float s.Simplex.x,
+          Array.map Int64.bits_of_float s.Simplex.duals,
+          Int64.bits_of_float s.Simplex.objective )
+      in
+      List.for_all
+        (fun pricing ->
+          let fresh =
+            Sa_lp.Revised.solve ~pricing
+              ~workspace:(Sa_lp.Workspace.create ())
+              p
+          in
+          let arena = Sa_lp.Workspace.create () in
+          ignore (Sa_lp.Revised.solve ~pricing ~workspace:arena decoy);
+          let reused = Sa_lp.Revised.solve ~pricing ~workspace:arena p in
+          bits fresh = bits reused)
+        [ Sa_lp.Revised.Dantzig; Sa_lp.Revised.Devex ])
+
 (* ---------- Revised simplex cross-validation --------------------------- *)
 
 let test_revised_matches_dense_basics () =
@@ -428,4 +609,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_random_packing;
     QCheck_alcotest.to_alcotest prop_dual_feasible;
     QCheck_alcotest.to_alcotest prop_eta_warm_matches_dense_across_domains;
+    QCheck_alcotest.to_alcotest prop_certify_degenerate;
+    Alcotest.test_case "certify edge cases (zero row, single column)" `Quick
+      test_certify_edge_cases;
+    QCheck_alcotest.to_alcotest prop_devex_dantzig_parity;
+    QCheck_alcotest.to_alcotest prop_workspace_reuse_bitwise;
   ]
