@@ -69,7 +69,7 @@ type solve_stats = {
 }
 
 let solve_explicit_stats ?engine ?(zeroed = []) ?warm_start ?max_iters ?deadline
-    ?inject_warm_crash ?pricing inst =
+    ?inject_warm_crash ?pricing ?presolve inst =
   let n = Instance.n inst and k = inst.Instance.k in
   let pi = inst.Instance.ordering in
   let m = Model.create Simplex.Maximize in
@@ -117,7 +117,7 @@ let solve_explicit_stats ?engine ?(zeroed = []) ?warm_start ?max_iters ?deadline
   done;
   let ws =
     Model.solve_with_basis ?engine ?warm_start ?max_iters ?deadline
-      ?inject_warm_crash ?pricing m
+      ?inject_warm_crash ?pricing ?presolve m
   in
   let sol = ws.Model.solution in
   let numerical detail =

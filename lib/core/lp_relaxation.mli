@@ -58,6 +58,7 @@ val solve_explicit_stats :
   ?deadline:float ->
   ?inject_warm_crash:bool ->
   ?pricing:Sa_lp.Model.pricing ->
+  ?presolve:bool ->
   Instance.t ->
   fractional * solve_stats
 (** {!solve_explicit} with the warm-start plumbing exposed: pass a basis
@@ -72,7 +73,11 @@ val solve_explicit_stats :
     [inject_warm_crash] forces the warm pivot-in to fail after mutating
     state, exercising the rollback path (fault injection; [Revised_sparse]
     only); [pricing] selects the revised engine's entering-variable rule
-    (default [Dantzig]). *)
+    (default [Dantzig]); [presolve] (default [false], [Revised_sparse]
+    only) runs the {!Sa_lp.Presolve} reduction/scaling pipeline before the
+    solve — results come back in original coordinates via the exact
+    postsolve, so deterrent prices and certificates are unchanged within
+    [Tol]. *)
 
 val scale : fractional -> float -> fractional
 (** Scale every [x] (and the objective) by a factor in [\[0,1\]] — LP

@@ -216,7 +216,7 @@ let price_state_update inst st ~y =
 
 let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
     ?(engine = Model.Revised_sparse) ?(pricing = Incremental) ?lp_pricing
-    ?(domains = 1) ?deadline ?(on_stall = `Accept) ?column_pool inst =
+    ?presolve ?(domains = 1) ?deadline ?(on_stall = `Accept) ?column_pool inst =
   Sa_telemetry.Trace.with_span ~hist:h_solve "core.colgen.solve" @@ fun () ->
   Tel.incr m_solves;
   if domains < 1 then invalid_arg "Oracle_solver.solve: domains must be >= 1";
@@ -362,7 +362,7 @@ let solve ?(max_rounds = 200) ?(eps = Sa_lp.Tol.feas_eps)
     let r, dt =
       Sa_util.Timing.time (fun () ->
           Model.solve_with_basis ~engine ?warm_start ?deadline
-            ?pricing:lp_pricing ~workspace:lp_workspace m)
+            ?pricing:lp_pricing ?presolve ~workspace:lp_workspace m)
     in
     lp_time := !lp_time +. dt;
     warm_basis := r.Model.basis;

@@ -67,6 +67,7 @@ val solve :
   ?engine:Sa_lp.Model.engine ->
   ?pricing:pricing ->
   ?lp_pricing:Sa_lp.Model.pricing ->
+  ?presolve:bool ->
   ?domains:int ->
   ?deadline:float ->
   ?on_stall:[ `Accept | `Fail ] ->
@@ -94,6 +95,12 @@ val solve :
     which governs how the colgen dual prices are recomputed.  Master
     re-solves share the domain's {!Sa_lp.Workspace} arena, so a re-solve
     allocates only for the columns added since the previous round.
+    [presolve] (default [false]) runs {!Sa_lp.Presolve} in front of every
+    master solve; reductions compose with the cross-round warm start (the
+    basis cache stays in original coordinates) and with the column pool —
+    fingerprints are computed on the pre-presolve model, so a column
+    dropped by presolve in one round is still internable and may re-enter
+    later.
     [domains] (default 1) fans the
     per-round demand-oracle calls across OCaml 5 domains; answers merge in
     bidder order, so the generated column sequence — and every telemetry

@@ -92,14 +92,15 @@ type policy = {
   fallback : bool;
   faults : Faultgen.t option;
   lp_pricing : Sa_lp.Model.pricing;
+  lp_presolve : bool;
 }
 
 let default_policy =
   { deadline_s = None; pivot_budget = None; max_retries = 1; fallback = true;
-    faults = None; lp_pricing = Sa_lp.Model.Dantzig }
+    faults = None; lp_pricing = Sa_lp.Model.Dantzig; lp_presolve = false }
 
 let policy ?deadline_s ?pivot_budget ?(max_retries = 1) ?(fallback = true)
-    ?faults ?(lp_pricing = Sa_lp.Model.Dantzig) () =
+    ?faults ?(lp_pricing = Sa_lp.Model.Dantzig) ?(lp_presolve = false) () =
   if max_retries < 0 then invalid_arg "Engine.policy: max_retries must be >= 0";
   (match deadline_s with
   | Some s when s < 0.0 -> invalid_arg "Engine.policy: deadline_s must be >= 0"
@@ -107,7 +108,8 @@ let policy ?deadline_s ?pivot_budget ?(max_retries = 1) ?(fallback = true)
   (match pivot_budget with
   | Some p when p < 1 -> invalid_arg "Engine.policy: pivot_budget must be >= 1"
   | _ -> ());
-  { deadline_s; pivot_budget; max_retries; fallback; faults; lp_pricing }
+  { deadline_s; pivot_budget; max_retries; fallback; faults; lp_pricing;
+    lp_presolve }
 
 type result = {
   job_id : int;
@@ -383,8 +385,8 @@ let run_job_robust_impl t policy job =
                    through — the deadline is the binding control. *)
                 let frac, ostats =
                   Oracle_solver.solve ~engine:Sa_lp.Model.Revised_sparse
-                    ~lp_pricing:policy.lp_pricing ?deadline
-                    ?column_pool:oracle_pool inst
+                    ~lp_pricing:policy.lp_pricing ~presolve:policy.lp_presolve
+                    ?deadline ?column_pool:oracle_pool inst
                 in
                 ( frac,
                   {
@@ -395,7 +397,8 @@ let run_job_robust_impl t policy job =
             | _ ->
                 Lp.solve_explicit_stats ~engine:Sa_lp.Model.Revised_sparse
                   ?warm_start:warm_basis ?deadline ?max_iters:policy.pivot_budget
-                  ~inject_warm_crash:fire_warm ~pricing:policy.lp_pricing inst)
+                  ~inject_warm_crash:fire_warm ~pricing:policy.lp_pricing
+                  ~presolve:policy.lp_presolve inst)
       in
       lp_s_total := !lp_s_total +. lp_s;
       (match (shape_key, stats.Lp.basis) with

@@ -99,6 +99,12 @@ type policy = {
       (** simplex entering-variable rule for every LP this job solves —
           explicit masters and colgen masters alike (default [Dantzig];
           [Devex] trades more work per pivot for fewer pivots) *)
+  lp_presolve : bool;
+      (** run the {!Sa_lp.Presolve} reduction/scaling pipeline in front of
+          every LP this job solves (default [false]).  Solutions, duals,
+          prices and certificates come back in original coordinates via
+          the exact postsolve, so results agree with the unpresolved solve
+          within [Tol]. *)
 }
 
 val default_policy : policy
@@ -111,6 +117,7 @@ val policy :
   ?fallback:bool ->
   ?faults:Faultgen.t ->
   ?lp_pricing:Sa_lp.Model.pricing ->
+  ?lp_presolve:bool ->
   unit ->
   policy
 (** Validating constructor over {!default_policy}'s defaults. *)

@@ -45,13 +45,16 @@ val solve :
   ?max_iters:int ->
   ?deadline:float ->
   ?pricing:pricing ->
+  ?presolve:bool ->
   t ->
   solution
 (** Runs the chosen simplex engine (default [Dense_tableau]; see
     {!Revised}) on the current model.  The model remains usable (more
     variables/rows may be added and [solve] called again — each call solves
     from scratch).  [pricing] selects the entering-variable rule of the
-    revised engine (default [Dantzig]; ignored by [Dense_tableau]). *)
+    revised engine (default [Dantzig]; ignored by [Dense_tableau]);
+    [presolve] (default [false]) runs the {!Presolve} reduction/scaling
+    pipeline first (only honoured by [Revised_sparse]). *)
 
 type warm_solution = {
   solution : solution;
@@ -70,6 +73,7 @@ val solve_with_basis :
   ?inject_warm_crash:bool ->
   ?pricing:pricing ->
   ?workspace:Workspace.t ->
+  ?presolve:bool ->
   t ->
   warm_solution
 (** {!solve}, exposing the warm-start machinery of {!Revised.solve_warm}:
@@ -92,4 +96,11 @@ val solve_with_basis :
     [deadline] is an absolute {!Sa_util.Timing.now} timestamp enforced
     inside the pivot loops ([Sa_util.Fail.Error (Timeout _)] past it);
     [inject_warm_crash] forwards {!Revised.solve_warm}'s fault-injection
-    hook and is ignored by [Dense_tableau]. *)
+    hook and is ignored by [Dense_tableau].
+
+    [presolve] (default [false], [Revised_sparse] only) runs
+    {!Presolve.reduce} on the staged spec, solves the reduced LP, and maps
+    the solution, duals, and basis back to the model's own spaces via the
+    exact postsolve — the returned solution and basis are always in
+    original model coordinates, and reduction counts are attached as
+    [presolve_*] attrs on the solve span/event. *)

@@ -1,0 +1,714 @@
+(* LP presolve: reductions + equilibration scaling in front of the revised
+   simplex, with an exact postsolve back to original variable space.
+
+   The pipeline runs on a {!Revised.spec} (the sparse form every solve path
+   already produces) and emits a reduced spec whose arrays live in
+   workspace slots 40..47, so steady-state presolved solves stay
+   allocation-free apart from the small per-solve outputs (reduced relation
+   array, postsolved solution, mapped bases) that escape anyway.
+
+   Reductions (single pass, in order):
+   - empty rows whose relation is trivially satisfied ([0 <= b] with
+     [b >= 0], [0 >= b] with [b <= 0], [0 = 0]) are dropped with dual 0;
+   - singleton [a x_j <= b] rows with [a > 0]: [b = 0] fixes [x_j := 0]
+     (direction [Maximize] only, so the dropped row's dual can be
+     reconstructed under the Certify sign convention); [b > 0] keeps only
+     the row implying the tightest bound [b/a] per column and drops the
+     looser ones with dual 0;
+   - duplicate rows, found by hashing (pattern, relation) with an exact
+     entrywise recheck: for [Le] the smallest rhs wins, for [Ge] the
+     largest, [Eq] rows dedup only on equal rhs; dropped twins are implied
+     by the kept one, so their duals are exactly 0;
+   - dominated / duplicate columns (only for [Maximize] problems whose
+     kept rows are all [Le], i.e. the packing LPs on the hot path): if two
+     kept columns have the same kept-row support, [a_.j <= a_.k]
+     entrywise and [c_j >= c_k], any optimum may route column [k]'s mass
+     through [j], so [x_k] is fixed to 0.  Exact ties keep the lower
+     index.  Empty columns with [c_j <= 0] are fixed to 0 as well.
+
+   Scaling: geometric-mean row/column equilibration restricted to powers
+   of two.  Factors are [2^e] with integer [e], so unscaling
+   ([x_j = s_j * x'_j], [y_i = r_i * y'_i], [a'_ij = r_i * a_ij * s_j])
+   multiplies by exact powers of two and is bitwise-lossless: the
+   postsolved primal/dual values carry no scaling round-off at all.
+
+   Postsolve maps an optimal reduced solution back exactly: kept
+   variables/rows are unscaled, presolved-away variables are 0,
+   redundant rows get dual 0, and the fixing row of a fixed column gets
+   [y = max 0 ((c_j - sum_{i' <> i} a_i'j y_i') / a_ij)], which keeps the
+   Certify dual-feasibility and duality-gap checks intact in original
+   space.  [map_basis_in]/[map_basis_out] translate warm-start bases
+   between original and reduced internal column spaces so reductions
+   compose with the engine's basis cache and the colgen column pool. *)
+
+module Tel = Sa_telemetry.Metrics
+
+let m_rows_removed = Tel.counter "lp.presolve.rows_removed"
+let m_cols_removed = Tel.counter "lp.presolve.cols_removed"
+let m_duplicates = Tel.counter "lp.presolve.duplicates"
+let m_scaling_passes = Tel.counter "lp.presolve.scaling_passes"
+
+type config = { reductions : bool; scaling : bool }
+
+let default_config = { reductions = true; scaling = true }
+
+type info = {
+  rows_removed : int;
+  cols_removed : int;
+  duplicates : int;
+  scaling_passes : int;
+}
+
+(* Workspace slot assignments (slots 40..47 of each typed pool belong to
+   this module; see Workspace docs).  Several slots do double duty as
+   scratch before their final content is written — the usage windows are
+   strictly ordered and each use reinitialises its range. *)
+module Slot = struct
+  (* float slots *)
+  let red_c = 40
+  let red_rhs = 41
+  let red_cval = 42
+  let row_scale = 43 (* holds the exponent during scaling sweeps *)
+  let col_scale = 44
+  let rval = 45 (* CSR values of the original structural matrix *)
+  let col_bound = 46 (* tightest singleton bound seen per column *)
+
+  (* int slots *)
+  let red_cstart = 40
+  let red_crow = 41
+  let row_tag = 42 (* CSR build scratch, then per-row disposition *)
+  let col_map = 43
+  let row_inv = 44 (* row/col hash scratch, then reduced-row -> orig row *)
+  let col_inv = 45 (* sort-order scratch, then reduced-col -> orig col *)
+  let rstart = 46
+  let rcol = 47
+
+  (* bool slots *)
+  let col_keep = 41
+end
+
+(* Per-row disposition codes stored in the row_tag buffer during the
+   reduction passes, then re-encoded into [row_map]. *)
+let tag_keep = 0
+let tag_redundant = 1
+let tag_fixes j = j + 2 (* row is the fixing singleton for column j *)
+
+type t = {
+  orig : Revised.spec;
+  reduced : Revised.spec;
+  red_m : int;
+  red_n : int;
+  row_map : int array;
+      (* orig row -> reduced row (>= 0) | -1 redundant | -(j+2) fixes col j *)
+  col_map : int array; (* orig col -> reduced col (>= 0) | -1 fixed at 0 *)
+  row_inv : int array; (* reduced row -> orig row (live prefix red_m) *)
+  col_inv : int array; (* reduced col -> orig col (live prefix red_n) *)
+  row_scale : float array; (* power-of-two factors, 1.0 on removed rows *)
+  col_scale : float array;
+  info : info;
+}
+
+let info t = t.info
+
+(* ----------------------------- hashing ------------------------------ *)
+
+let combine h v = ((h * 0x01000193) + v) land max_int
+
+let float_token v = combine (Int64.to_int (Int64.bits_of_float v)) 0
+
+let rel_token = function Simplex.Le -> 17 | Simplex.Ge -> 31 | Simplex.Eq -> 47
+
+(* Sort the [0, len) prefix of [order] by (key.(i), i) ascending — an
+   in-place heapsort so the hashing passes stay allocation-free. *)
+let sort_by_key order len key =
+  let lt a b = key.(a) < key.(b) || (key.(a) = key.(b) && a < b) in
+  let swap i j =
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  in
+  let rec sift i stop =
+    let l = (2 * i) + 1 in
+    if l < stop then begin
+      let c = if l + 1 < stop && lt order.(l) order.(l + 1) then l + 1 else l in
+      if lt order.(i) order.(c) then begin
+        swap i c;
+        sift c stop
+      end
+    end
+  in
+  for i = (len / 2) - 1 downto 0 do
+    sift i len
+  done;
+  for e = len - 1 downto 1 do
+    swap 0 e;
+    sift 0 e
+  done
+
+(* ----------------------------- reduce ------------------------------- *)
+
+let reduce ?(config = default_config) ~(workspace : Workspace.t) (spec : Revised.spec) =
+  if (not config.reductions) && not config.scaling then None
+  else begin
+    let ws = workspace in
+    let m = spec.Revised.s_m and n = spec.Revised.s_nstruct in
+    let cstart = spec.Revised.s_cstart
+    and crow = spec.Revised.s_crow
+    and cval = spec.Revised.s_cval
+    and rel = spec.Revised.s_rel
+    and rhs = spec.Revised.s_rhs
+    and c = spec.Revised.s_c in
+    let nnz = cstart.(n) in
+    (* CSR mirror of the structural matrix: row-major traversal for the
+       row reductions and row-wise scaling sweeps. *)
+    let rstart = Workspace.ints ws ~slot:Slot.rstart (m + 1) in
+    let rcol = Workspace.ints ws ~slot:Slot.rcol (max 1 nnz) in
+    let rval = Workspace.floats ws ~slot:Slot.rval (max 1 nnz) in
+    let row_tag = Workspace.ints ws ~slot:Slot.row_tag (max 1 (max m n)) in
+    for i = 0 to m do
+      rstart.(i) <- 0
+    done;
+    for p = 0 to nnz - 1 do
+      rstart.(crow.(p) + 1) <- rstart.(crow.(p) + 1) + 1
+    done;
+    for i = 1 to m do
+      rstart.(i) <- rstart.(i) + rstart.(i - 1)
+    done;
+    for i = 0 to m - 1 do
+      row_tag.(i) <- rstart.(i)
+    done;
+    for j = 0 to n - 1 do
+      for p = cstart.(j) to cstart.(j + 1) - 1 do
+        let i = crow.(p) in
+        let pos = row_tag.(i) in
+        rcol.(pos) <- j;
+        rval.(pos) <- cval.(p);
+        row_tag.(i) <- pos + 1
+      done
+    done;
+    let col_keep = Workspace.bools ws ~slot:Slot.col_keep (max 1 n) in
+    for j = 0 to n - 1 do
+      col_keep.(j) <- true
+    done;
+    for i = 0 to m - 1 do
+      row_tag.(i) <- tag_keep
+    done;
+    let rows_removed = ref 0 and cols_removed = ref 0 and duplicates = ref 0 in
+    let drop_row i = row_tag.(i) <- tag_redundant; incr rows_removed in
+    if config.reductions then begin
+      (* Pass 1: empty rows and singleton rows. *)
+      let col_bound = Workspace.floats ws ~slot:Slot.col_bound (max 1 n) in
+      let best_row = Workspace.ints ws ~slot:Slot.col_inv (max 1 n) in
+      for j = 0 to n - 1 do
+        col_bound.(j) <- Float.infinity;
+        best_row.(j) <- -1
+      done;
+      for i = 0 to m - 1 do
+        let lo = rstart.(i) and hi = rstart.(i + 1) in
+        let cnt = hi - lo in
+        if cnt = 0 then begin
+          let trivially_satisfied =
+            match rel.(i) with
+            | Simplex.Le -> rhs.(i) >= 0.0
+            | Simplex.Ge -> rhs.(i) <= 0.0
+            | Simplex.Eq -> rhs.(i) = 0.0
+          in
+          if trivially_satisfied then drop_row i
+        end
+        else if cnt = 1 && rel.(i) = Simplex.Le then begin
+          let j = rcol.(lo) and a = rval.(lo) in
+          if a > 0.0 then begin
+            if rhs.(i) = 0.0 then begin
+              (* x_j <= 0 fixes the variable.  Only for Maximize: the
+                 postsolve dual reconstruction below assumes the Maximize
+                 sign convention (Le rows need y >= 0). *)
+              if spec.Revised.s_direction = Simplex.Maximize then begin
+                if col_keep.(j) then begin
+                  col_keep.(j) <- false;
+                  incr cols_removed;
+                  row_tag.(i) <- tag_fixes j;
+                  incr rows_removed
+                end
+                else drop_row i (* a second x_j <= 0 row is implied *)
+              end
+            end
+            else if rhs.(i) > 0.0 then begin
+              let u = rhs.(i) /. a in
+              if u < col_bound.(j) then begin
+                (* tighter bound: the previous best row is now implied *)
+                if best_row.(j) >= 0 then drop_row best_row.(j);
+                col_bound.(j) <- u;
+                best_row.(j) <- i
+              end
+              else drop_row i
+            end
+          end
+          else if rhs.(i) > 0.0 then
+            (* a < 0: x_j >= rhs/a < 0, implied by x >= 0 *)
+            drop_row i
+        end
+        else if cnt = 1 && rel.(i) = Simplex.Ge then begin
+          let a = rval.(lo) in
+          if a > 0.0 && rhs.(i) <= 0.0 then drop_row i
+        end
+      done;
+      (* Pass 2: duplicate rows via hashing with exact recheck. *)
+      let hash = Workspace.ints ws ~slot:Slot.row_inv (max 1 (max m n)) in
+      let order = Workspace.ints ws ~slot:Slot.col_inv (max 1 (max m n)) in
+      let participants = ref 0 in
+      for i = 0 to m - 1 do
+        if row_tag.(i) = tag_keep && rstart.(i + 1) > rstart.(i) then begin
+          let h = ref (rel_token rel.(i)) in
+          for p = rstart.(i) to rstart.(i + 1) - 1 do
+            h := combine (combine !h rcol.(p)) (float_token rval.(p))
+          done;
+          hash.(i) <- combine !h (rstart.(i + 1) - rstart.(i));
+          order.(!participants) <- i;
+          incr participants
+        end
+      done;
+      sort_by_key order !participants hash;
+      let rows_equal i k =
+        let li = rstart.(i) and lk = rstart.(k) in
+        let cnt = rstart.(i + 1) - li in
+        rel.(i) = rel.(k)
+        && cnt = rstart.(k + 1) - lk
+        && begin
+             let ok = ref true in
+             let p = ref 0 in
+             while !ok && !p < cnt do
+               if rcol.(li + !p) <> rcol.(lk + !p) || rval.(li + !p) <> rval.(lk + !p)
+               then ok := false;
+               incr p
+             done;
+             !ok
+           end
+      in
+      let p = ref 0 in
+      while !p < !participants do
+        let q = ref (!p + 1) in
+        while !q < !participants && hash.(order.(!q)) = hash.(order.(!p)) do
+          incr q
+        done;
+        (* survivors occupy order.[!p, w); later rows in the run are
+           checked against them and either dropped or appended *)
+        let w = ref (!p + 1) in
+        for r = !p + 1 to !q - 1 do
+          let i = order.(r) in
+          let matched = ref false in
+          let s = ref !p in
+          while (not !matched) && !s < !w do
+            let k = order.(!s) in
+            if rows_equal k i then begin
+              matched := true;
+              (match rel.(i) with
+              | Simplex.Le ->
+                  if rhs.(i) >= rhs.(k) then begin drop_row i; incr duplicates end
+                  else begin
+                    drop_row k; incr duplicates;
+                    order.(!s) <- i
+                  end
+              | Simplex.Ge ->
+                  if rhs.(i) <= rhs.(k) then begin drop_row i; incr duplicates end
+                  else begin
+                    drop_row k; incr duplicates;
+                    order.(!s) <- i
+                  end
+              | Simplex.Eq ->
+                  if rhs.(i) = rhs.(k) then begin drop_row i; incr duplicates end
+                  else matched := false (* same pattern, conflicting rhs: keep both *))
+            end;
+            incr s
+          done;
+          if not !matched then begin
+            order.(!w) <- i;
+            incr w
+          end
+        done;
+        p := !q
+      done;
+      (* Pass 3: dominated / duplicate columns.  Sound only for Maximize
+         packing shapes: every kept row must be Le so that shifting mass
+         from the dominated column onto the dominating one preserves
+         feasibility and never lowers the objective. *)
+      let all_le = ref (spec.Revised.s_direction = Simplex.Maximize) in
+      for i = 0 to m - 1 do
+        if row_tag.(i) = tag_keep && rel.(i) <> Simplex.Le then all_le := false
+      done;
+      if !all_le && n > 1 then begin
+        let participants = ref 0 in
+        for j = 0 to n - 1 do
+          if col_keep.(j) then begin
+            let h = ref 0 and cnt = ref 0 in
+            for p = cstart.(j) to cstart.(j + 1) - 1 do
+              if row_tag.(crow.(p)) = tag_keep then begin
+                h := combine !h crow.(p);
+                incr cnt
+              end
+            done;
+            if !cnt = 0 then begin
+              (* empty column: fix at 0 when the objective cannot want it *)
+              if c.(j) <= 0.0 then begin
+                col_keep.(j) <- false;
+                incr cols_removed
+              end
+            end
+            else begin
+              hash.(j) <- combine !h !cnt;
+              order.(!participants) <- j;
+              incr participants
+            end
+          end
+        done;
+        sort_by_key order !participants hash;
+        (* compare columns j,k with equal support: (-1) j dominated,
+           (+1) k dominated, 0 neither/different support *)
+        let dominance j k =
+          let lj = ref cstart.(j) and lk = ref cstart.(k) in
+          let hj = cstart.(j + 1) and hk = cstart.(k + 1) in
+          let same = ref true and j_le = ref true and k_le = ref true in
+          while !same && (!lj < hj || !lk < hk) do
+            while !lj < hj && row_tag.(crow.(!lj)) <> tag_keep do incr lj done;
+            while !lk < hk && row_tag.(crow.(!lk)) <> tag_keep do incr lk done;
+            if !lj < hj && !lk < hk && crow.(!lj) = crow.(!lk) then begin
+              if cval.(!lj) > cval.(!lk) then j_le := false;
+              if cval.(!lk) > cval.(!lj) then k_le := false;
+              incr lj;
+              incr lk
+            end
+            else if !lj < hj || !lk < hk then same := false
+          done;
+          if not !same then 0
+          else if !j_le && c.(j) >= c.(k) then -1 (* j covers k: drop k *)
+          else if !k_le && c.(k) >= c.(j) then 1
+          else 0
+        in
+        let p = ref 0 in
+        while !p < !participants do
+          let q = ref (!p + 1) in
+          while !q < !participants && hash.(order.(!q)) = hash.(order.(!p)) do
+            incr q
+          done;
+          let w = ref (!p + 1) in
+          for r = !p + 1 to !q - 1 do
+            let k = order.(r) in
+            let dropped = ref false in
+            let s = ref !p in
+            while (not !dropped) && !s < !w do
+              let j = order.(!s) in
+              match dominance j k with
+              | -1 ->
+                  col_keep.(k) <- false;
+                  incr cols_removed;
+                  dropped := true
+              | 1 ->
+                  col_keep.(j) <- false;
+                  incr cols_removed;
+                  order.(!s) <- order.(!w - 1);
+                  decr w
+                  (* k may dominate further survivors: keep scanning *)
+              | _ -> incr s
+            done;
+            if not !dropped then begin
+              order.(!w) <- k;
+              incr w
+            end
+          done;
+          p := !q
+        done
+      end
+    end;
+    (* ------------------------- scaling sweeps ------------------------- *)
+    let row_scale = Workspace.floats ws ~slot:Slot.row_scale (max 1 m) in
+    let col_scale = Workspace.floats ws ~slot:Slot.col_scale (max 1 n) in
+    (* exponents during the sweeps; converted to 2^e factors afterwards *)
+    for i = 0 to m - 1 do
+      row_scale.(i) <- 0.0
+    done;
+    for j = 0 to n - 1 do
+      col_scale.(j) <- 0.0
+    done;
+    let scaling_passes = ref 0 in
+    if config.scaling then begin
+      let max_passes = 3 in
+      let continue = ref true in
+      while !continue && !scaling_passes < max_passes do
+        let changed = ref false in
+        for i = 0 to m - 1 do
+          if row_tag.(i) = tag_keep then begin
+            let sum = ref 0.0 and cnt = ref 0 in
+            for p = rstart.(i) to rstart.(i + 1) - 1 do
+              if col_keep.(rcol.(p)) then begin
+                sum :=
+                  !sum
+                  +. Float.log2 (Float.abs rval.(p))
+                  +. row_scale.(i) +. col_scale.(rcol.(p));
+                incr cnt
+              end
+            done;
+            if !cnt > 0 then begin
+              let e = Float.round (!sum /. float_of_int !cnt) in
+              if e <> 0.0 && Float.abs (row_scale.(i) -. e) <= 512.0 then begin
+                row_scale.(i) <- row_scale.(i) -. e;
+                changed := true
+              end
+            end
+          end
+        done;
+        for j = 0 to n - 1 do
+          if col_keep.(j) then begin
+            let sum = ref 0.0 and cnt = ref 0 in
+            for p = cstart.(j) to cstart.(j + 1) - 1 do
+              if row_tag.(crow.(p)) = tag_keep then begin
+                sum :=
+                  !sum
+                  +. Float.log2 (Float.abs cval.(p))
+                  +. row_scale.(crow.(p)) +. col_scale.(j);
+                incr cnt
+              end
+            done;
+            if !cnt > 0 then begin
+              let e = Float.round (!sum /. float_of_int !cnt) in
+              if e <> 0.0 && Float.abs (col_scale.(j) -. e) <= 512.0 then begin
+                col_scale.(j) <- col_scale.(j) -. e;
+                changed := true
+              end
+            end
+          end
+        done;
+        if !changed then incr scaling_passes else continue := false
+      done
+    end;
+    if !rows_removed = 0 && !cols_removed = 0 && !scaling_passes = 0 then None
+    else begin
+      (* exponents -> exact power-of-two factors *)
+      for i = 0 to m - 1 do
+        row_scale.(i) <-
+          (if row_tag.(i) = tag_keep then Float.ldexp 1.0 (int_of_float row_scale.(i))
+           else 1.0)
+      done;
+      for j = 0 to n - 1 do
+        col_scale.(j) <-
+          (if col_keep.(j) then Float.ldexp 1.0 (int_of_float col_scale.(j)) else 1.0)
+      done;
+      (* ------------------------- index maps -------------------------- *)
+      let row_inv = Workspace.ints ws ~slot:Slot.row_inv (max 1 m) in
+      let col_inv = Workspace.ints ws ~slot:Slot.col_inv (max 1 n) in
+      let col_map = Workspace.ints ws ~slot:Slot.col_map (max 1 n) in
+      let red_m = ref 0 in
+      (* row_tag is re-encoded in place into the final row_map *)
+      for i = 0 to m - 1 do
+        if row_tag.(i) = tag_keep then begin
+          row_inv.(!red_m) <- i;
+          row_tag.(i) <- !red_m;
+          incr red_m
+        end
+        else if row_tag.(i) = tag_redundant then row_tag.(i) <- -1
+        else row_tag.(i) <- -row_tag.(i) (* fixing row: -(j+2) *)
+      done;
+      let red_m = !red_m in
+      let red_n = ref 0 in
+      for j = 0 to n - 1 do
+        if col_keep.(j) then begin
+          col_inv.(!red_n) <- j;
+          col_map.(j) <- !red_n;
+          incr red_n
+        end
+        else col_map.(j) <- -1
+      done;
+      let red_n = !red_n in
+      (* ----------------------- reduced spec -------------------------- *)
+      let red_c = Workspace.floats ws ~slot:Slot.red_c (max 1 red_n) in
+      let red_rhs = Workspace.floats ws ~slot:Slot.red_rhs (max 1 red_m) in
+      let red_rel = Array.make (max 1 red_m) Simplex.Le in
+      for ir = 0 to red_m - 1 do
+        let i = row_inv.(ir) in
+        red_rhs.(ir) <- rhs.(i) *. row_scale.(i);
+        red_rel.(ir) <- rel.(i)
+      done;
+      let red_cstart = Workspace.ints ws ~slot:Slot.red_cstart (red_n + 1) in
+      red_cstart.(0) <- 0;
+      let red_nnz = ref 0 in
+      for jr = 0 to red_n - 1 do
+        let j = col_inv.(jr) in
+        for p = cstart.(j) to cstart.(j + 1) - 1 do
+          if row_tag.(crow.(p)) >= 0 then incr red_nnz
+        done;
+        red_cstart.(jr + 1) <- !red_nnz
+      done;
+      let red_crow = Workspace.ints ws ~slot:Slot.red_crow (max 1 !red_nnz) in
+      let red_cval = Workspace.floats ws ~slot:Slot.red_cval (max 1 !red_nnz) in
+      let pos = ref 0 in
+      for jr = 0 to red_n - 1 do
+        let j = col_inv.(jr) in
+        red_c.(jr) <- c.(j) *. col_scale.(j);
+        for p = cstart.(j) to cstart.(j + 1) - 1 do
+          let i = crow.(p) in
+          if row_tag.(i) >= 0 then begin
+            red_crow.(!pos) <- row_tag.(i);
+            red_cval.(!pos) <- cval.(p) *. row_scale.(i) *. col_scale.(j);
+            incr pos
+          end
+        done
+      done;
+      let reduced =
+        {
+          Revised.s_direction = spec.Revised.s_direction;
+          s_nstruct = red_n;
+          s_m = red_m;
+          s_c = red_c;
+          s_rel = red_rel;
+          s_rhs = red_rhs;
+          s_cstart = red_cstart;
+          s_crow = red_crow;
+          s_cval = red_cval;
+        }
+      in
+      let info =
+        {
+          rows_removed = !rows_removed;
+          cols_removed = !cols_removed;
+          duplicates = !duplicates;
+          scaling_passes = !scaling_passes;
+        }
+      in
+      Tel.add m_rows_removed info.rows_removed;
+      Tel.add m_cols_removed info.cols_removed;
+      Tel.add m_duplicates info.duplicates;
+      Tel.add m_scaling_passes info.scaling_passes;
+      Some
+        ( reduced,
+          {
+            orig = spec;
+            reduced;
+            red_m;
+            red_n;
+            row_map = row_tag;
+            col_map;
+            row_inv;
+            col_inv;
+            row_scale;
+            col_scale;
+            info;
+          } )
+    end
+  end
+
+(* ---------------------------- postsolve ----------------------------- *)
+
+let postsolve t (sol : Simplex.solution) =
+  let m = t.orig.Revised.s_m and n = t.orig.Revised.s_nstruct in
+  if sol.Simplex.status <> Simplex.Optimal then
+    {
+      Simplex.status = sol.Simplex.status;
+      x = Array.make n 0.0;
+      objective = sol.Simplex.objective;
+      duals = Array.make m 0.0;
+    }
+  else begin
+    let x = Array.make n 0.0 in
+    for jr = 0 to t.red_n - 1 do
+      let j = t.col_inv.(jr) in
+      (* power-of-two unscale: exact *)
+      x.(j) <- t.col_scale.(j) *. sol.Simplex.x.(jr)
+    done;
+    let duals = Array.make m 0.0 in
+    for ir = 0 to t.red_m - 1 do
+      let i = t.row_inv.(ir) in
+      duals.(i) <- t.row_scale.(i) *. sol.Simplex.duals.(ir)
+    done;
+    (* fixing rows: reconstruct a dual that restores A^T y >= c on the
+       fixed column (Maximize/Le convention; see reduce) *)
+    let cstart = t.orig.Revised.s_cstart
+    and crow = t.orig.Revised.s_crow
+    and cval = t.orig.Revised.s_cval in
+    for i = 0 to m - 1 do
+      if t.row_map.(i) <= -2 then begin
+        let j = -t.row_map.(i) - 2 in
+        let a = ref 0.0 and rest = ref 0.0 in
+        for p = cstart.(j) to cstart.(j + 1) - 1 do
+          if crow.(p) = i then a := cval.(p)
+          else rest := !rest +. (cval.(p) *. duals.(crow.(p)))
+        done;
+        if !a > 0.0 then
+          duals.(i) <- Float.max 0.0 ((t.orig.Revised.s_c.(j) -. !rest) /. !a)
+      end
+    done;
+    { Simplex.status = Simplex.Optimal; x; objective = sol.Simplex.objective; duals }
+  end
+
+(* --------------------------- basis mapping --------------------------- *)
+
+(* Internal column layout on both sides: structural [0, nstruct), slack
+   for row i at nstruct + i, artificials beyond nstruct + m. *)
+
+let map_basis_in t (wb : Revised.basis) =
+  let m = t.orig.Revised.s_m and n = t.orig.Revised.s_nstruct in
+  let out = Array.make (max 1 t.red_m) 0 in
+  let slack_used = Array.make (max 1 t.red_m) false in
+  let count = ref 0 in
+  let overflow = ref false in
+  let push e =
+    if !count >= t.red_m then overflow := true
+    else begin
+      out.(!count) <- e;
+      incr count
+    end
+  in
+  Array.iter
+    (fun e ->
+      if e < n then begin
+        match t.col_map.(e) with
+        | jr when jr >= 0 -> push jr
+        | _ -> ()
+      end
+      else if e < n + m then begin
+        let i = e - n in
+        let ir = t.row_map.(i) in
+        if ir >= 0 then begin
+          push (t.red_n + ir);
+          if not !overflow then slack_used.(ir) <- true
+        end
+      end
+      (* artificials are dropped *))
+    wb;
+  if !overflow then None
+  else begin
+    (* fill the shortfall with unused reduced slacks *)
+    let ir = ref 0 in
+    while !count < t.red_m && !ir < t.red_m do
+      if not slack_used.(!ir) then push (t.red_n + !ir);
+      incr ir
+    done;
+    if !count = t.red_m then Some (Array.sub out 0 t.red_m) else None
+  end
+
+let map_basis_out t (rb : Revised.basis) =
+  let m = t.orig.Revised.s_m and n = t.orig.Revised.s_nstruct in
+  if Array.length rb <> t.red_m then None
+  else begin
+    let out = Array.make (max 1 m) 0 in
+    let pos = ref 0 in
+    let ok = ref true in
+    Array.iter
+      (fun e ->
+        if e < t.red_n then begin
+          out.(!pos) <- t.col_inv.(e);
+          incr pos
+        end
+        else if e < t.red_n + t.red_m then begin
+          out.(!pos) <- n + t.row_inv.(e - t.red_n);
+          incr pos
+        end
+        else ok := false (* reduced artificial: no original counterpart *))
+      rb;
+    (* removed rows re-enter with their own slack basic, which is primal
+       feasible because every removed row is implied by the kept ones *)
+    for i = 0 to m - 1 do
+      if t.row_map.(i) < 0 && !pos < m then begin
+        out.(!pos) <- n + i;
+        incr pos
+      end
+    done;
+    if !ok && !pos = m then Some (Array.sub out 0 m) else None
+  end

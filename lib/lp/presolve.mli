@@ -1,0 +1,72 @@
+(** LP presolve: reductions and power-of-two equilibration in front of
+    {!Revised.solve_spec}, with an exact postsolve back to original
+    variable space.
+
+    [reduce] shrinks a {!Revised.spec} (empty rows, singleton rows folded
+    into column bounds, hashed duplicate-row dedup with exact recheck,
+    dominated/duplicate column elimination on Maximize/[Le] packing
+    shapes, geometric-mean row/column scaling restricted to powers of
+    two) and returns the reduced spec plus a postsolve record.  All
+    scratch and all reduced-spec arrays live in {!Workspace} slots 40..47,
+    so steady-state presolved solves allocate only the small outputs that
+    escape the solve anyway.
+
+    Because every scaling factor is an exact power of two, unscaling the
+    reduced optimum multiplies by [2^e] values and is bitwise-lossless;
+    removed rows are implied by the kept ones so their duals are exactly
+    0, and a fixed column's fixing row receives a reconstructed dual that
+    keeps {!Certify.check} satisfied in original space. *)
+
+type config = {
+  reductions : bool;  (** run the row/column elimination passes *)
+  scaling : bool;  (** run geometric-mean power-of-two equilibration *)
+}
+
+val default_config : config
+(** Both reductions and scaling enabled. *)
+
+type info = {
+  rows_removed : int;  (** rows dropped by any reduction *)
+  cols_removed : int;  (** columns fixed at zero *)
+  duplicates : int;  (** duplicate rows found by the hashing pass *)
+  scaling_passes : int;  (** equilibration sweeps that changed a factor *)
+}
+
+type t
+(** Postsolve record for one [reduce].  It references workspace buffers
+    (slots 40..47) and the original spec, so it is valid only until the
+    next [reduce] on the same workspace and must not outlive the solve it
+    wraps. *)
+
+val info : t -> info
+
+val reduce :
+  ?config:config -> workspace:Workspace.t -> Revised.spec -> (Revised.spec * t) option
+(** [reduce ~workspace spec] runs the pipeline and returns the reduced
+    spec together with the postsolve record, or [None] when no reduction
+    applied and no scaling factor moved (solve the original spec
+    directly).  The reduced spec's arrays live in [workspace]; the
+    subsequent {!Revised.solve_spec} call may share the same workspace
+    (the solver core uses slots 0..15). *)
+
+val postsolve : t -> Simplex.solution -> Simplex.solution
+(** Map a solution of the reduced spec back to original variable space:
+    kept variables and duals are unscaled exactly (powers of two),
+    presolved-away variables are 0, removed redundant rows get dual 0,
+    and fixing rows get a reconstructed dual preserving dual feasibility
+    and the duality gap.  Non-[Optimal] statuses pass through with
+    original-shaped zero vectors. *)
+
+val map_basis_in : t -> Revised.basis -> Revised.basis option
+(** Translate a warm-start basis in {b original} internal column space
+    (structural then slack indices, as returned by a previous solve) into
+    the reduced space: kept structurals and slacks are renumbered,
+    presolved-away entries are replaced by unused reduced slacks.
+    [None] when the basis cannot fit the reduced row count (caller should
+    cold-start). *)
+
+val map_basis_out : t -> Revised.basis -> Revised.basis option
+(** Inverse of {!map_basis_in}: lift the reduced optimal basis back to
+    original internal indices, re-entering each removed row with its own
+    (feasible, since the row is implied) slack.  [None] if the reduced
+    basis still contains an artificial. *)

@@ -882,7 +882,7 @@ let with_ws ?workspace f =
        arena rather than trample the outer solve's buffers *)
     f (Workspace.create ())
 
-let instrumented f =
+let instrumented ?(attrs = []) f =
   Sa_telemetry.Trace.with_span ~hist:h_solve "lp.revised.solve" (fun () ->
       Tel.incr m_solves;
       let alloc0 = Gc.allocated_bytes () in
@@ -891,6 +891,7 @@ let instrumented f =
       Sa_telemetry.Trace.add_attr "warm" (string_of_bool stats.warm_used);
       Sa_telemetry.Trace.add_attr "alloc_bytes"
         (Printf.sprintf "%.0f" (Gc.allocated_bytes () -. alloc0));
+      List.iter (fun (k, v) -> Sa_telemetry.Trace.add_attr k v) attrs;
       let status_label =
         match solution.Simplex.status with
         | Simplex.Optimal -> "optimal"
@@ -899,18 +900,19 @@ let instrumented f =
         | Simplex.Iteration_limit -> "iteration_limit"
       in
       Sa_telemetry.Eventlog.emit "revised_solve"
-        [
-          ("status", Sa_telemetry.Eventlog.Str status_label);
-          ("pivots", Sa_telemetry.Eventlog.Int stats.iterations);
-          ("warm", Sa_telemetry.Eventlog.Bool stats.warm_used);
-          ("objective", Sa_telemetry.Eventlog.Float solution.Simplex.objective);
-        ];
+        ([
+           ("status", Sa_telemetry.Eventlog.Str status_label);
+           ("pivots", Sa_telemetry.Eventlog.Int stats.iterations);
+           ("warm", Sa_telemetry.Eventlog.Bool stats.warm_used);
+           ("objective", Sa_telemetry.Eventlog.Float solution.Simplex.objective);
+         ]
+        @ List.map (fun (k, v) -> (k, Sa_telemetry.Eventlog.Str v)) attrs);
       result)
 
 let solve_spec ?eps ?max_iters ?warm_start ?deadline ?inject_warm_crash
-    ?(pricing = Dantzig) ?workspace spec =
+    ?(pricing = Dantzig) ?workspace ?attrs spec =
   with_ws ?workspace (fun ws ->
-      instrumented (fun () ->
+      instrumented ?attrs (fun () ->
           solve_spec_impl ~ws ~pricing ?eps ?max_iters ?warm_start ?deadline
             ?inject_warm_crash spec))
 

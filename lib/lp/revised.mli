@@ -117,6 +117,11 @@ val solve_warm :
     the resilience tests to certify that rollback restores the pristine
     state bitwise. *)
 
+val spec_of_problem : Simplex.problem -> spec
+(** Densify-free conversion of a {!Simplex.problem} into the sparse
+    {!spec} form (fresh arrays, cold path) — useful to run {!solve_spec}
+    or a {!Presolve} pipeline on a dense problem statement. *)
+
 val solve_spec :
   ?eps:float ->
   ?max_iters:int ->
@@ -125,9 +130,14 @@ val solve_spec :
   ?inject_warm_crash:bool ->
   ?pricing:pricing ->
   ?workspace:Workspace.t ->
+  ?attrs:(string * string) list ->
   spec ->
   Simplex.solution * basis option * stats
 (** {!solve_warm} on a pre-built sparse {!spec} — the hot path used by
     {!Model.solve_with_basis}, skipping the O(m·n) dense materialisation
     entirely.  For a fixed problem and pricing rule, [solve_spec] and
-    {!solve_warm} produce bitwise-identical solutions. *)
+    {!solve_warm} produce bitwise-identical solutions.
+
+    [attrs] are extra key/value pairs recorded on the [lp.revised.solve]
+    trace span and the [revised_solve] event — used by {!Model} to attach
+    presolve reduction counts to the solve that consumed them. *)

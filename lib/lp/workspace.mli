@@ -15,6 +15,7 @@
     - slots [16..23]: {!Model} (sparse problem staging)
     - slots [24..31]: [Sa_core.Rounding] trial buffers
     - slots [32..39]: [Sa_core.Derand] candidate buffers
+    - slots [40..47]: {!Presolve} (reduction scratch and the reduced spec)
 
     A client may hold its slots only within one self-contained computation
     and must not retain them across a call into another client.  Acquired

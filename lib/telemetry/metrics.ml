@@ -204,6 +204,12 @@ let counter_descriptions =
     ("lp.revised.warm_installs", "Warm-start basis installations that succeeded");
     ( "lp.revised.warm_rollbacks",
       "Warm-start installations rolled back to a cold start" );
+    ("lp.presolve.rows_removed", "Rows removed by LP presolve reductions");
+    ("lp.presolve.cols_removed", "Columns fixed at zero by LP presolve");
+    ( "lp.presolve.duplicates",
+      "Duplicate rows found by the presolve hashing pass" );
+    ( "lp.presolve.scaling_passes",
+      "Presolve equilibration sweeps that changed a scaling factor" );
     ("core.colgen.solves", "Column-generation master problems solved");
     ("core.colgen.rounds", "Column-generation pricing rounds");
     ("core.colgen.oracle_calls", "Demand-oracle invocations during pricing");

@@ -2,8 +2,10 @@
 # Aggregate every BENCH_*.json in the repo root into one BENCH_summary.json
 # keyed by benchmark group name ("engine-batch", "kernels", "pricing", ...).
 # Each group file is a single JSON object with a "benchmark" field (the
-# emission convention in bench/bench_util.ml); files without one, and the
-# summary itself, are skipped.  Usage:
+# emission convention in bench/bench_util.ml).  A malformed group file —
+# empty, or missing the "benchmark" field — aborts with a non-zero exit
+# naming the offending file, so a truncated bench run cannot silently
+# vanish from the summary.  Only the summary itself is skipped.  Usage:
 #
 #   scripts/bench_summary.sh [OUT]     # default OUT = BENCH_summary.json
 set -eu
@@ -20,11 +22,11 @@ first=1
   for f in BENCH_*.json; do
     [ -e "$f" ] || continue                    # unexpanded glob
     [ "$f" = "$(basename "$out")" ] && continue
-    [ -s "$f" ] || { echo "bench_summary: skipping empty $f" >&2; continue; }
+    [ -s "$f" ] || { echo "bench_summary: malformed $f (empty file)" >&2; exit 1; }
     group="$(sed -n 's/.*"benchmark":"\([^"]*\)".*/\1/p' "$f" | head -n 1)"
     [ -n "$group" ] || {
-      echo "bench_summary: $f lacks a \"benchmark\" field, skipping" >&2
-      continue
+      echo "bench_summary: malformed $f (no \"benchmark\" field)" >&2
+      exit 1
     }
     [ $first -eq 1 ] || printf ','
     first=0

@@ -228,6 +228,43 @@ cmp "$tmpdir/pv1.json" "$tmpdir/pv4.json" \
   || { echo "check: devex results differ between --domains 1 and 4" >&2; exit 1; }
 echo "   pricing: devex serve results byte-identical across runs and domains"
 
+echo "== presolve smoke (bench presolve, quick mode)"
+prout="$tmpdir/presolve.json"
+dune exec bench/main.exe -- presolve --quick --presolve-out "$prout" >/dev/null
+
+test -s "$prout" || { echo "check: $prout missing or empty" >&2; exit 1; }
+for key in '"benchmark":"presolve"' '"reduction":' '"dantzig":' '"devex":' \
+           '"colgen":' '"pivot_savings":'; do
+  grep -q -- "$key" "$prout" || { echo "check: $prout lacks $key" >&2; exit 1; }
+done
+# the reductions must fire (the bench instance is duplicate-heavy by
+# construction) and every off/on pair must certify the same optimum
+grep -q '"certified_parity":true' "$prout" \
+  || { echo "check: presolve off/on failed certified parity" >&2; exit 1; }
+prrows="$(sed -n 's/.*"rows_removed":\([0-9]*\).*/\1/p' "$prout" | head -n 1)"
+test -n "$prrows" || { echo "check: $prout lacks rows_removed" >&2; exit 1; }
+awk "BEGIN{exit !($prrows > 0)}" \
+  || { echo "check: presolve removed no rows (rows_removed $prrows)" >&2; exit 1; }
+echo "   presolve: $prrows rows removed, certified parity holds"
+
+echo "== presolve smoke (serve --presolve objective parity + determinism)"
+dune exec bin/auction.exe -- serve --demo --no-warm --presolve off \
+  --json "$tmpdir/pr_off.json" >/dev/null
+dune exec bin/auction.exe -- serve --demo --no-warm --presolve on \
+  --json "$tmpdir/pr_on.json" --results-out "$tmpdir/pr1.json" >/dev/null
+obj_off="$(sed -n 's/.*"total_lp_objective":\(-\{0,1\}[0-9.]*\).*/\1/p' "$tmpdir/pr_off.json" | head -n 1)"
+obj_on="$(sed -n 's/.*"total_lp_objective":\(-\{0,1\}[0-9.]*\).*/\1/p' "$tmpdir/pr_on.json" | head -n 1)"
+test -n "$obj_off" && test -n "$obj_on" \
+  || { echo "check: serve summary lacks total_lp_objective" >&2; exit 1; }
+awk "BEGIN{d = $obj_off - $obj_on; if (d < 0) d = -d; \
+           s = $obj_off; if (s < 0) s = -s; exit !(d <= 1e-6 * (1 + s))}" \
+  || { echo "check: presolve changed the LP objective ($obj_off vs $obj_on)" >&2; exit 1; }
+dune exec bin/auction.exe -- serve --demo --no-warm --presolve on --domains 4 \
+  --results-out "$tmpdir/pr4.json" >/dev/null
+cmp "$tmpdir/pr1.json" "$tmpdir/pr4.json" \
+  || { echo "check: presolve results differ between --domains 1 and 4" >&2; exit 1; }
+echo "   presolve: objectives agree off/on ($obj_off), results byte-identical across domains"
+
 echo "== column pool smoke (serve byte-identity, pool on vs --no-column-pool)"
 cwl="examples/columns.wl"
 dune exec bin/auction.exe -- serve --workload "$cwl" --no-warm \
